@@ -1,0 +1,114 @@
+// Command pardis-bench regenerates the measurements of the paper's
+// evaluation section (Figures 2, 4 and 5) and the ablation studies on the
+// simulated testbed, printing one table per experiment.
+//
+// Usage:
+//
+//	pardis-bench [-fig 2|4|5|ablations|all] [-quick]
+//
+// -quick trims the sweeps for a fast smoke run. Results are deterministic:
+// the experiments run the full PARDIS stack on a virtual clock over the
+// modeled 1997 machines (see DESIGN.md §4 for the substitutions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pardis/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, all")
+	quick := flag.Bool("quick", false, "trimmed sweeps")
+	flag.Parse()
+
+	switch *fig {
+	case "2":
+		figure2(*quick)
+	case "4":
+		figure4(*quick)
+	case "5":
+		figure5(*quick)
+	case "ablations":
+		ablations(*quick)
+	case "all":
+		figure2(*quick)
+		figure4(*quick)
+		figure5(*quick)
+		ablations(*quick)
+	default:
+		fmt.Fprintf(os.Stderr, "pardis-bench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func figure2(quick bool) {
+	sizes := bench.Fig2Sizes
+	if quick {
+		sizes = []int{200, 600, 1200}
+	}
+	fmt.Println("== Figure 2: distributed vs local performance (seconds) ==")
+	fmt.Println("problem_size  direct(HOST1)  iterative(HOST2)  different_servers  same_server(HOST1)")
+	for _, p := range bench.Figure2(sizes) {
+		fmt.Printf("%12d  %13.2f  %16.2f  %17.2f  %18.2f\n",
+			p.N, p.Direct, p.Iterative, p.Distributed, p.SameServer)
+	}
+	fmt.Println()
+}
+
+func figure4(quick bool) {
+	procs := bench.Fig4Procs
+	if quick {
+		procs = []int{1, 2, 3, 4, 8}
+	}
+	fmt.Println("== Figure 4: centralized vs distributed single objects (seconds) ==")
+	fmt.Println("server_procs  centralized  distributed  difference")
+	for _, p := range bench.Figure4(procs) {
+		fmt.Printf("%12d  %11.2f  %11.2f  %10.2f\n",
+			p.Procs, p.Centralized, p.Distributed, p.Difference)
+	}
+	fmt.Println()
+}
+
+func figure5(quick bool) {
+	procs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if quick {
+		procs = bench.Fig5Procs
+	}
+	fmt.Println("== Figure 5: pipelined metaapplication (seconds) ==")
+	fmt.Println("procs  overall  diffusion(SGI PC)  gradient(SP2)")
+	for _, p := range bench.Figure5(procs) {
+		fmt.Printf("%5d  %7.2f  %17.2f  %13.2f\n",
+			p.Procs, p.Overall, p.Diffusion, p.Gradient)
+	}
+	fmt.Println()
+}
+
+func ablations(quick bool) {
+	nT, nL, nB := 1_000_000, 500_000, 600
+	if quick {
+		nT, nL, nB = 200_000, 100_000, 300
+	}
+	fmt.Println("== Ablations ==")
+	show := func(title string, pts []bench.AblationPoint) {
+		fmt.Println(title)
+		for _, p := range pts {
+			fmt.Printf("  %-24s %10.4f s\n", p.Label, p.Seconds)
+		}
+	}
+	show(fmt.Sprintf("parallel vs funneled argument transfer (%d doubles, 4x4 threads):", nT),
+		bench.AblationParallelTransfer(nT))
+	show(fmt.Sprintf("co-located vs remote invocation (%d doubles):", nL),
+		bench.AblationLocalShortcut(nL))
+	show(fmt.Sprintf("non-blocking overlap vs blocking (solvers, n=%d):", nB),
+		bench.AblationNonBlocking(nB))
+	show("oneway vs two-way non-blocking pipeline (p=4):",
+		bench.AblationOneway(4))
+	show("single-threaded vs communication-thread transport (p=8, the paper's §6 proposal):",
+		bench.AblationCommThreads(8))
+	show("redistribution templates (1M doubles, 8 threads):",
+		bench.AblationRedistribution(1_000_000))
+	fmt.Println()
+}

@@ -1,0 +1,81 @@
+// Command pardis-idl is the PARDIS IDL compiler: it translates extended
+// CORBA IDL specifications into Go stub and skeleton code.
+//
+// Usage:
+//
+//	pardis-idl [-package name] [-o out.go] [-pooma | -hpcxx] spec.idl
+//
+// The -pooma and -hpcxx flags select the package mappings of paper §3.4:
+// dsequence typedefs annotated with `#pragma POOMA:field` or
+// `#pragma HPC++:vector` appear in the generated signatures as the native
+// structures of the mini-POOMA or mini-PSTL packages. `#include "file"`
+// lines are resolved relative to the spec's directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pardis/internal/idl"
+	"pardis/internal/idlgen"
+)
+
+func main() {
+	pkg := flag.String("package", "generated", "Go package name for the generated file")
+	out := flag.String("o", "", "output file (default: stdout)")
+	pooma := flag.Bool("pooma", false, "generate the POOMA package mapping")
+	hpcxx := flag.Bool("hpcxx", false, "generate the HPC++ PSTL package mapping")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pardis-idl [-package name] [-o out.go] [-pooma | -hpcxx] spec.idl")
+		os.Exit(2)
+	}
+	if *pooma && *hpcxx {
+		fmt.Fprintln(os.Stderr, "pardis-idl: -pooma and -hpcxx are mutually exclusive")
+		os.Exit(2)
+	}
+	mapping := ""
+	if *pooma {
+		mapping = "POOMA"
+	}
+	if *hpcxx {
+		mapping = "HPC++"
+	}
+
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	dir := filepath.Dir(path)
+	file, err := idl.ParseWithIncludes(string(src), func(name string) (string, error) {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		return string(b), err
+	})
+	if err != nil {
+		fail(err)
+	}
+	spec, err := idl.Analyze(file)
+	if err != nil {
+		fail(err)
+	}
+	code, err := idlgen.Generate(spec, idlgen.Options{Package: *pkg, Mapping: mapping})
+	if err != nil {
+		fail(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pardis-idl: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Command pardis-reg runs a PARDIS Object/Implementation Repository as a
+// standalone daemon over TCP. Servers register their objects with it;
+// clients resolve names through it. One daemon defines one naming domain —
+// run several to split the namespace.
+//
+// Usage:
+//
+//	pardis-reg [-listen host:port]
+//
+// The printed bootstrap address is what servers and clients pass to
+// registry.Open.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"pardis/internal/core"
+	"pardis/internal/nexus"
+	"pardis/internal/poa"
+	"pardis/internal/registry"
+	"pardis/internal/rts"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7934", "TCP listen address")
+	flag.Parse()
+
+	ep, err := nexus.NewTCPEndpoint(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	th := rts.NewChanGroup("registry-host", 1).Thread(0)
+	router := core.NewRouter(ep)
+	adapter := poa.New(th, router, nil)
+	if _, err := adapter.RegisterSingle(registry.RepositoryKey, registry.Iface(), registry.NewRepository()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pardis-reg: repository serving at %s\n", router.Addr())
+	adapter.ImplIsReady()
+	fmt.Println("pardis-reg: deactivated")
+}

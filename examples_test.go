@@ -1,0 +1,58 @@
+package pardis_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every runnable example end-to-end and checks a
+// landmark line of its output — the examples are the paper's §4 scenarios,
+// so this is the repository's integration smoke test.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run the full stack; skipped with -short")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"quickstart", []string{"run", "./examples/quickstart"}, "add: 42"},
+		{"linsolve", []string{"run", "./examples/linsolve"}, "linsolve example completed"},
+		{"dnadb", []string{"run", "./examples/dnadb"}, "exact list agrees with sequential oracle"},
+		{"pipeline", []string{"run", "./examples/pipeline"}, "pipeline example completed"},
+		{"idlcompile", []string{"run", "./examples/idlcompile"}, "generated stubs (POOMA mapping)"},
+		{"tcp-demo", []string{"run", "./cmd/pardis-demo", "-role", "all"}, "all values verified"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			done := make(chan struct{})
+			cmd := exec.Command("go", c.args...)
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				if cmd.Process != nil {
+					cmd.Process.Kill()
+				}
+				<-done
+				t.Fatalf("example timed out; output so far:\n%s", out)
+			}
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("output lacks %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

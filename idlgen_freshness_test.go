@@ -1,0 +1,74 @@
+package pardis_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pardis/internal/idl"
+	"pardis/internal/idlgen"
+)
+
+// TestGeneratedCodeUpToDate regenerates every committed zz_generated.go
+// from its IDL source and fails if the compiler's output has drifted —
+// the committed stubs must always be exactly what pardis-idl produces.
+func TestGeneratedCodeUpToDate(t *testing.T) {
+	cases := []struct {
+		idlPath string
+		genPath string
+		pkg     string
+		mapping string
+	}{
+		{"examples/quickstart/quickstart.idl", "examples/quickstart/zz_generated.go", "main", ""},
+		{"examples/linsolve/linsolve.idl", "examples/linsolve/zz_generated.go", "main", ""},
+		{"examples/dnadb/dnadb.idl", "examples/dnadb/zz_generated.go", "main", ""},
+		{"examples/pipeline/pipeline.idl", "examples/pipeline/poomagen/zz_generated.go", "poomagen", "POOMA"},
+		{"examples/pipeline/pipeline.idl", "examples/pipeline/pstlgen/zz_generated.go", "pstlgen", "HPC++"},
+		{"examples/pipeline/pipeline.idl", "examples/pipeline/vizgen/zz_generated.go", "vizgen", ""},
+		{"internal/idlgen/sample/sample.idl", "internal/idlgen/sample/zz_generated.go", "sample", ""},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.genPath, func(t *testing.T) {
+			src, err := os.ReadFile(c.idlPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Dir(c.idlPath)
+			file, err := idl.ParseWithIncludes(string(src), func(name string) (string, error) {
+				b, err := os.ReadFile(filepath.Join(dir, name))
+				return string(b), err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := idl.Analyze(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := idlgen.Generate(spec, idlgen.Options{Package: c.pkg, Mapping: c.mapping})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(c.genPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s is stale; regenerate with:\n  go run ./cmd/pardis-idl -package %s %s -o %s %s",
+					c.genPath, c.pkg, mappingFlag(c.mapping), c.genPath, c.idlPath)
+			}
+		})
+	}
+}
+
+func mappingFlag(m string) string {
+	switch m {
+	case "POOMA":
+		return "-pooma"
+	case "HPC++":
+		return "-hpcxx"
+	}
+	return ""
+}

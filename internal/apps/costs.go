@@ -1,0 +1,81 @@
+package apps
+
+// Compute-cost models for the simulated experiments. The simulated backend
+// charges these as reference-machine seconds (scaled by each host's node
+// speed); the real-time backend ignores them and does the actual work.
+//
+// Calibration: the reference node is the paper's HOST 1 Onyx R4400 node at
+// an effective dense-FP rate of 4.5 MFLOPS per node (LINPACK-class rates of
+// the era after memory effects), chosen so the Figure 2 single-server run
+// at n=1200 lands near the ~190 s top of the paper's chart.
+
+// RefNodeFLOPS is the effective FLOP rate of one reference node.
+const RefNodeFLOPS = 4.5e6
+
+// DirectSolveWork returns the total reference-seconds of the §4.1 direct
+// method (Gaussian elimination, 2/3·n³ flops) for an n x n system.
+func DirectSolveWork(n int) float64 {
+	fn := float64(n)
+	return (2.0 / 3.0) * fn * fn * fn / RefNodeFLOPS
+}
+
+// DefaultJacobiIters models the iteration count of the §4.1 iterative
+// method at the paper's tolerance; growing with n keeps the iterative
+// solver the slower component on equal hardware — the paper's "slower
+// application" that distribution moves to the faster remote resource.
+func DefaultJacobiIters(n int) int {
+	if n < 2 {
+		return 1
+	}
+	return n / 2
+}
+
+// JacobiWork returns the total reference-seconds of iters Jacobi sweeps
+// (2·n² flops each).
+func JacobiWork(n, iters int) float64 {
+	fn := float64(n)
+	return 2 * fn * fn * float64(iters) / RefNodeFLOPS
+}
+
+// PerThread divides a total work figure across p computing threads.
+func PerThread(total float64, p int) float64 { return total / float64(p) }
+
+// DNASearchWork is the total reference-seconds of one §4.2 database search
+// (split evenly across the server's threads). The Figure 4 experiment runs
+// on the 2.5x Power Challenge, so 200 reference-seconds is 80 wall-seconds
+// there; with the paper's fixed 30 wall-seconds of list-server queries the
+// centralized single-processor run lands near the ~110 s of the left panel.
+const DNASearchWork = 200.0
+
+// ListServerWeights is the per-list-server query cost in reference-seconds
+// for the whole Figure 4 run. On the 2.5x Power Challenge they sum to the
+// paper's fixed 30 wall-seconds; the uneven split is what makes count-based
+// (not weight-based) placement produce the non-monotonic difference curve
+// the paper remarks on at 2 -> 3 processors.
+var ListServerWeights = [NumDerivatives]float64{25, 5, 7.5, 30, 7.5}
+
+// TotalListWork sums the list-server weights: 75 reference-seconds, i.e.
+// the paper's 30 wall-seconds on the Power Challenge.
+func TotalListWork() float64 {
+	t := 0.0
+	for _, w := range ListServerWeights {
+		t += w
+	}
+	return t
+}
+
+// ListQueriesPerServer is how many queries the Figure 4 client issues to
+// each list server over the run; each query to server k costs
+// ListServerWeights[k]/ListQueriesPerServer seconds.
+const ListQueriesPerServer = 10
+
+// DiffusionStepWork returns the reference-seconds of one 9-point stencil
+// time-step over the given cell count (total across threads).
+func DiffusionStepWork(cells int) float64 { return 3e-5 * float64(cells) }
+
+// GradientWork returns the reference-seconds of one magnitude-gradient
+// evaluation over the given cell count (total across threads).
+func GradientWork(cells int) float64 { return 3.5e-5 * float64(cells) }
+
+// VizWork is the reference-seconds a visualizer spends per received frame.
+const VizWork = 0.02

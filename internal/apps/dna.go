@@ -1,0 +1,139 @@
+package apps
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Bases are the DNA alphabet.
+const Bases = "ACGT"
+
+// GenerateDNA builds a synthetic database of count sequences of the given
+// length, deterministic in the seed. The paper never characterizes its DNA
+// data; only the search cost structure matters to Figure 4, so a seeded
+// synthetic database preserves the experiment.
+func GenerateDNA(count, length int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, count)
+	var sb strings.Builder
+	for i := range out {
+		sb.Reset()
+		for j := 0; j < length; j++ {
+			sb.WriteByte(Bases[rng.Intn(4)])
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// DerivativeKind enumerates the four edit-distance derivatives of §4.2.
+type DerivativeKind int
+
+// The list-server categories: exact substring matches plus the four
+// edit-distance-one derivative classes.
+const (
+	Exact DerivativeKind = iota
+	Transposition
+	Deletion
+	Substitution
+	Addition
+	NumDerivatives
+)
+
+// Name returns the category's name.
+func (k DerivativeKind) Name() string {
+	switch k {
+	case Exact:
+		return "substring"
+	case Transposition:
+		return "transpose"
+	case Deletion:
+		return "deletion"
+	case Substitution:
+		return "substitution"
+	case Addition:
+		return "addition"
+	}
+	return "unknown"
+}
+
+// Derivatives generates the edit-distance-one variants of a query string
+// for one category. Exact returns the query itself.
+func Derivatives(q string, kind DerivativeKind) []string {
+	switch kind {
+	case Exact:
+		return []string{q}
+	case Transposition:
+		var out []string
+		for i := 0; i+1 < len(q); i++ {
+			if q[i] == q[i+1] {
+				continue
+			}
+			b := []byte(q)
+			b[i], b[i+1] = b[i+1], b[i]
+			out = append(out, string(b))
+		}
+		return out
+	case Deletion:
+		var out []string
+		seen := map[string]bool{}
+		for i := 0; i < len(q); i++ {
+			s := q[:i] + q[i+1:]
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		return out
+	case Substitution:
+		var out []string
+		for i := 0; i < len(q); i++ {
+			for _, c := range Bases {
+				if byte(c) == q[i] {
+					continue
+				}
+				out = append(out, q[:i]+string(c)+q[i+1:])
+			}
+		}
+		return out
+	case Addition:
+		var out []string
+		seen := map[string]bool{}
+		for i := 0; i <= len(q); i++ {
+			for _, c := range Bases {
+				s := q[:i] + string(c) + q[i:]
+				if !seen[s] {
+					seen[s] = true
+					out = append(out, s)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// SearchDB scans the database for sequences containing any variant of the
+// query in the given category — one list server's worth of §4.2 results.
+func SearchDB(db []string, q string, kind DerivativeKind) []string {
+	variants := Derivatives(q, kind)
+	var out []string
+	for _, seq := range db {
+		for _, v := range variants {
+			if strings.Contains(seq, v) {
+				out = append(out, seq)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SearchAll produces all five §4.2 result lists in one database pass.
+func SearchAll(db []string, q string) [NumDerivatives][]string {
+	var lists [NumDerivatives][]string
+	for k := Exact; k < NumDerivatives; k++ {
+		lists[k] = SearchDB(db, q, k)
+	}
+	return lists
+}

@@ -1,0 +1,193 @@
+// Package apps implements the application components of the paper's
+// evaluation: the direct and iterative linear solvers of §4.1, the DNA
+// database and list servers of §4.2, and the diffusion/gradient pipeline
+// kernels of §4.3, together with the compute-cost models the simulated
+// experiment harness charges for them.
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pardis/internal/rts"
+)
+
+// GenerateSystem builds a strictly diagonally dominant n x n system (so
+// Jacobi converges) with a known solution; it returns A (rows), b, and the
+// exact solution x. Deterministic in the seed.
+func GenerateSystem(n int, seed int64) (a [][]float64, b, x []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a = make([][]float64, n)
+	x = make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	for i := range a {
+		row := make([]float64, n)
+		sum := 0.0
+		for j := range row {
+			if j != i {
+				row[j] = rng.Float64()*2 - 1
+				sum += math.Abs(row[j])
+			}
+		}
+		row[i] = sum + 1 + rng.Float64()
+		a[i] = row
+	}
+	b = make([]float64, n)
+	for i, row := range a {
+		for j, v := range row {
+			b[i] += v * x[j]
+		}
+	}
+	return a, b, x
+}
+
+// GaussSolve solves Ax = b by Gaussian elimination with partial pivoting —
+// the §4.1 direct method. A and b are consumed (copied internally).
+func GaussSolve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("apps: bad system dimensions %dx? b=%d", n, len(b))
+	}
+	// Working copies.
+	m := make([][]float64, n)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("apps: row %d has %d columns, want %d", i, len(row), n)
+		}
+		m[i] = append([]float64(nil), row...)
+	}
+	rhs := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if m[piv][col] == 0 {
+			return nil, fmt.Errorf("apps: singular matrix at column %d", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		rhs[col], rhs[piv] = rhs[piv], rhs[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}
+
+// JacobiSolve solves Ax = b iteratively to the given tolerance (max-norm of
+// the update) — the §4.1 iterative method. The rows of A (and entries of b)
+// held by this thread are localRows starting at global row first; the
+// returned slice is this thread's portion of x, and iterations is the
+// count performed. Collective over comm (nil = sequential).
+func JacobiSolve(comm rts.Comm, first int, localA [][]float64, localB []float64, n int, tol float64, maxIter int) (localX []float64, iterations int, err error) {
+	rows := len(localA)
+	if len(localB) != rows {
+		return nil, 0, fmt.Errorf("apps: %d rows but %d rhs entries", rows, len(localB))
+	}
+	x := make([]float64, n) // full current iterate, replicated
+	next := make([]float64, rows)
+	for it := 1; it <= maxIter; it++ {
+		localDelta := 0.0
+		for i := 0; i < rows; i++ {
+			gi := first + i
+			row := localA[i]
+			s := localB[i]
+			for j, v := range row {
+				if j != gi {
+					s -= v * x[j]
+				}
+			}
+			if row[gi] == 0 {
+				return nil, it, fmt.Errorf("apps: zero diagonal at row %d", gi)
+			}
+			next[i] = s / row[gi]
+			if d := math.Abs(next[i] - x[gi]); d > localDelta {
+				localDelta = d
+			}
+		}
+		// Share updates: allgather the new local portions.
+		delta := localDelta
+		if comm != nil {
+			parts := rts.AllGather(comm, f64bytes(next))
+			off := 0
+			for _, p := range parts {
+				vals := bytesF64(p)
+				copy(x[off:off+len(vals)], vals)
+				off += len(vals)
+			}
+			// Global max of delta.
+			dparts := rts.AllGather(comm, f64bytes([]float64{localDelta}))
+			delta = 0
+			for _, p := range dparts {
+				if v := bytesF64(p)[0]; v > delta {
+					delta = v
+				}
+			}
+		} else {
+			copy(x[first:first+rows], next)
+		}
+		if delta < tol {
+			out := make([]float64, rows)
+			copy(out, x[first:first+rows])
+			return out, it, nil
+		}
+	}
+	out := make([]float64, rows)
+	copy(out, x[first:first+rows])
+	return out, maxIter, fmt.Errorf("apps: Jacobi did not converge in %d iterations", maxIter)
+}
+
+// MaxDiff reports the maximum absolute elementwise difference of two
+// vectors — the §4.1 client's agreement metric.
+func MaxDiff(a, b []float64) float64 {
+	d := 0.0
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func f64bytes(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		u := math.Float64bits(x)
+		for k := 0; k < 8; k++ {
+			b[8*i+k] = byte(u >> (8 * k))
+		}
+	}
+	return b
+}
+
+func bytesF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		var u uint64
+		for k := 0; k < 8; k++ {
+			u |= uint64(b[8*i+k]) << (8 * k)
+		}
+		out[i] = math.Float64frombits(u)
+	}
+	return out
+}

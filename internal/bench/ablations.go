@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"fmt"
+
+	"pardis/internal/apps"
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/poa"
+	"pardis/internal/rts"
+	"pardis/internal/typecode"
+	"pardis/internal/vtime"
+)
+
+// AblationPoint is one configuration's modeled time in seconds.
+type AblationPoint struct {
+	Label   string
+	Seconds float64
+}
+
+// scalerWorld builds the S-thread scale server + C-thread client world used
+// by several ablations and returns the client's invocation time for n
+// doubles each way.
+func scalerTransferTime(n, clientProcs, serverProcs int, funnel bool) float64 {
+	w := newWorld()
+	w.connect("onyx", "powerchallenge", "atm")
+
+	dv := typecode.DSequenceOf(typecode.TCDouble, 0, "BLOCK", "BLOCK")
+	iface := &core.InterfaceDef{
+		Name: "mover",
+		Ops: []core.Operation{{
+			Name: "move",
+			Params: []core.Param{
+				core.NewParam("x", core.In, dv),
+				core.NewParam("y", core.Out, dv),
+			},
+		}},
+	}
+	servant := poa.ServantFunc(func(ctx *poa.Context, op string, in []any) (any, []any, error) {
+		x := in[0].(dseq.Distributed)
+		y := dseq.NewByTC(ctx.Thread, x.DLayout(), typecode.TCDouble)
+		return nil, []any{y}, nil
+	})
+	iorCh := w.spmdServer("mover", "powerchallenge", serverProcs, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("mover-1", iface, servant)
+	})
+
+	var elapsed vtime.Time
+	w.spmdClient("client", "onyx", clientProcs, func(th rts.Thread, orb *core.ORB) {
+		st := th.(*rts.SimThread)
+		ior := recvIOR(th, iorCh)
+		b, err := orb.SPMDBind(ior, iface)
+		if err != nil {
+			panic(err)
+		}
+		x := dseq.New[float64](th, n, dist.BlockTemplate(), dseq.Float64Codec{})
+		y := dseq.New[float64](th, 0, dist.BlockTemplate(), dseq.Float64Codec{})
+		th.Barrier()
+		start := st.Proc().Now()
+		if funnel {
+			// Funnel: gather on client thread 0, ship as one stream,
+			// receive concentrated, scatter back — the extra hops the
+			// direct schedule avoids.
+			full := x.GatherTo(0)
+			fx := dseq.Scatter(th, 0, full, n, dist.CollapsedOn(0), dseq.Float64Codec{})
+			if err := b.SetOutDist("move", 1, dist.CollapsedOn(0)); err != nil {
+				panic(err)
+			}
+			vals, err := b.Invoke("move", []any{fx, y})
+			if err != nil {
+				panic(err)
+			}
+			got := vals[0].(dseq.Distributed).(*dseq.DSeq[float64])
+			got.RedistributeTo(dist.BlockTemplate().Layout(n, th.Size()))
+		} else {
+			if _, err := b.Invoke("move", []any{x, y}); err != nil {
+				panic(err)
+			}
+		}
+		th.Barrier()
+		if th.Rank() == 0 {
+			elapsed = st.Proc().Now() - start
+			if err := b.Shutdown("done"); err != nil {
+				panic(err)
+			}
+		}
+	})
+	w.run()
+	return elapsed.Seconds()
+}
+
+// AblationParallelTransfer compares the ORB's direct thread-to-thread
+// argument transfer against the funneled baseline (gather to client thread
+// 0, one stream, scatter on the server) — the optimization of [KG97].
+func AblationParallelTransfer(n int) []AblationPoint {
+	return []AblationPoint{
+		{"direct-parallel", scalerTransferTime(n, 4, 4, false)},
+		{"funneled", scalerTransferTime(n, 4, 4, true)},
+	}
+}
+
+// AblationLocalShortcut compares invoking a co-located object against the
+// same invocation across the ATM link — the paper's "invocation on a local
+// object becomes a direct call" effect, in modeled time.
+func AblationLocalShortcut(n int) []AblationPoint {
+	run := func(colocated bool) float64 {
+		w := newWorld()
+		w.connect("onyx", "powerchallenge", "atm")
+		clientHost := "onyx"
+		if colocated {
+			clientHost = "powerchallenge"
+		}
+		dv := typecode.DSequenceOf(typecode.TCDouble, 0, "BLOCK", "BLOCK")
+		iface := &core.InterfaceDef{
+			Name: "sink",
+			Ops: []core.Operation{{
+				Name:   "put",
+				Params: []core.Param{core.NewParam("x", core.In, dv)},
+			}},
+		}
+		servant := poa.ServantFunc(func(*poa.Context, string, []any) (any, []any, error) {
+			return nil, nil, nil
+		})
+		iorCh := w.spmdServer("sink", "powerchallenge", 2, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+			return adapter.RegisterSPMD("sink-1", iface, servant)
+		})
+		var elapsed vtime.Time
+		w.spmdClient("client", clientHost, 2, func(th rts.Thread, orb *core.ORB) {
+			st := th.(*rts.SimThread)
+			b, err := orb.SPMDBind(recvIOR(th, iorCh), iface)
+			if err != nil {
+				panic(err)
+			}
+			x := dseq.New[float64](th, n, dist.BlockTemplate(), dseq.Float64Codec{})
+			th.Barrier()
+			start := st.Proc().Now()
+			if _, err := b.Invoke("put", []any{x}); err != nil {
+				panic(err)
+			}
+			th.Barrier()
+			if th.Rank() == 0 {
+				elapsed = st.Proc().Now() - start
+				if err := b.Shutdown("done"); err != nil {
+					panic(err)
+				}
+			}
+		})
+		w.run()
+		return elapsed.Seconds()
+	}
+	return []AblationPoint{
+		{"co-located", run(true)},
+		{"remote-atm", run(false)},
+	}
+}
+
+// AblationNonBlocking compares the §4.1 interaction run with non-blocking
+// overlap against fully blocking sequential invocations.
+func AblationNonBlocking(n int) []AblationPoint {
+	overlap := runFig2(n, fig2Config{
+		mode:       "distributed",
+		directHost: "onyx", directProcs: 4,
+		iterHost: "powerchallenge", iterProcs: 10,
+		clientHost: "onyx", clientProcs: 2,
+	})
+	blocking := runFig2Blocking(n)
+	return []AblationPoint{
+		{"non-blocking-overlap", overlap},
+		{"blocking-sequential", blocking},
+	}
+}
+
+// runFig2Blocking is the distributed Figure 2 configuration with both
+// invocations blocking (no overlap).
+func runFig2Blocking(n int) float64 {
+	w := newWorld()
+	w.connect("onyx", "powerchallenge", "atm")
+	directIface, iterIface := solverIfaces()
+	dIOR := w.spmdServer("direct", "onyx", 4, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("direct-1", directIface, solverServant{work: apps.DirectSolveWork})
+	})
+	iIOR := w.spmdServer("iterative", "powerchallenge", 10, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("itrt-1", iterIface, solverServant{work: func(n int) float64 {
+			return apps.JacobiWork(n, apps.DefaultJacobiIters(n))
+		}})
+	})
+	var elapsed vtime.Time
+	w.spmdClient("client", "onyx", 2, func(th rts.Thread, orb *core.ORB) {
+		st := th.(*rts.SimThread)
+		dBind, err := orb.SPMDBind(recvIOR(th, dIOR), directIface)
+		if err != nil {
+			panic(err)
+		}
+		iBind, err := orb.SPMDBind(recvIOR(th, iIOR), iterIface)
+		if err != nil {
+			panic(err)
+		}
+		rowTC := typecode.SequenceOf(typecode.TCDouble, 0)
+		a := dseq.New[any](th, n, dist.BlockTemplate(), dseq.AnyCodec{TC: rowTC})
+		for i := range a.Local() {
+			a.Local()[i] = make([]float64, n)
+		}
+		b := dseq.New[float64](th, n, dist.BlockTemplate(), dseq.Float64Codec{})
+		x1 := dseq.New[float64](th, 0, dist.BlockTemplate(), dseq.Float64Codec{})
+		x2 := dseq.New[float64](th, 0, dist.BlockTemplate(), dseq.Float64Codec{})
+		th.Barrier()
+		start := st.Proc().Now()
+		if _, err := iBind.Invoke("solve", []any{1e-6, a, b, x1}); err != nil {
+			panic(err)
+		}
+		if _, err := dBind.Invoke("solve", []any{a, b, x2}); err != nil {
+			panic(err)
+		}
+		th.Barrier()
+		if th.Rank() == 0 {
+			elapsed = st.Proc().Now() - start
+			if err := dBind.Shutdown("done"); err != nil {
+				panic(err)
+			}
+			if err := iBind.Shutdown("done"); err != nil {
+				panic(err)
+			}
+		}
+	})
+	w.run()
+	return elapsed.Seconds()
+}
+
+// AblationOneway compares the Figure 5 pipeline's non-blocking (but
+// two-way) show/gradient traffic against a protocol-level oneway variant —
+// the paper's §4.3 observation that its invocations "were not oneway".
+func AblationOneway(p int) []AblationPoint {
+	twoWay := runFig5(p, fig5Config{sendToGradient: true, sendToViz: true, chargeCompute: true})
+	oneway := runFig5Oneway(p)
+	return []AblationPoint{
+		{fmt.Sprintf("non-blocking-p%d", p), twoWay},
+		{fmt.Sprintf("oneway-p%d", p), oneway},
+	}
+}
+
+// runFig5Oneway is runFig5 with the pipeline operations declared oneway.
+func runFig5Oneway(p int) float64 {
+	w := newWorld()
+	w.connect("powerchallenge", "sp2", "ethernet")
+	w.connect("sp2", "indy", "ethernet")
+	field := typecode.DSequenceOf(typecode.TCDouble, fig5Grid*fig5Grid, "BLOCK", "BLOCK")
+	onewayIface := func(name, op string) *core.InterfaceDef {
+		return &core.InterfaceDef{
+			Name: name,
+			Ops: []core.Operation{{
+				Name:   op,
+				Oneway: true,
+				Params: []core.Param{core.NewParam("myfield", core.In, field)},
+			}},
+		}
+	}
+	vizIface := onewayIface("visualizer", "show")
+	gradIface := onewayIface("field_operations", "gradient")
+
+	vizDiffIOR := w.spmdServer("viz-diff", "powerchallenge", 1, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("viz-diff", vizIface, vizServant{})
+	})
+	gradIOR := vtime.NewChan(w.sim, "grad-ior")
+	sp2 := w.tb.Host("sp2")
+	gg := rts.NewSimGroup(w.sim, sp2, p)
+	gg.Spawn("gradient", func(th rts.Thread) {
+		st := th.(*rts.SimThread)
+		router := core.NewRouter(w.fab.NewEndpoint(fmt.Sprintf("grad-%d", th.Rank()), st.Proc(), sp2))
+		adapter := poa.New(th, router, nil)
+		adapter.PollInterval = 2e-3
+		servant := poa.ServantFunc(func(ctx *poa.Context, op string, in []any) (any, []any, error) {
+			ctx.Thread.Compute(apps.PerThread(apps.GradientWork(fig5Grid*fig5Grid), ctx.Thread.Size()))
+			return nil, nil, nil
+		})
+		ior, err := adapter.RegisterSPMD("gradient-1", gradIface, servant)
+		if err != nil {
+			panic(err)
+		}
+		if th.Rank() == 0 {
+			st.Proc().Send(gradIOR, ior, 0)
+		}
+		adapter.ImplIsReady()
+	})
+
+	var elapsed vtime.Time
+	w.spmdClient("diffusion", "powerchallenge", p, func(th rts.Thread, orb *core.ORB) {
+		st := th.(*rts.SimThread)
+		viz, err := orb.SPMDBind(recvIOR(th, vizDiffIOR), vizIface)
+		if err != nil {
+			panic(err)
+		}
+		grad, err := orb.SPMDBind(recvIOR(th, gradIOR), gradIface)
+		if err != nil {
+			panic(err)
+		}
+		f := dseq.New[float64](th, fig5Grid*fig5Grid, dist.BlockTemplate(), dseq.Float64Codec{})
+		th.Barrier()
+		start := st.Proc().Now()
+		for step := 1; step <= fig5Steps; step++ {
+			th.Compute(apps.PerThread(apps.DiffusionStepWork(fig5Grid*fig5Grid), th.Size()))
+			if _, err := viz.InvokeNB("show", []any{f}); err != nil {
+				panic(err)
+			}
+			if step%fig5Every == 0 {
+				if _, err := grad.InvokeNB("gradient", []any{f}); err != nil {
+					panic(err)
+				}
+			}
+		}
+		// Oneway: nothing to wait for; the client's time is pure
+		// compute + send occupancy.
+		th.Barrier()
+		if th.Rank() == 0 {
+			elapsed = st.Proc().Now() - start
+			if err := grad.Shutdown("done"); err != nil {
+				panic(err)
+			}
+			if err := viz.Shutdown("done"); err != nil {
+				panic(err)
+			}
+		}
+	})
+	w.run()
+	return elapsed.Seconds()
+}
+
+// AblationRedistribution measures redistribution costs between templates on
+// an 8-thread host, per element count.
+func AblationRedistribution(n int) []AblationPoint {
+	run := func(from, to dist.Template, label string) AblationPoint {
+		w := newWorld()
+		host := w.tb.Host("powerchallenge")
+		g := rts.NewSimGroup(w.sim, host, 8)
+		var elapsed vtime.Time
+		g.Spawn("redist", func(th rts.Thread) {
+			st := th.(*rts.SimThread)
+			s := dseq.New[float64](th, n, from, dseq.Float64Codec{})
+			th.Barrier()
+			start := st.Proc().Now()
+			s.Redistribute(to)
+			th.Barrier()
+			if th.Rank() == 0 {
+				elapsed = st.Proc().Now() - start
+			}
+		})
+		w.run()
+		return AblationPoint{label, elapsed.Seconds()}
+	}
+	return []AblationPoint{
+		run(dist.BlockTemplate(), dist.BlockTemplate(), "block->block (no-op)"),
+		run(dist.BlockTemplate(), dist.CyclicTemplate(), "block->cyclic"),
+		run(dist.BlockTemplate(), dist.CollapsedOn(0), "block->collapsed"),
+		run(dist.CollapsedOn(0), dist.BlockTemplate(), "collapsed->block"),
+		run(dist.BlockTemplate(), dist.Proportions(8, 4, 2, 1, 1, 2, 4, 8), "block->weighted"),
+	}
+}

@@ -1,0 +1,107 @@
+// Package bench regenerates the measurements of the paper's evaluation
+// section on the simulated testbed: Figure 2 (distributed vs. local solver
+// execution), Figure 4 (centralized vs. distributed single objects on a
+// parallel server) and Figure 5 (the POOMA/PSTL pipeline), plus ablation
+// experiments for the design choices DESIGN.md calls out.
+//
+// Every experiment runs the full PARDIS stack — IDL-defined operation
+// tables, the ORB's request protocol, distributed argument segments, POA
+// dispatch — on the vtime virtual clock over the simnet machine models, so
+// results are deterministic functions of the model. Absolute numbers are
+// therefore comparable in *shape* (who wins, by what factor, where curves
+// cross), not in microseconds, with the 1997 testbed.
+package bench
+
+import (
+	"fmt"
+
+	"pardis/internal/core"
+	"pardis/internal/nexus"
+	"pardis/internal/poa"
+	"pardis/internal/rts"
+	"pardis/internal/simnet"
+	"pardis/internal/vtime"
+)
+
+// world is one simulated deployment under construction.
+type world struct {
+	sim *vtime.Sim
+	fab *nexus.SimFabric
+	tb  *simnet.Testbed
+}
+
+func newWorld() *world {
+	sim := vtime.NewSim()
+	w := &world{sim: sim, fab: nexus.NewSimFabric(sim), tb: simnet.PaperTestbed()}
+	return w
+}
+
+// connect routes two hosts over a named testbed link.
+func (w *world) connect(hostA, hostB, link string) {
+	w.fab.Connect(hostA, hostB, w.tb.Link(link))
+}
+
+// spmdServer launches an SPMD server program of p threads on host; setup
+// runs on every thread after POA creation and returns the servant
+// registrations it performed. Thread 0's setup result IOR is delivered on
+// the returned channel once all threads are polling.
+type serverSetup func(th rts.Thread, adapter *poa.POA) (core.IOR, error)
+
+func (w *world) spmdServer(name, host string, p int, setup serverSetup) *vtime.Chan {
+	iorCh := vtime.NewChan(w.sim, name+"-ior")
+	h := w.tb.Host(host)
+	g := rts.NewSimGroup(w.sim, h, p)
+	g.Spawn(name, func(th rts.Thread) {
+		st := th.(*rts.SimThread)
+		router := core.NewRouter(w.fab.NewEndpoint(fmt.Sprintf("%s-%d", name, th.Rank()), st.Proc(), h))
+		adapter := poa.New(th, router, nil)
+		adapter.PollInterval = 2e-3
+		ior, err := setup(th, adapter)
+		if err != nil {
+			panic(fmt.Sprintf("%s: %v", name, err))
+		}
+		if th.Rank() == 0 {
+			st.Proc().Send(iorCh, ior, 0)
+		}
+		adapter.ImplIsReady()
+	})
+	return iorCh
+}
+
+// spmdClient launches a parallel client program; body runs on each thread
+// with its ORB.
+func (w *world) spmdClient(name, host string, p int, body func(th rts.Thread, orb *core.ORB)) {
+	h := w.tb.Host(host)
+	g := rts.NewSimGroup(w.sim, h, p)
+	g.Spawn(name, func(th rts.Thread) {
+		st := th.(*rts.SimThread)
+		router := core.NewRouter(w.fab.NewEndpoint(fmt.Sprintf("%s-%d", name, th.Rank()), st.Proc(), h))
+		orb := core.NewORB(router, th, nil)
+		body(th, orb)
+	})
+}
+
+// run executes the simulation, returning the final virtual time.
+func (w *world) run() vtime.Time {
+	final, err := w.sim.Run()
+	if err != nil {
+		panic("bench: simulation failed: " + err.Error())
+	}
+	return final
+}
+
+// recvIOR receives an IOR published by spmdServer from a client thread,
+// putting it back for sibling threads (the channel acts as a bulletin
+// board).
+func recvIOR(th rts.Thread, ch *vtime.Chan) core.IOR {
+	st := th.(*rts.SimThread)
+	v := st.Proc().Recv(ch)
+	st.Proc().Send(ch, v, 0)
+	return v.(core.IOR)
+}
+
+// newAsyncEP builds a communication-thread-backed endpoint for a simulated
+// computing thread (the §6 future-work transport).
+func newAsyncEP(w *world, name string, st *rts.SimThread, host string) nexus.Endpoint {
+	return nexus.NewAsyncSimEndpoint(w.fab, name, st.Proc(), w.tb.Host(host))
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+
+	"pardis/internal/apps"
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/future"
+	"pardis/internal/poa"
+	"pardis/internal/rts"
+	"pardis/internal/vtime"
+)
+
+// AblationCommThreads implements the experiment the paper's §6 proposes as
+// future work: "using communication threads (additional to the computing
+// threads) as sending and receiving processes between parallel applications
+// ... might alleviate such problems as pipeline congestion". It reruns the
+// Figure 5 pipeline with the computing threads' sends delegated to
+// dedicated communication processes, so a non-blocking invocation no longer
+// occupies the sender for the frame's wire time.
+func AblationCommThreads(p int) []AblationPoint {
+	single := runFig5(p, fig5Config{sendToGradient: true, sendToViz: true, chargeCompute: true})
+	multi := runFig5CommThreads(p)
+	return []AblationPoint{
+		{fmt.Sprintf("single-threaded-p%d", p), single},
+		{fmt.Sprintf("comm-threads-p%d", p), multi},
+	}
+}
+
+// runFig5CommThreads is runFig5 with async (communication-thread) endpoints
+// on the diffusion client and the gradient server.
+func runFig5CommThreads(p int) float64 {
+	w := newWorld()
+	w.connect("powerchallenge", "sp2", "ethernet")
+	w.connect("sp2", "indy", "ethernet")
+
+	vizIface, gradIface := pipelineIfaces()
+	vizDiffIOR := w.spmdServer("viz-diff", "powerchallenge", 1, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("viz-diff", vizIface, vizServant{})
+	})
+	vizGradIOR := w.spmdServer("viz-grad", "indy", 1, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("viz-grad", vizIface, vizServant{})
+	})
+
+	gradIOR := vtime.NewChan(w.sim, "grad-ior")
+	sp2 := w.tb.Host("sp2")
+	gg := rts.NewSimGroup(w.sim, sp2, p)
+	gg.Spawn("gradient", func(th rts.Thread) {
+		st := th.(*rts.SimThread)
+		// The gradient server's sends (out-segments, replies, and its
+		// visualizer traffic) go through a communication process.
+		ep := newAsyncEP(w, fmt.Sprintf("grad-%d", th.Rank()), st, "sp2")
+		router := core.NewRouter(ep)
+		orb := core.NewORB(router, th, nil)
+		adapter := poa.New(th, router, nil)
+		adapter.PollInterval = 2e-3
+		impl := &gradServant{vizIORCh: vizGradIOR, vizIface: vizIface, orb: orb}
+		ior, err := adapter.RegisterSPMD("gradient-1", gradIface, impl)
+		if err != nil {
+			panic(err)
+		}
+		if th.Rank() == 0 {
+			st.Proc().Send(gradIOR, ior, 0)
+		}
+		adapter.ImplIsReady()
+		if impl.viz == nil {
+			ref := recvIOR(th, vizGradIOR)
+			b, err := orb.SPMDBind(ref, vizIface)
+			if err != nil {
+				panic(err)
+			}
+			impl.viz = b
+		}
+		if th.Rank() == 0 {
+			if err := impl.viz.Shutdown("done"); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	var elapsed vtime.Time
+	host := w.tb.Host("powerchallenge")
+	cg := rts.NewSimGroup(w.sim, host, p)
+	cg.Spawn("diffusion", func(th rts.Thread) {
+		st := th.(*rts.SimThread)
+		ep := newAsyncEP(w, fmt.Sprintf("diffusion-%d", th.Rank()), st, "powerchallenge")
+		orb := core.NewORB(core.NewRouter(ep), th, nil)
+		viz, err := orb.SPMDBind(recvIOR(th, vizDiffIOR), vizIface)
+		if err != nil {
+			panic(err)
+		}
+		grad, err := orb.SPMDBind(recvIOR(th, gradIOR), gradIface)
+		if err != nil {
+			panic(err)
+		}
+		field := dseq.New[float64](th, fig5Grid*fig5Grid, dist.BlockTemplate(), dseq.Float64Codec{})
+		th.Barrier()
+		start := st.Proc().Now()
+		var pending []*future.Cell
+		for step := 1; step <= fig5Steps; step++ {
+			th.Compute(apps.PerThread(apps.DiffusionStepWork(fig5Grid*fig5Grid), th.Size()))
+			c, err := viz.InvokeNB("show", []any{field})
+			if err != nil {
+				panic(err)
+			}
+			pending = append(pending, c)
+			if step%fig5Every == 0 {
+				c, err := grad.InvokeNB("gradient", []any{field})
+				if err != nil {
+					panic(err)
+				}
+				pending = append(pending, c)
+			}
+		}
+		for _, c := range pending {
+			if err := c.Wait(); err != nil {
+				panic(err)
+			}
+		}
+		th.Barrier()
+		if th.Rank() == 0 {
+			elapsed = st.Proc().Now() - start
+			if err := grad.Shutdown("done"); err != nil {
+				panic(err)
+			}
+			if err := viz.Shutdown("done"); err != nil {
+				panic(err)
+			}
+		}
+	})
+	w.run()
+	return elapsed.Seconds()
+}

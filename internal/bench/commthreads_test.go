@@ -1,0 +1,14 @@
+package bench
+
+import "testing"
+
+func TestCommThreadsAblation(t *testing.T) {
+	for _, p := range []int{4, 8} {
+		pts := AblationCommThreads(p)
+		t.Logf("%+v", pts)
+		if pts[1].Seconds >= pts[0].Seconds {
+			t.Errorf("p=%d: communication threads did not help (%.2f vs %.2f)",
+				p, pts[1].Seconds, pts[0].Seconds)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+
+	"pardis/internal/apps"
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/poa"
+	"pardis/internal/rts"
+	"pardis/internal/typecode"
+	"pardis/internal/vtime"
+)
+
+// Fig2Point is one problem size of Figure 2: execution times (seconds) of
+// the two solver components and of the metaapplication in distributed and
+// single-server mode.
+type Fig2Point struct {
+	N           int
+	Direct      float64 // direct method alone on HOST 1
+	Iterative   float64 // iterative method alone on HOST 2
+	Distributed float64 // different servers, concurrent invocation
+	SameServer  float64 // both servers sharing HOST 1
+}
+
+// Fig2Sizes are the paper's problem sizes (200..1200).
+var Fig2Sizes = []int{200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200}
+
+// solver typecodes: matrix is a dsequence of dynamically-sized rows, the
+// vectors are dsequences of double (paper §4.1 IDL).
+func solverIfaces() (direct, iterative *core.InterfaceDef) {
+	row := typecode.SequenceOf(typecode.TCDouble, 0)
+	matrix := typecode.DSequenceOf(row, 0, "BLOCK", "BLOCK")
+	vector := typecode.DSequenceOf(typecode.TCDouble, 0, "BLOCK", "BLOCK")
+	direct = &core.InterfaceDef{
+		Name: "direct",
+		Ops: []core.Operation{{
+			Name: "solve",
+			Params: []core.Param{
+				core.NewParam("A", core.In, matrix),
+				core.NewParam("B", core.In, vector),
+				core.NewParam("X", core.Out, vector),
+			},
+		}},
+	}
+	iterative = &core.InterfaceDef{
+		Name: "iterative",
+		Ops: []core.Operation{{
+			Name: "solve",
+			Params: []core.Param{
+				core.NewParam("tol", core.In, typecode.TCDouble),
+				core.NewParam("A", core.In, matrix),
+				core.NewParam("B", core.In, vector),
+				core.NewParam("X", core.Out, vector),
+			},
+		}},
+	}
+	return direct, iterative
+}
+
+// solverServant charges the cost model and produces the result holder; the
+// real numerics live in internal/apps and are exercised by the runnable
+// example — here the simulated clock is the measurement.
+type solverServant struct {
+	work func(n int) float64 // total reference-seconds for size n
+}
+
+func (s solverServant) Invoke(ctx *poa.Context, op string, in []any) (any, []any, error) {
+	if op != "solve" {
+		return nil, nil, fmt.Errorf("no operation %s", op)
+	}
+	// A is the first dsequence argument (index differs between ifaces).
+	var a dseq.Distributed
+	for _, v := range in {
+		if d, ok := v.(dseq.Distributed); ok {
+			a = d
+			break
+		}
+	}
+	n := a.GlobalLen()
+	th := ctx.Thread
+	th.Compute(apps.PerThread(s.work(n), th.Size()))
+	x := dseq.NewFromLayout[float64](th, dist.BlockTemplate().Layout(n, th.Size()), dseq.Float64Codec{})
+	return nil, []any{x}, nil
+}
+
+// fig2Config places the two solver servers.
+type fig2Config struct {
+	directHost, iterHost     string
+	directProcs, iterProcs   int
+	clientHost               string
+	clientProcs              int
+	skipDirect, skipIterComp bool // run only one component (component curves)
+	mode                     string
+}
+
+// runFig2 runs one Figure 2 configuration for problem size n and returns
+// the client-perceived execution time in seconds.
+func runFig2(n int, cfg fig2Config) float64 {
+	w := newWorld()
+	w.connect("onyx", "powerchallenge", "atm")
+
+	directIface, iterIface := solverIfaces()
+	dIOR := w.spmdServer("direct", cfg.directHost, cfg.directProcs, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("direct-1", directIface, solverServant{work: apps.DirectSolveWork})
+	})
+	iIOR := w.spmdServer("iterative", cfg.iterHost, cfg.iterProcs, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("itrt-1", iterIface, solverServant{work: func(n int) float64 {
+			return apps.JacobiWork(n, apps.DefaultJacobiIters(n))
+		}})
+	})
+
+	var elapsed vtime.Time
+	w.spmdClient("client", cfg.clientHost, cfg.clientProcs, func(th rts.Thread, orb *core.ORB) {
+		st := th.(*rts.SimThread)
+		dRef := recvIOR(th, dIOR)
+		iRef := recvIOR(th, iIOR)
+		dBind, err := orb.SPMDBind(dRef, directIface)
+		if err != nil {
+			panic(err)
+		}
+		iBind, err := orb.SPMDBind(iRef, iterIface)
+		if err != nil {
+			panic(err)
+		}
+
+		// Build the system: a dsequence of dynamically-sized rows plus
+		// the right-hand side, block-distributed over the client threads.
+		rowTC := typecode.SequenceOf(typecode.TCDouble, 0)
+		a := dseq.New[any](th, n, dist.BlockTemplate(), dseq.AnyCodec{TC: rowTC})
+		for i := range a.Local() {
+			a.Local()[i] = make([]float64, n)
+		}
+		b := dseq.New[float64](th, n, dist.BlockTemplate(), dseq.Float64Codec{})
+		x1 := dseq.New[float64](th, 0, dist.BlockTemplate(), dseq.Float64Codec{})
+		x2 := dseq.New[float64](th, 0, dist.BlockTemplate(), dseq.Float64Codec{})
+
+		th.Barrier()
+		start := st.Proc().Now()
+
+		// The paper's listing: non-blocking solve on the iterative
+		// server overlapped with a blocking solve on the direct server,
+		// then the future is read.
+		var cell interface{ Wait() error }
+		if !cfg.skipIterComp {
+			c, err := iBind.InvokeNB("solve", []any{1e-6, a, b, x1})
+			if err != nil {
+				panic(err)
+			}
+			cell = c
+		}
+		if !cfg.skipDirect {
+			if _, err := dBind.Invoke("solve", []any{a, b, x2}); err != nil {
+				panic(err)
+			}
+		}
+		if cell != nil {
+			if err := cell.Wait(); err != nil {
+				panic(err)
+			}
+		}
+		// compute_difference over the local portions.
+		th.Compute(apps.PerThread(float64(n)*1e-6, th.Size()))
+		th.Barrier()
+		if th.Rank() == 0 {
+			elapsed = st.Proc().Now() - start
+			if err := dBind.Shutdown("done"); err != nil {
+				panic(err)
+			}
+			if err := iBind.Shutdown("done"); err != nil {
+				panic(err)
+			}
+		}
+	})
+	w.run()
+	return elapsed.Seconds()
+}
+
+// Figure2 regenerates the paper's Figure 2 series for the given sizes.
+//
+// Modes:
+//   - Direct: only the direct solve, HOST 1 (4 nodes) — component curve.
+//   - Iterative: only the iterative solve, HOST 2 (10 nodes) — component.
+//   - Distributed: direct on HOST 1, iterative on HOST 2, concurrent.
+//   - SameServer: both servers share HOST 1's four nodes (two each).
+func Figure2(sizes []int) []Fig2Point {
+	var out []Fig2Point
+	for _, n := range sizes {
+		p := Fig2Point{N: n}
+		p.Direct = runFig2(n, fig2Config{
+			mode:       "direct-only",
+			directHost: "onyx", directProcs: 4,
+			iterHost: "powerchallenge", iterProcs: 10,
+			clientHost: "onyx", clientProcs: 2,
+			skipIterComp: true,
+		})
+		p.Iterative = runFig2(n, fig2Config{
+			mode:       "iterative-only",
+			directHost: "onyx", directProcs: 4,
+			iterHost: "powerchallenge", iterProcs: 10,
+			clientHost: "onyx", clientProcs: 2,
+			skipDirect: true,
+		})
+		p.Distributed = runFig2(n, fig2Config{
+			mode:       "distributed",
+			directHost: "onyx", directProcs: 4,
+			iterHost: "powerchallenge", iterProcs: 10,
+			clientHost: "onyx", clientProcs: 2,
+		})
+		p.SameServer = runFig2(n, fig2Config{
+			mode:       "same-server",
+			directHost: "onyx", directProcs: 2,
+			iterHost: "onyx", iterProcs: 2,
+			clientHost: "onyx", clientProcs: 2,
+		})
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"fmt"
+
+	"pardis/internal/apps"
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/future"
+	"pardis/internal/poa"
+	"pardis/internal/rts"
+	"pardis/internal/typecode"
+	"pardis/internal/vtime"
+)
+
+// Fig5Point is one processor count of Figure 5: the metaapplication's
+// overall time and the component times (seconds).
+type Fig5Point struct {
+	Procs     int
+	Overall   float64
+	Diffusion float64 // diffusion component alone (compute + local viz)
+	Gradient  float64 // gradient component alone (compute + its viz sends)
+}
+
+// Fig5Procs is the paper's sweep (diffusion and gradient processor counts
+// move together).
+var Fig5Procs = []int{1, 2, 4, 8}
+
+// Fig5 parameters: the paper's 128x128 grid, 100 time-steps, gradient
+// requested every 5th step.
+const (
+	fig5Grid  = 128
+	fig5Steps = 100
+	fig5Every = 5
+)
+
+func pipelineIfaces() (viz, gradOps *core.InterfaceDef) {
+	field := typecode.DSequenceOf(typecode.TCDouble, fig5Grid*fig5Grid, "BLOCK", "BLOCK")
+	viz = &core.InterfaceDef{
+		Name: "visualizer",
+		Ops: []core.Operation{{
+			Name:   "show",
+			Params: []core.Param{core.NewParam("myfield", core.In, field)},
+		}},
+	}
+	gradOps = &core.InterfaceDef{
+		Name: "field_operations",
+		Ops: []core.Operation{{
+			Name:   "gradient",
+			Params: []core.Param{core.NewParam("myfield", core.In, field)},
+		}},
+	}
+	return viz, gradOps
+}
+
+// vizServant consumes frames at a fixed per-frame cost.
+type vizServant struct{}
+
+func (vizServant) Invoke(ctx *poa.Context, op string, in []any) (any, []any, error) {
+	if op != "show" {
+		return nil, nil, fmt.Errorf("no operation %s", op)
+	}
+	ctx.Thread.Compute(apps.VizWork)
+	return nil, nil, nil
+}
+
+// gradServant charges the gradient cost and pipelines the result to its
+// own visualizer — the server-as-client role of §4.3.
+type gradServant struct {
+	vizIORCh *vtime.Chan
+	vizIface *core.InterfaceDef
+	orb      *core.ORB
+	viz      *core.Binding
+	lastShow *future.Cell
+}
+
+func (g *gradServant) Invoke(ctx *poa.Context, op string, in []any) (any, []any, error) {
+	if op != "gradient" {
+		return nil, nil, fmt.Errorf("no operation %s", op)
+	}
+	th := ctx.Thread
+	if g.viz == nil {
+		ior := recvIOR(th, g.vizIORCh)
+		b, err := g.orb.SPMDBind(ior, g.vizIface)
+		if err != nil {
+			return nil, nil, err
+		}
+		g.viz = b
+	}
+	in0 := in[0].(dseq.Distributed)
+	th.Compute(apps.PerThread(apps.GradientWork(fig5Grid*fig5Grid), th.Size()))
+	out := dseq.NewFromLayout[float64](th, in0.DLayout(), dseq.Float64Codec{})
+	cell, err := g.viz.InvokeNB("show", []any{out})
+	if err != nil {
+		return nil, nil, err
+	}
+	g.lastShow = cell
+	return nil, nil, nil
+}
+
+// fig5Config selects which parts of the metaapplication run.
+type fig5Config struct {
+	sendToGradient bool // pipeline every 5th step to the gradient server
+	sendToViz      bool // pipeline every step to the diffusion visualizer
+	chargeCompute  bool // charge the diffusion stencil cost
+}
+
+// runFig5 runs the pipeline with p diffusion threads and p gradient
+// threads and returns the diffusion client's elapsed time in seconds.
+func runFig5(p int, cfg fig5Config) float64 {
+	w := newWorld()
+	w.connect("powerchallenge", "sp2", "ethernet")
+	w.connect("sp2", "indy", "ethernet")
+
+	vizIface, gradIface := pipelineIfaces()
+
+	// Visualizer for the diffusion unit: a sequential process on the same
+	// SGI PC (loopback); for the gradient: on the SGI Indy over Ethernet.
+	vizDiffIOR := w.spmdServer("viz-diff", "powerchallenge", 1, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("viz-diff", vizIface, vizServant{})
+	})
+	vizGradIOR := w.spmdServer("viz-grad", "indy", 1, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("viz-grad", vizIface, vizServant{})
+	})
+
+	// The gradient server: SPMD on the SP/2, also a client of its
+	// visualizer (same endpoint, shared through the router).
+	gradIOR := vtime.NewChan(w.sim, "grad-ior")
+	sp2 := w.tb.Host("sp2")
+	gg := rts.NewSimGroup(w.sim, sp2, p)
+	gg.Spawn("gradient", func(th rts.Thread) {
+		st := th.(*rts.SimThread)
+		router := core.NewRouter(w.fab.NewEndpoint(fmt.Sprintf("grad-%d", th.Rank()), st.Proc(), sp2))
+		orb := core.NewORB(router, th, nil)
+		adapter := poa.New(th, router, nil)
+		adapter.PollInterval = 2e-3
+		impl := &gradServant{vizIORCh: vizGradIOR, vizIface: vizIface, orb: orb}
+		ior, err := adapter.RegisterSPMD("gradient-1", gradIface, impl)
+		if err != nil {
+			panic(err)
+		}
+		if th.Rank() == 0 {
+			st.Proc().Send(gradIOR, ior, 0)
+		}
+		adapter.ImplIsReady()
+		// Deactivation is collective, so every thread leaves together;
+		// the gradient component then retires its own visualizer.
+		if impl.viz == nil {
+			ref := recvIOR(th, vizGradIOR)
+			b, err := orb.SPMDBind(ref, vizIface)
+			if err != nil {
+				panic(err)
+			}
+			impl.viz = b
+		}
+		if th.Rank() == 0 {
+			if err := impl.viz.Shutdown("done"); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	// The diffusion unit: a POOMA-style parallel client on the SGI PC.
+	var elapsed vtime.Time
+	w.spmdClient("diffusion", "powerchallenge", p, func(th rts.Thread, orb *core.ORB) {
+		st := th.(*rts.SimThread)
+		vizRef := recvIOR(th, vizDiffIOR)
+		gradRef := recvIOR(th, gradIOR)
+		viz, err := orb.SPMDBind(vizRef, vizIface)
+		if err != nil {
+			panic(err)
+		}
+		grad, err := orb.SPMDBind(gradRef, gradIface)
+		if err != nil {
+			panic(err)
+		}
+		field := dseq.New[float64](th, fig5Grid*fig5Grid, dist.BlockTemplate(), dseq.Float64Codec{})
+
+		th.Barrier()
+		start := st.Proc().Now()
+		var pending []*future.Cell
+		for step := 1; step <= fig5Steps; step++ {
+			if cfg.chargeCompute {
+				th.Compute(apps.PerThread(apps.DiffusionStepWork(fig5Grid*fig5Grid), th.Size()))
+			}
+			if cfg.sendToViz {
+				c, err := viz.InvokeNB("show", []any{field})
+				if err != nil {
+					panic(err)
+				}
+				pending = append(pending, c)
+			}
+			if cfg.sendToGradient && step%fig5Every == 0 {
+				c, err := grad.InvokeNB("gradient", []any{field})
+				if err != nil {
+					panic(err)
+				}
+				pending = append(pending, c)
+			}
+		}
+		for _, c := range pending {
+			if err := c.Wait(); err != nil {
+				panic(err)
+			}
+		}
+		th.Barrier()
+		if th.Rank() == 0 {
+			elapsed = st.Proc().Now() - start
+			if err := grad.Shutdown("done"); err != nil {
+				panic(err)
+			}
+			if err := viz.Shutdown("done"); err != nil {
+				panic(err)
+			}
+		}
+	})
+	w.run()
+	return elapsed.Seconds()
+}
+
+// gradientComponentTime models the gradient component on its own: its
+// compute plus its visualizer traffic, without the diffusion driver.
+func gradientComponentTime(p int) float64 {
+	requests := fig5Steps / fig5Every
+	w := w5StandaloneGradient(p, requests)
+	return w
+}
+
+// w5StandaloneGradient measures the gradient server handling `requests`
+// back-to-back invocations from a minimal driver that doesn't compute.
+func w5StandaloneGradient(p, requests int) float64 {
+	w := newWorld()
+	w.connect("powerchallenge", "sp2", "ethernet")
+	w.connect("sp2", "indy", "ethernet")
+	vizIface, gradIface := pipelineIfaces()
+	vizGradIOR := w.spmdServer("viz-grad", "indy", 1, func(th rts.Thread, adapter *poa.POA) (core.IOR, error) {
+		return adapter.RegisterSPMD("viz-grad", vizIface, vizServant{})
+	})
+	gradIOR := vtime.NewChan(w.sim, "grad-ior")
+	sp2 := w.tb.Host("sp2")
+	gg := rts.NewSimGroup(w.sim, sp2, p)
+	gg.Spawn("gradient", func(th rts.Thread) {
+		st := th.(*rts.SimThread)
+		router := core.NewRouter(w.fab.NewEndpoint(fmt.Sprintf("grad-%d", th.Rank()), st.Proc(), sp2))
+		orb := core.NewORB(router, th, nil)
+		adapter := poa.New(th, router, nil)
+		adapter.PollInterval = 2e-3
+		impl := &gradServant{vizIORCh: vizGradIOR, vizIface: vizIface, orb: orb}
+		ior, err := adapter.RegisterSPMD("gradient-1", gradIface, impl)
+		if err != nil {
+			panic(err)
+		}
+		if th.Rank() == 0 {
+			st.Proc().Send(gradIOR, ior, 0)
+		}
+		adapter.ImplIsReady()
+		if impl.viz == nil {
+			ref := recvIOR(th, vizGradIOR)
+			b, err := orb.SPMDBind(ref, vizIface)
+			if err != nil {
+				panic(err)
+			}
+			impl.viz = b
+		}
+		if th.Rank() == 0 {
+			if err := impl.viz.Shutdown("done"); err != nil {
+				panic(err)
+			}
+		}
+	})
+	var elapsed vtime.Time
+	w.spmdClient("driver", "powerchallenge", 1, func(th rts.Thread, orb *core.ORB) {
+		st := th.(*rts.SimThread)
+		ref := recvIOR(th, gradIOR)
+		grad, err := orb.SPMDBind(ref, gradIface)
+		if err != nil {
+			panic(err)
+		}
+		field := dseq.New[float64](th, fig5Grid*fig5Grid, dist.BlockTemplate(), dseq.Float64Codec{})
+		start := st.Proc().Now()
+		for r := 0; r < requests; r++ {
+			if _, err := grad.Invoke("gradient", []any{field}); err != nil {
+				panic(err)
+			}
+		}
+		elapsed = st.Proc().Now() - start
+		if err := grad.Shutdown("done"); err != nil {
+			panic(err)
+		}
+	})
+	w.run()
+	return elapsed.Seconds()
+}
+
+// Figure5 regenerates the paper's Figure 5: the pipelined metaapplication's
+// overall time against its components' standalone times, as the processor
+// count of both parallel components grows.
+func Figure5(procs []int) []Fig5Point {
+	var out []Fig5Point
+	for _, p := range procs {
+		pt := Fig5Point{Procs: p}
+		pt.Overall = runFig5(p, fig5Config{sendToGradient: true, sendToViz: true, chargeCompute: true})
+		// Diffusion component alone: compute + its local visualizer.
+		pt.Diffusion = runFig5(p, fig5Config{sendToViz: true, chargeCompute: true})
+		pt.Gradient = gradientComponentTime(p)
+		out = append(out, pt)
+	}
+	return out
+}

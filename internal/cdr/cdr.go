@@ -1,0 +1,314 @@
+// Package cdr implements a Common Data Representation-style binary
+// encoding, the marshaling format PARDIS inherits from CORBA.
+//
+// Like GIOP's CDR, every primitive is naturally aligned (a value of size n
+// starts at an offset that is a multiple of n, relative to the start of the
+// stream) and multi-byte values use a fixed byte order (big-endian here;
+// real CDR negotiates, which only matters between heterogeneous peers).
+// Strings carry a length prefix and a NUL terminator; sequences carry an
+// element-count prefix. The same routines serve both network transport and
+// transfers within the communication domain of a parallel program — the
+// property the paper calls out for dynamically-sized nested types.
+package cdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated is reported when a decoder runs out of bytes.
+var ErrTruncated = errors.New("cdr: truncated stream")
+
+// Encoder builds a CDR stream. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with capacity preallocated.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded stream. The slice aliases the encoder's buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current stream length.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset empties the encoder, retaining the buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) align(n int) {
+	for len(e.buf)%n != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutBool encodes a boolean as one octet (0 or 1).
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// PutOctet encodes a raw byte.
+func (e *Encoder) PutOctet(v byte) { e.buf = append(e.buf, v) }
+
+// PutChar encodes an IDL char (one octet).
+func (e *Encoder) PutChar(v byte) { e.buf = append(e.buf, v) }
+
+// PutShort encodes a 16-bit signed integer.
+func (e *Encoder) PutShort(v int16) { e.PutUShort(uint16(v)) }
+
+// PutUShort encodes a 16-bit unsigned integer.
+func (e *Encoder) PutUShort(v uint16) {
+	e.align(2)
+	e.buf = binary.BigEndian.AppendUint16(e.buf, v)
+}
+
+// PutLong encodes a 32-bit signed integer (IDL long).
+func (e *Encoder) PutLong(v int32) { e.PutULong(uint32(v)) }
+
+// PutULong encodes a 32-bit unsigned integer.
+func (e *Encoder) PutULong(v uint32) {
+	e.align(4)
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// PutLongLong encodes a 64-bit signed integer.
+func (e *Encoder) PutLongLong(v int64) { e.PutULongLong(uint64(v)) }
+
+// PutULongLong encodes a 64-bit unsigned integer.
+func (e *Encoder) PutULongLong(v uint64) {
+	e.align(8)
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// PutFloat encodes a 32-bit IEEE float.
+func (e *Encoder) PutFloat(v float32) { e.PutULong(math.Float32bits(v)) }
+
+// PutDouble encodes a 64-bit IEEE double.
+func (e *Encoder) PutDouble(v float64) { e.PutULongLong(math.Float64bits(v)) }
+
+// PutString encodes a string: ulong length (including the terminating NUL),
+// the bytes, then a NUL — CDR's wire format.
+func (e *Encoder) PutString(s string) {
+	e.PutULong(uint32(len(s) + 1))
+	e.buf = append(e.buf, s...)
+	e.buf = append(e.buf, 0)
+}
+
+// PutSeqLen encodes a sequence's element count.
+func (e *Encoder) PutSeqLen(n int) { e.PutULong(uint32(n)) }
+
+// PutOctets encodes a length-prefixed octet sequence.
+func (e *Encoder) PutOctets(b []byte) {
+	e.PutSeqLen(len(b))
+	e.buf = append(e.buf, b...)
+}
+
+// PutRaw appends bytes with no prefix and no alignment. Callers must pair it
+// with a matching GetRaw.
+func (e *Encoder) PutRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// PutDoubles encodes a length-prefixed sequence of doubles using a bulk
+// copy (the hot path for distributed-sequence argument segments).
+func (e *Encoder) PutDoubles(v []float64) {
+	e.PutSeqLen(len(v))
+	e.align(8)
+	off := len(e.buf)
+	e.buf = append(e.buf, make([]byte, 8*len(v))...)
+	for i, x := range v {
+		binary.BigEndian.PutUint64(e.buf[off+8*i:], math.Float64bits(x))
+	}
+}
+
+// PutLongs encodes a length-prefixed sequence of 32-bit integers.
+func (e *Encoder) PutLongs(v []int32) {
+	e.PutSeqLen(len(v))
+	e.align(4)
+	off := len(e.buf)
+	e.buf = append(e.buf, make([]byte, 4*len(v))...)
+	for i, x := range v {
+		binary.BigEndian.PutUint32(e.buf[off+4*i:], uint32(x))
+	}
+}
+
+// Decoder reads a CDR stream produced by Encoder. Errors are sticky: after
+// the first failure every Get returns a zero value and Err reports the
+// cause.
+type Decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewDecoder reads from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many bytes are left.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: reading %s at offset %d", ErrTruncated, what, d.pos)
+	}
+}
+
+func (d *Decoder) align(n int) {
+	for d.pos%n != 0 {
+		d.pos++
+	}
+}
+
+func (d *Decoder) take(n int, what string) []byte {
+	if d.err != nil || d.pos+n > len(d.buf) {
+		d.fail(what)
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+// GetBool decodes a boolean.
+func (d *Decoder) GetBool() bool {
+	b := d.take(1, "bool")
+	return b != nil && b[0] != 0
+}
+
+// GetOctet decodes one byte.
+func (d *Decoder) GetOctet() byte {
+	b := d.take(1, "octet")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// GetChar decodes an IDL char.
+func (d *Decoder) GetChar() byte { return d.GetOctet() }
+
+// GetShort decodes a 16-bit signed integer.
+func (d *Decoder) GetShort() int16 { return int16(d.GetUShort()) }
+
+// GetUShort decodes a 16-bit unsigned integer.
+func (d *Decoder) GetUShort() uint16 {
+	d.align(2)
+	b := d.take(2, "ushort")
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// GetLong decodes a 32-bit signed integer.
+func (d *Decoder) GetLong() int32 { return int32(d.GetULong()) }
+
+// GetULong decodes a 32-bit unsigned integer.
+func (d *Decoder) GetULong() uint32 {
+	d.align(4)
+	b := d.take(4, "ulong")
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// GetLongLong decodes a 64-bit signed integer.
+func (d *Decoder) GetLongLong() int64 { return int64(d.GetULongLong()) }
+
+// GetULongLong decodes a 64-bit unsigned integer.
+func (d *Decoder) GetULongLong() uint64 {
+	d.align(8)
+	b := d.take(8, "ulonglong")
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// GetFloat decodes a 32-bit float.
+func (d *Decoder) GetFloat() float32 { return math.Float32frombits(d.GetULong()) }
+
+// GetDouble decodes a 64-bit double.
+func (d *Decoder) GetDouble() float64 { return math.Float64frombits(d.GetULongLong()) }
+
+// GetString decodes a CDR string.
+func (d *Decoder) GetString() string {
+	n := d.GetULong()
+	if n == 0 {
+		// A conforming encoder always writes at least the NUL; tolerate
+		// zero as an empty string for robustness.
+		return ""
+	}
+	b := d.take(int(n), "string")
+	if b == nil {
+		return ""
+	}
+	return string(b[:n-1]) // drop terminating NUL
+}
+
+// GetSeqLen decodes a sequence element count, guarding against counts that
+// exceed the remaining stream (corrupt or adversarial input).
+func (d *Decoder) GetSeqLen(elemMinSize int) int {
+	n := int(d.GetULong())
+	if d.err != nil {
+		return 0
+	}
+	if elemMinSize < 1 {
+		elemMinSize = 1
+	}
+	if n < 0 || n > d.Remaining()/elemMinSize+1 {
+		d.fail("sequence length")
+		return 0
+	}
+	return n
+}
+
+// GetOctets decodes a length-prefixed octet sequence. The result aliases
+// the input buffer.
+func (d *Decoder) GetOctets() []byte {
+	n := d.GetSeqLen(1)
+	return d.take(n, "octets")
+}
+
+// GetRaw reads n raw bytes (no alignment). The result aliases the buffer.
+func (d *Decoder) GetRaw(n int) []byte { return d.take(n, "raw") }
+
+// GetDoubles decodes a length-prefixed sequence of doubles.
+func (d *Decoder) GetDoubles() []float64 {
+	n := d.GetSeqLen(8)
+	d.align(8)
+	b := d.take(8*n, "double sequence")
+	if b == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// GetLongs decodes a length-prefixed sequence of 32-bit integers.
+func (d *Decoder) GetLongs() []int32 {
+	n := d.GetSeqLen(4)
+	d.align(4)
+	b := d.take(4*n, "long sequence")
+	if b == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

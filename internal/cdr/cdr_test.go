@@ -1,0 +1,249 @@
+package cdr
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutBool(true)
+	e.PutOctet(0xAB)
+	e.PutChar('z')
+	e.PutShort(-1234)
+	e.PutUShort(65535)
+	e.PutLong(-123456789)
+	e.PutULong(4000000000)
+	e.PutLongLong(-1 << 60)
+	e.PutULongLong(1 << 63)
+	e.PutFloat(3.25)
+	e.PutDouble(math.Pi)
+	e.PutString("hello, PARDIS")
+
+	d := NewDecoder(e.Bytes())
+	if !d.GetBool() || d.GetOctet() != 0xAB || d.GetChar() != 'z' {
+		t.Fatal("bool/octet/char mismatch")
+	}
+	if d.GetShort() != -1234 || d.GetUShort() != 65535 {
+		t.Fatal("short mismatch")
+	}
+	if d.GetLong() != -123456789 || d.GetULong() != 4000000000 {
+		t.Fatal("long mismatch")
+	}
+	if d.GetLongLong() != -1<<60 || d.GetULongLong() != 1<<63 {
+		t.Fatal("longlong mismatch")
+	}
+	if d.GetFloat() != 3.25 || d.GetDouble() != math.Pi {
+		t.Fatal("float mismatch")
+	}
+	if d.GetString() != "hello, PARDIS" {
+		t.Fatal("string mismatch")
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	e := NewEncoder(32)
+	e.PutOctet(1) // offset 0
+	e.PutLong(7)  // must start at offset 4
+	if len(e.Bytes()) != 8 {
+		t.Fatalf("stream length %d, want 8 (3 pad bytes)", len(e.Bytes()))
+	}
+	e2 := NewEncoder(32)
+	e2.PutOctet(1)
+	e2.PutDouble(1) // must start at offset 8
+	if len(e2.Bytes()) != 16 {
+		t.Fatalf("stream length %d, want 16 (7 pad bytes)", len(e2.Bytes()))
+	}
+	d := NewDecoder(e.Bytes())
+	d.GetOctet()
+	if d.GetLong() != 7 || d.Err() != nil {
+		t.Fatal("aligned decode failed")
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutString("")
+	d := NewDecoder(e.Bytes())
+	if d.GetString() != "" || d.Err() != nil {
+		t.Fatal("empty string round trip failed")
+	}
+}
+
+func TestBulkSlices(t *testing.T) {
+	doubles := []float64{1, -2.5, math.Inf(1), math.SmallestNonzeroFloat64, 0}
+	longs := []int32{0, -1, math.MaxInt32, math.MinInt32}
+	e := NewEncoder(128)
+	e.PutDoubles(doubles)
+	e.PutLongs(longs)
+	d := NewDecoder(e.Bytes())
+	gd := d.GetDoubles()
+	gl := d.GetLongs()
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	for i := range doubles {
+		if gd[i] != doubles[i] {
+			t.Fatalf("doubles[%d] = %v, want %v", i, gd[i], doubles[i])
+		}
+	}
+	for i := range longs {
+		if gl[i] != longs[i] {
+			t.Fatalf("longs[%d] = %v, want %v", i, gl[i], longs[i])
+		}
+	}
+}
+
+func TestTruncationSticky(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutDouble(1)
+	d := NewDecoder(e.Bytes()[:4])
+	_ = d.GetDouble()
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", d.Err())
+	}
+	// Sticky: subsequent reads keep failing, return zero values.
+	if d.GetULong() != 0 || d.GetString() != "" {
+		t.Fatal("sticky error not honored")
+	}
+}
+
+func TestHostileSequenceLength(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutULong(0xFFFFFF00) // absurd element count with no payload
+	d := NewDecoder(e.Bytes())
+	if got := d.GetDoubles(); got != nil {
+		t.Fatalf("got %d elems from hostile stream", len(got))
+	}
+	if d.Err() == nil {
+		t.Fatal("want error on hostile sequence length")
+	}
+}
+
+func TestOctetsAliasAndRoundTrip(t *testing.T) {
+	e := NewEncoder(32)
+	e.PutOctets([]byte{1, 2, 3})
+	e.PutOctets(nil)
+	d := NewDecoder(e.Bytes())
+	a := d.GetOctets()
+	b := d.GetOctets()
+	if d.Err() != nil || len(a) != 3 || a[2] != 3 || len(b) != 0 {
+		t.Fatalf("octets round trip failed: %v %v %v", a, b, d.Err())
+	}
+}
+
+func TestQuickDoubleRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		e := NewEncoder(8)
+		e.PutDouble(v)
+		d := NewDecoder(e.Bytes())
+		got := d.GetDouble()
+		if math.IsNaN(v) {
+			return math.IsNaN(got)
+		}
+		return got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		e := NewEncoder(len(s) + 8)
+		e.PutString(s)
+		d := NewDecoder(e.Bytes())
+		return d.GetString() == s && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMixedStreamRoundTrip(t *testing.T) {
+	f := func(a int32, b []byte, c float64, s string, ds []float64) bool {
+		e := NewEncoder(64)
+		e.PutLong(a)
+		e.PutOctets(b)
+		e.PutDouble(c)
+		e.PutString(s)
+		e.PutDoubles(ds)
+		d := NewDecoder(e.Bytes())
+		ga := d.GetLong()
+		gb := d.GetOctets()
+		gc := d.GetDouble()
+		gs := d.GetString()
+		gds := d.GetDoubles()
+		if d.Err() != nil || ga != a || gs != s || len(gb) != len(b) || len(gds) != len(ds) {
+			return false
+		}
+		if gc != c && !(math.IsNaN(gc) && math.IsNaN(c)) {
+			return false
+		}
+		for i := range b {
+			if gb[i] != b[i] {
+				return false
+			}
+		}
+		for i := range ds {
+			if gds[i] != ds[i] && !(math.IsNaN(gds[i]) && math.IsNaN(ds[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTruncationNeverPanics(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutString("abc")
+	e.PutDoubles([]float64{1, 2, 3})
+	e.PutLongs([]int32{4, 5})
+	full := e.Bytes()
+	for cut := 0; cut <= len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		_ = d.GetString()
+		_ = d.GetDoubles()
+		_ = d.GetLongs()
+		if cut < len(full) && d.Err() == nil {
+			t.Fatalf("cut=%d: expected error on truncated stream", cut)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutLong(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("reset did not empty encoder")
+	}
+	e.PutLong(2)
+	d := NewDecoder(e.Bytes())
+	if d.GetLong() != 2 {
+		t.Fatal("encoder unusable after reset")
+	}
+}
+
+func TestPutGetRaw(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutRaw([]byte{1, 2, 3})
+	d := NewDecoder(e.Bytes())
+	if got := d.GetRaw(3); len(got) != 3 || got[2] != 3 || d.Err() != nil {
+		t.Fatalf("raw round trip: %v %v", got, d.Err())
+	}
+	if d.GetRaw(1) != nil || d.Err() == nil {
+		t.Fatal("raw over-read accepted")
+	}
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/future"
+	"pardis/internal/nexus"
+	"pardis/internal/pgiop"
+	"pardis/internal/rts"
+	"pardis/internal/typecode"
+)
+
+// ORB is the client-side Object Request Broker state of one computing
+// thread. An SPMD client creates one ORB per thread (each wrapping that
+// thread's nexus endpoint and sharing the program's rts communicator); a
+// single client passes a nil communicator.
+//
+// ORB methods must be called from the owning thread. Replies and
+// distributed-argument segments are processed on the same thread while it
+// waits on (or polls) a future — the single-threaded model of NexusLite.
+type ORB struct {
+	r     *Router
+	comm  rts.Comm // nil for a single (non-SPMD) client
+	local *LocalTable
+
+	mu       sync.Mutex // guards pending across resolve/pump reentry
+	pending  map[uint32]*pendingReq
+	nextReq  uint32
+	nextBind int
+}
+
+// NewORB creates the ORB state for one computing thread. r is the thread's
+// frame router (shared with a POA when the program is also a server); comm
+// is the thread's run-time-system communicator (nil for single clients);
+// table is the process-local object table enabling the co-located
+// direct-call shortcut (may be nil).
+func NewORB(r *Router, comm rts.Comm, table *LocalTable) *ORB {
+	return &ORB{r: r, comm: comm, local: table, pending: map[uint32]*pendingReq{}}
+}
+
+// Router returns the thread's frame router.
+func (o *ORB) Router() *Router { return o.r }
+
+func (o *ORB) rank() int {
+	if o.comm == nil {
+		return 0
+	}
+	return o.comm.Rank()
+}
+
+func (o *ORB) size() int {
+	if o.comm == nil {
+		return 1
+	}
+	return o.comm.Size()
+}
+
+// pendingReq tracks one in-flight invocation issued by this thread.
+type pendingReq struct {
+	cell    *future.Cell
+	op      *Operation
+	reply   *pgiop.Reply
+	binding string
+	seqNo   uint32
+	server0 string // thread-0 address, for cancellation
+	// Distributed out-argument state, keyed by parameter index.
+	holders map[int]dseq.Distributed
+	tmpls   map[int]dist.Template
+	need    map[int]int
+	got     map[int]int
+	buf     []*pgiop.ArgStream // segments that arrived before the reply
+}
+
+// Invoke performs a blocking invocation on a binding: it returns when the
+// request has been fully processed by the server. Results are ordered
+// [return value (if non-void), out/inout parameters in declaration order];
+// distributed out values are the holders passed in args.
+func (b *Binding) Invoke(op string, args []any) ([]any, error) {
+	cell, err := b.InvokeNB(op, args)
+	if err != nil {
+		return nil, err
+	}
+	return CellResults(cell)
+}
+
+// CellResults waits for a cell and returns its result values.
+func CellResults(cell *future.Cell) ([]any, error) { return cell.Values() }
+
+// InvokeNB performs a non-blocking invocation: it returns immediately after
+// the request has been sent, with a cell whose futures resolve when the
+// reply (and all distributed out segments) arrive.
+//
+// args has one entry per parameter of the operation, in declaration order:
+//
+//	in/inout non-distributed — the Go value (per the typecode mapping)
+//	in        distributed    — a dseq.Distributed with the argument data
+//	out       non-distributed — ignored (pass nil)
+//	out       distributed    — a dseq.Distributed holder; pass the desired
+//	                           client-side layout via SetOutDist or rely on
+//	                           the parameter's default
+//
+// For an SPMD binding the call is collective: every client thread must
+// invoke with its own portion of each distributed argument.
+func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
+	o := b.orb
+	opDef, ok := b.iface.Op(op)
+	if !ok {
+		return nil, fmt.Errorf("core: interface %s has no operation %s", b.iface.Name, op)
+	}
+	if len(args) != len(opDef.Params) {
+		return nil, fmt.Errorf("core: %s.%s takes %d arguments, got %d", b.iface.Name, op, len(opDef.Params), len(args))
+	}
+	if opDef.HasDistributed() && !b.ior.SPMD {
+		return nil, fmt.Errorf("core: %s.%s uses distributed arguments on a non-SPMD object", b.iface.Name, op)
+	}
+
+	// Co-located direct call: bypass transport and marshaling entirely.
+	if b.localObj != nil && !opDef.HasDistributed() {
+		return b.localObj.call(opDef, args)
+	}
+
+	cell := future.NewCell()
+	p := &pendingReq{
+		cell:    cell,
+		op:      opDef,
+		binding: b.id,
+		seqNo:   b.seq,
+		server0: b.ior.Addrs[0],
+		holders: map[int]dseq.Distributed{},
+		tmpls:   map[int]dist.Template{},
+		need:    map[int]int{},
+		got:     map[int]int{},
+	}
+
+	req := &pgiop.Request{
+		BindingID:  b.id,
+		SeqNo:      b.seq,
+		ClientRank: int32(o.rank()),
+		ClientSize: int32(o.size()),
+		ReplyAddr:  string(o.r.Addr()),
+		ObjectKey:  b.ior.Key,
+		Operation:  op,
+		Oneway:     opDef.Oneway,
+	}
+	b.seq++
+
+	// Marshal inline (non-distributed) in/inout arguments.
+	enc := newBodyEncoder()
+	type distIn struct {
+		param  int
+		holder dseq.Distributed
+		server dist.Layout
+	}
+	var distIns []distIn
+	for i := range opDef.Params {
+		prm := &opDef.Params[i]
+		switch {
+		case prm.Distributed() && prm.Mode == In:
+			holder, ok := args[i].(dseq.Distributed)
+			if !ok {
+				return nil, fmt.Errorf("core: %s argument %d must be a distributed sequence, got %T", op, i, args[i])
+			}
+			n := holder.GlobalLen()
+			if bound := prm.Type.Bound; bound > 0 && n > bound {
+				return nil, fmt.Errorf("core: %s argument %d length %d exceeds bound %d", op, i, n, bound)
+			}
+			sl := prm.ServerDist.Layout(n, b.ior.ServerSize)
+			req.DistIns = append(req.DistIns, pgiop.DistInSpec{
+				Param: int32(i), N: int32(n), Layout: holder.DLayout(),
+			})
+			distIns = append(distIns, distIn{param: i, holder: holder, server: sl})
+		case prm.Distributed() && prm.Mode == Out:
+			holder, ok := args[i].(dseq.Distributed)
+			if !ok {
+				return nil, fmt.Errorf("core: %s out argument %d must be a distributed holder, got %T", op, i, args[i])
+			}
+			tmpl := b.outDist(op, i, prm)
+			req.DistOuts = append(req.DistOuts, pgiop.DistOutSpec{Param: int32(i), Tmpl: tmpl})
+			p.holders[i] = holder
+			p.tmpls[i] = tmpl
+		case prm.Mode == In || prm.Mode == InOut:
+			if err := typecode.Marshal(enc, prm.Type, args[i]); err != nil {
+				return nil, fmt.Errorf("core: %s argument %d (%s): %w", op, i, prm.Name, err)
+			}
+		}
+	}
+	req.Body = enc.Bytes()
+
+	o.mu.Lock()
+	o.nextReq++
+	req.ReqID = o.nextReq
+	if !opDef.Oneway {
+		o.pending[req.ReqID] = p
+	}
+	o.mu.Unlock()
+
+	// Header goes to server thread 0 (the collectivity point).
+	if err := o.r.Send(nexus.Addr(b.ior.Addrs[0]), pgiop.EncodeRequest(req)); err != nil {
+		o.dropPending(req.ReqID)
+		return nil, fmt.Errorf("core: %s: %w", op, err)
+	}
+
+	// Distributed in arguments: ship this thread's segments directly to
+	// the server threads that own them — in parallel across client
+	// threads, the ORB optimization of [KG97].
+	for _, di := range distIns {
+		if err := o.sendSegments(b, req, di.param, di.holder, di.server); err != nil {
+			o.dropPending(req.ReqID)
+			return nil, err
+		}
+	}
+
+	if opDef.Oneway {
+		cell.Resolve(nil, nil)
+		return cell, nil
+	}
+	cell.SetPump(func(block bool) { o.pump(block) })
+	return cell, nil
+}
+
+// ErrCancelled resolves futures of invocations withdrawn with Cancel.
+var ErrCancelled = errors.New("core: request cancelled")
+
+// Cancel withdraws a pending non-blocking invocation: a CancelRequest is
+// sent to the server (which drops the request if it has not been
+// dispatched yet) and the invocation's futures resolve with ErrCancelled.
+// It reports whether the cell belonged to a pending invocation of this ORB.
+func (o *ORB) Cancel(cell *future.Cell) bool {
+	o.mu.Lock()
+	var id uint32
+	var p *pendingReq
+	for reqID, pr := range o.pending {
+		if pr.cell == cell {
+			id, p = reqID, pr
+			break
+		}
+	}
+	if p != nil {
+		delete(o.pending, id)
+	}
+	o.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	msg := pgiop.EncodeCancelRequest(&pgiop.CancelRequest{BindingID: p.binding, SeqNo: p.seqNo})
+	_ = o.r.Send(nexus.Addr(p.server0), msg) // best effort
+	p.cell.Resolve(nil, ErrCancelled)
+	return true
+}
+
+func (o *ORB) dropPending(id uint32) {
+	o.mu.Lock()
+	delete(o.pending, id)
+	o.mu.Unlock()
+}
+
+// sendSegments ships one distributed in-argument's local elements to the
+// owning server threads.
+func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dseq.Distributed, server dist.Layout) error {
+	sched := dist.NewSchedule(holder.DLayout(), server)
+	for _, m := range sched.MovesFrom(o.rank()) {
+		enc := newBodyEncoder()
+		holder.EncodeRuns(enc, m.Runs)
+		as := &pgiop.ArgStream{
+			BindingID: req.BindingID,
+			SeqNo:     req.SeqNo,
+			Param:     int32(param),
+			Dir:       pgiop.DirIn,
+			Runs:      wireRuns(m.Runs),
+			Payload:   enc.Bytes(),
+		}
+		if err := o.r.Send(nexus.Addr(b.ior.Addrs[m.To]), pgiop.EncodeArgStream(as)); err != nil {
+			return fmt.Errorf("core: argument %d segment to thread %d: %w", param, m.To, err)
+		}
+	}
+	return nil
+}
+
+func wireRuns(runs []dist.Run) []pgiop.Run {
+	out := make([]pgiop.Run, len(runs))
+	for i, r := range runs {
+		out[i] = pgiop.Run{Global: int32(r.Global), Len: int32(r.Len), DstOff: int32(r.DstOff)}
+	}
+	return out
+}
+
+// pump processes incoming client-bound messages on the client thread — the
+// progress function behind future resolution.
+func (o *ORB) pump(block bool) {
+	m, ok, err := o.r.RecvClient(block)
+	if err != nil {
+		o.failAll(err)
+		return
+	}
+	if !ok {
+		return
+	}
+	o.handleMsg(m)
+}
+
+// failAll resolves every pending invocation with the transport error —
+// connection loss must not hang waiters.
+func (o *ORB) failAll(err error) {
+	o.mu.Lock()
+	ps := o.pending
+	o.pending = map[uint32]*pendingReq{}
+	o.mu.Unlock()
+	for _, p := range ps {
+		p.cell.Resolve(nil, fmt.Errorf("core: transport failed: %w", err))
+	}
+}
+
+func (o *ORB) handleMsg(m *Msg) {
+	switch m.Type {
+	case pgiop.MsgReply:
+		o.handleReply(m.Reply)
+	case pgiop.MsgArgStream:
+		o.handleSegment(m.Arg)
+	}
+}
+
+func (o *ORB) handleReply(r *pgiop.Reply) {
+	o.mu.Lock()
+	p := o.pending[r.ReqID]
+	o.mu.Unlock()
+	if p == nil || p.reply != nil {
+		return // cancelled, duplicate, or unknown
+	}
+	if r.Status != pgiop.StatusOK {
+		o.dropPending(r.ReqID)
+		p.cell.Resolve(nil, fmt.Errorf("core: server exception: %s", r.Error))
+		return
+	}
+	p.reply = r
+	// The reply announces each distributed out argument's length; shape
+	// the holders and account for the elements this thread expects.
+	for _, ol := range r.OutLens {
+		param := int(ol.Param)
+		holder := p.holders[param]
+		if holder == nil {
+			o.dropPending(r.ReqID)
+			p.cell.Resolve(nil, fmt.Errorf("core: reply announces unknown out parameter %d", param))
+			return
+		}
+		layout := p.tmpls[param].Layout(int(ol.N), o.size())
+		holder.Reshape(layout)
+		p.need[param] = layout.Count(o.rank())
+	}
+	// Apply segments that raced ahead of the reply.
+	buf := p.buf
+	p.buf = nil
+	for _, a := range buf {
+		o.applySegment(p, a)
+	}
+	o.maybeComplete(r.ReqID, p)
+}
+
+func (o *ORB) handleSegment(a *pgiop.ArgStream) {
+	if a.Dir != pgiop.DirOut {
+		return // in-direction segments are a server-side concern
+	}
+	o.mu.Lock()
+	p := o.pending[a.ReqID]
+	o.mu.Unlock()
+	if p == nil {
+		return
+	}
+	if p.reply == nil {
+		p.buf = append(p.buf, a)
+		return
+	}
+	o.applySegment(p, a)
+	o.maybeComplete(a.ReqID, p)
+}
+
+func (o *ORB) applySegment(p *pendingReq, a *pgiop.ArgStream) {
+	param := int(a.Param)
+	holder := p.holders[param]
+	if holder == nil {
+		return
+	}
+	runs, n, err := checkRuns(a.Runs, holder)
+	if err != nil {
+		p.fail(o, a.ReqID, err)
+		return
+	}
+	if err := holder.DecodeRuns(newBodyDecoder(a.Payload), runs); err != nil {
+		p.fail(o, a.ReqID, fmt.Errorf("core: corrupt out segment for parameter %d: %w", param, err))
+		return
+	}
+	p.got[param] += n
+	if p.got[param] > p.need[param] {
+		p.fail(o, a.ReqID, fmt.Errorf("core: parameter %d received %d of %d elements", param, p.got[param], p.need[param]))
+	}
+}
+
+// checkRuns validates wire runs against the holder's local storage size.
+func checkRuns(wr []pgiop.Run, holder dseq.Distributed) ([]dist.Run, int, error) {
+	var runs []dist.Run
+	n := 0
+	localLen := holder.LocalLen()
+	for _, r := range wr {
+		if r.Len < 0 || r.DstOff < 0 || int(r.DstOff)+int(r.Len) > localLen {
+			return nil, 0, fmt.Errorf("core: segment run [%d+%d] exceeds local storage %d", r.DstOff, r.Len, localLen)
+		}
+		runs = append(runs, dist.Run{Global: int(r.Global), Len: int(r.Len), DstOff: int(r.DstOff)})
+		n += int(r.Len)
+	}
+	return runs, n, nil
+}
+
+func (p *pendingReq) fail(o *ORB, reqID uint32, err error) {
+	o.dropPending(reqID)
+	p.cell.Resolve(nil, err)
+}
+
+// maybeComplete resolves the invocation once the reply and all expected
+// out-argument elements have arrived.
+func (o *ORB) maybeComplete(reqID uint32, p *pendingReq) {
+	if p.reply == nil {
+		return
+	}
+	for param, need := range p.need {
+		if p.got[param] != need {
+			return
+		}
+	}
+	// Decode the inline results: return value then non-distributed
+	// out/inout parameters, in declaration order.
+	dec := newBodyDecoder(p.reply.Body)
+	vals := make([]any, 0, resultCount(p.op))
+	if p.op.Result != nil {
+		v, err := typecode.Unmarshal(dec, p.op.Result)
+		if err != nil {
+			p.fail(o, reqID, fmt.Errorf("core: corrupt return value: %w", err))
+			return
+		}
+		vals = append(vals, v)
+	}
+	for i := range p.op.Params {
+		prm := &p.op.Params[i]
+		if prm.Mode == In {
+			continue
+		}
+		if prm.Distributed() {
+			vals = append(vals, p.holders[i])
+			continue
+		}
+		v, err := typecode.Unmarshal(dec, prm.Type)
+		if err != nil {
+			p.fail(o, reqID, fmt.Errorf("core: corrupt out value %s: %w", prm.Name, err))
+			return
+		}
+		vals = append(vals, v)
+	}
+	o.dropPending(reqID)
+	p.cell.Resolve(vals, nil)
+}
+
+// Comm exposes the ORB's run-time-system communicator (nil for single
+// clients). Generated stubs use it to build distributed argument holders.
+func (o *ORB) Comm() rts.Comm { return o.comm }
+
+// ORB returns the binding's owning ORB.
+func (b *Binding) ORB() *ORB { return b.orb }

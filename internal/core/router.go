@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"pardis/internal/nexus"
+	"pardis/internal/pgiop"
+)
+
+// Msg is one decoded protocol message with its sender.
+type Msg struct {
+	From nexus.Addr
+	Type pgiop.MsgType
+
+	Req      *pgiop.Request
+	Reply    *pgiop.Reply
+	Arg      *pgiop.ArgStream
+	Loc      *pgiop.LocateRequest
+	LocReply *pgiop.LocateReply
+	Cancel   *pgiop.CancelRequest
+	Shutdown *pgiop.Shutdown
+}
+
+// DecodeMsg parses any protocol frame.
+func DecodeMsg(fr nexus.Frame) (*Msg, error) {
+	t, err := pgiop.PeekType(fr.Data)
+	if err != nil {
+		return nil, err
+	}
+	m := &Msg{From: fr.From, Type: t}
+	switch t {
+	case pgiop.MsgRequest:
+		m.Req, err = pgiop.DecodeRequest(fr.Data)
+	case pgiop.MsgReply:
+		m.Reply, err = pgiop.DecodeReply(fr.Data)
+	case pgiop.MsgArgStream:
+		m.Arg, err = pgiop.DecodeArgStream(fr.Data)
+	case pgiop.MsgLocateRequest:
+		m.Loc, err = pgiop.DecodeLocateRequest(fr.Data)
+	case pgiop.MsgLocateReply:
+		m.LocReply, err = pgiop.DecodeLocateReply(fr.Data)
+	case pgiop.MsgCancelRequest:
+		m.Cancel, err = pgiop.DecodeCancelRequest(fr.Data)
+	case pgiop.MsgShutdown:
+		m.Shutdown, err = pgiop.DecodeShutdown(fr.Data)
+	default:
+		err = fmt.Errorf("%w: unroutable type %d", pgiop.ErrBadMessage, t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// clientBound reports whether the message belongs to the thread's client
+// role (replies and out-direction segments) rather than its server role.
+func (m *Msg) clientBound() bool {
+	switch m.Type {
+	case pgiop.MsgReply, pgiop.MsgLocateReply:
+		return true
+	case pgiop.MsgArgStream:
+		return m.Arg.Dir == pgiop.DirOut
+	}
+	return false
+}
+
+// Router demultiplexes one computing thread's endpoint between its client
+// role (the ORB waiting for replies) and its server role (the POA waiting
+// for requests). A thread that is both — a server pipelining results to
+// another server, as in the paper's §4.3 — shares its single endpoint
+// through a Router.
+//
+// All methods must be called from the owning thread; the single-threaded
+// discipline is the same as NexusLite's.
+type Router struct {
+	ep      nexus.Endpoint
+	clientQ []*Msg
+	serverQ []*Msg
+}
+
+// NewRouter wraps an endpoint.
+func NewRouter(ep nexus.Endpoint) *Router { return &Router{ep: ep} }
+
+// Addr is the underlying endpoint's address.
+func (r *Router) Addr() nexus.Addr { return r.ep.Addr() }
+
+// Send forwards a frame to the underlying endpoint.
+func (r *Router) Send(to nexus.Addr, frame []byte) error { return r.ep.Send(to, frame) }
+
+// Close closes the underlying endpoint.
+func (r *Router) Close() error { return r.ep.Close() }
+
+// RecvClient returns the next client-bound message; with block=false it
+// returns ok=false when none is pending. Server-bound messages encountered
+// while waiting are queued for RecvServer.
+func (r *Router) RecvClient(block bool) (*Msg, bool, error) {
+	return r.recv(block, true)
+}
+
+// RecvServer returns the next server-bound message, queueing client-bound
+// ones encountered while waiting.
+func (r *Router) RecvServer(block bool) (*Msg, bool, error) {
+	return r.recv(block, false)
+}
+
+func (r *Router) recv(block, wantClient bool) (*Msg, bool, error) {
+	for {
+		q := &r.serverQ
+		if wantClient {
+			q = &r.clientQ
+		}
+		if len(*q) > 0 {
+			m := (*q)[0]
+			*q = (*q)[1:]
+			return m, true, nil
+		}
+		var fr nexus.Frame
+		if block {
+			var err error
+			fr, err = r.ep.Recv()
+			if err != nil {
+				return nil, false, err
+			}
+		} else {
+			var ok bool
+			var err error
+			fr, ok, err = r.ep.Poll()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
+			}
+		}
+		m, err := DecodeMsg(fr)
+		if err != nil {
+			continue // drop foreign/corrupt frames
+		}
+		if m.clientBound() == wantClient {
+			return m, true, nil
+		}
+		if m.clientBound() {
+			r.clientQ = append(r.clientQ, m)
+		} else {
+			r.serverQ = append(r.serverQ, m)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package dist implements distribution templates and transfer schedules for
+// PARDIS distributed sequences.
+//
+// A Template describes *how* a sequence should be spread over the computing
+// threads of a parallel program ("in what proportions the elements of a
+// sequence should be distributed among the processors" — paper §3.2); a
+// Layout is the template applied to a concrete length and thread count. A
+// Schedule is the element-exchange plan between two layouts: for every
+// (source thread, destination thread) pair, the contiguous runs that must
+// move. Knowledge of both sides' distributions is what lets the ORB
+// transfer arguments directly — and in parallel — between the corresponding
+// threads of client and server [KG97].
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates distribution template kinds.
+type Kind int
+
+// Template kinds. Block and Weighted produce contiguous per-thread ranges;
+// Cyclic deals elements round-robin; Collapsed concentrates the whole
+// sequence on one thread (the paper's "concentrated on one processor").
+const (
+	Block Kind = iota
+	Cyclic
+	Collapsed
+	Weighted
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Block:
+		return "BLOCK"
+	case Cyclic:
+		return "CYCLIC"
+	case Collapsed:
+		return "COLLAPSED"
+	case Weighted:
+		return "WEIGHTED"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Template is a distribution recipe, independent of sequence length and
+// thread count.
+type Template struct {
+	Kind    Kind
+	Root    int       // Collapsed: the owning thread
+	Weights []float64 // Weighted: per-thread proportions (normalized at Layout time)
+}
+
+// BlockTemplate distributes elements in equal contiguous blocks.
+func BlockTemplate() Template { return Template{Kind: Block} }
+
+// CyclicTemplate deals elements round-robin across threads.
+func CyclicTemplate() Template { return Template{Kind: Cyclic} }
+
+// CollapsedOn concentrates all elements on the given thread.
+func CollapsedOn(root int) Template { return Template{Kind: Collapsed, Root: root} }
+
+// Proportions distributes contiguous runs sized by the given weights
+// (the paper's distribution template: "in what proportions the elements
+// ... should be distributed").
+func Proportions(weights ...float64) Template {
+	return Template{Kind: Weighted, Weights: append([]float64(nil), weights...)}
+}
+
+// ParseTemplate maps an IDL distribution annotation to a Template.
+func ParseTemplate(s string) (Template, error) {
+	switch s {
+	case "", "BLOCK":
+		return BlockTemplate(), nil
+	case "CYCLIC":
+		return CyclicTemplate(), nil
+	case "COLLAPSED", "CONCENTRATED":
+		return CollapsedOn(0), nil
+	}
+	return Template{}, fmt.Errorf("dist: unknown distribution %q", s)
+}
+
+// Layout is a Template applied to a sequence of n elements over p threads.
+type Layout struct {
+	N    int
+	P    int
+	Kind Kind
+	Root int
+	// Contiguous kinds (Block, Weighted, Collapsed): per-thread ranges.
+	starts, counts []int
+}
+
+// Layout instantiates the template for n elements over p threads.
+func (t Template) Layout(n, p int) Layout {
+	if p <= 0 {
+		panic("dist: thread count must be positive")
+	}
+	if n < 0 {
+		panic("dist: negative length")
+	}
+	l := Layout{N: n, P: p, Kind: t.Kind, Root: t.Root}
+	switch t.Kind {
+	case Cyclic:
+		return l
+	case Collapsed:
+		if t.Root < 0 || t.Root >= p {
+			panic(fmt.Sprintf("dist: collapsed root %d out of range [0,%d)", t.Root, p))
+		}
+		l.starts = make([]int, p)
+		l.counts = make([]int, p)
+		for r := range l.starts {
+			if r > t.Root {
+				l.starts[r] = n
+			}
+		}
+		l.counts[t.Root] = n
+		return l
+	case Block:
+		w := make([]float64, p)
+		for i := range w {
+			w[i] = 1
+		}
+		l.Kind = Block
+		l.starts, l.counts = weightedRanges(n, w)
+		return l
+	case Weighted:
+		if len(t.Weights) != p {
+			panic(fmt.Sprintf("dist: %d weights for %d threads", len(t.Weights), p))
+		}
+		l.starts, l.counts = weightedRanges(n, t.Weights)
+		return l
+	}
+	panic("dist: unknown template kind")
+}
+
+// weightedRanges splits n elements into contiguous per-thread ranges
+// proportional to the weights, using the largest-remainder method so counts
+// sum exactly to n.
+func weightedRanges(n int, weights []float64) (starts, counts []int) {
+	p := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("dist: negative weight")
+		}
+		total += w
+	}
+	counts = make([]int, p)
+	if total == 0 {
+		// Degenerate: all weight zero — fall back to equal blocks.
+		for i := range weights {
+			weights[i] = 1
+		}
+		total = float64(p)
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, p)
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(n) * w / total
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{i, exact - float64(counts[i])}
+	}
+	sort.SliceStable(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for k := 0; k < n-assigned; k++ {
+		counts[rems[k%p].idx]++
+	}
+	starts = make([]int, p)
+	for i := 1; i < p; i++ {
+		starts[i] = starts[i-1] + counts[i-1]
+	}
+	return starts, counts
+}
+
+// Count reports how many elements the given thread owns.
+func (l Layout) Count(rank int) int {
+	l.checkRank(rank)
+	if l.Kind == Cyclic {
+		c := l.N / l.P
+		if rank < l.N%l.P {
+			c++
+		}
+		return c
+	}
+	return l.counts[rank]
+}
+
+// Start reports the first global index owned by rank. Contiguous layouts
+// only; panics for Cyclic.
+func (l Layout) Start(rank int) int {
+	l.checkRank(rank)
+	if l.Kind == Cyclic {
+		panic("dist: Start undefined for CYCLIC layout")
+	}
+	return l.starts[rank]
+}
+
+// Contiguous reports whether each thread's elements form one global run.
+func (l Layout) Contiguous() bool { return l.Kind != Cyclic }
+
+// Locate returns the owning thread and local index of global index g.
+func (l Layout) Locate(g int) (rank, local int) {
+	if g < 0 || g >= l.N {
+		panic(fmt.Sprintf("dist: index %d out of range [0,%d)", g, l.N))
+	}
+	if l.Kind == Cyclic {
+		return g % l.P, g / l.P
+	}
+	// Binary search over starts.
+	r := sort.Search(l.P, func(i int) bool { return l.starts[i] > g }) - 1
+	for l.counts[r] == 0 || g >= l.starts[r]+l.counts[r] {
+		r++
+	}
+	return r, g - l.starts[r]
+}
+
+// Owner returns the thread owning global index g.
+func (l Layout) Owner(g int) int {
+	r, _ := l.Locate(g)
+	return r
+}
+
+// GlobalIndex maps (rank, local index) back to the global index.
+func (l Layout) GlobalIndex(rank, local int) int {
+	l.checkRank(rank)
+	if local < 0 || local >= l.Count(rank) {
+		panic(fmt.Sprintf("dist: local index %d out of range on rank %d", local, rank))
+	}
+	if l.Kind == Cyclic {
+		return local*l.P + rank
+	}
+	return l.starts[rank] + local
+}
+
+// Equal reports whether two layouts assign every index identically.
+func (l Layout) Equal(o Layout) bool {
+	if l.N != o.N {
+		return false
+	}
+	if l.P == o.P && l.Kind == o.Kind {
+		switch l.Kind {
+		case Cyclic:
+			return true
+		case Collapsed:
+			return l.Root == o.Root
+		default:
+			for r := 0; r < l.P; r++ {
+				if l.starts[r] != o.starts[r] || l.counts[r] != o.counts[r] {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	if l.P != o.P {
+		return false
+	}
+	for g := 0; g < l.N; g++ {
+		if l.Owner(g) != o.Owner(g) {
+			return false
+		}
+	}
+	return true
+}
+
+func (l Layout) checkRank(rank int) {
+	if rank < 0 || rank >= l.P {
+		panic(fmt.Sprintf("dist: rank %d out of range [0,%d)", rank, l.P))
+	}
+}
+
+func (l Layout) String() string {
+	return fmt.Sprintf("%v[n=%d,p=%d]", l.Kind, l.N, l.P)
+}

@@ -1,0 +1,250 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockLayoutEvenAndRagged(t *testing.T) {
+	l := BlockTemplate().Layout(10, 4)
+	wantCounts := []int{3, 3, 2, 2} // largest remainder: 2.5 each -> two get 3
+	total := 0
+	for r := 0; r < 4; r++ {
+		total += l.Count(r)
+	}
+	if total != 10 {
+		t.Fatalf("counts sum to %d, want 10", total)
+	}
+	for r, w := range wantCounts {
+		if l.Count(r) != w {
+			t.Fatalf("count(%d) = %d, want %v", r, l.Count(r), wantCounts)
+		}
+	}
+	if l.Start(0) != 0 || l.Start(1) != 3 || l.Start(2) != 6 || l.Start(3) != 8 {
+		t.Fatal("starts not cumulative")
+	}
+}
+
+func TestCyclicLayout(t *testing.T) {
+	l := CyclicTemplate().Layout(10, 3)
+	if l.Count(0) != 4 || l.Count(1) != 3 || l.Count(2) != 3 {
+		t.Fatalf("cyclic counts: %d %d %d", l.Count(0), l.Count(1), l.Count(2))
+	}
+	if o, loc := l.Locate(7); o != 1 || loc != 2 {
+		t.Fatalf("Locate(7) = (%d,%d), want (1,2)", o, loc)
+	}
+	if l.GlobalIndex(1, 2) != 7 {
+		t.Fatal("GlobalIndex inverse broken")
+	}
+}
+
+func TestCollapsedLayout(t *testing.T) {
+	for root := 0; root < 4; root++ {
+		l := CollapsedOn(root).Layout(9, 4)
+		for r := 0; r < 4; r++ {
+			want := 0
+			if r == root {
+				want = 9
+			}
+			if l.Count(r) != want {
+				t.Fatalf("root=%d count(%d)=%d", root, r, l.Count(r))
+			}
+		}
+		for g := 0; g < 9; g++ {
+			if l.Owner(g) != root {
+				t.Fatalf("root=%d owner(%d)=%d", root, g, l.Owner(g))
+			}
+		}
+	}
+}
+
+func TestProportionsLayout(t *testing.T) {
+	l := Proportions(1, 3).Layout(8, 2)
+	if l.Count(0) != 2 || l.Count(1) != 6 {
+		t.Fatalf("counts %d,%d want 2,6", l.Count(0), l.Count(1))
+	}
+	lz := Proportions(0, 1, 0).Layout(5, 3)
+	if lz.Count(1) != 5 || lz.Count(0) != 0 || lz.Count(2) != 0 {
+		t.Fatal("zero weights mishandled")
+	}
+	if lz.Owner(0) != 1 || lz.Owner(4) != 1 {
+		t.Fatal("owner with zero-weight neighbors broken")
+	}
+}
+
+func TestParseTemplate(t *testing.T) {
+	for _, s := range []string{"", "BLOCK", "CYCLIC", "COLLAPSED", "CONCENTRATED"} {
+		if _, err := ParseTemplate(s); err != nil {
+			t.Fatalf("ParseTemplate(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseTemplate("DIAGONAL"); err == nil {
+		t.Fatal("want error for unknown template")
+	}
+}
+
+func layoutsForQuick(n int) []Layout {
+	return []Layout{
+		BlockTemplate().Layout(n, 1),
+		BlockTemplate().Layout(n, 3),
+		BlockTemplate().Layout(n, 7),
+		CyclicTemplate().Layout(n, 4),
+		CollapsedOn(0).Layout(n, 5),
+		CollapsedOn(2).Layout(n, 3),
+		Proportions(1, 2, 3).Layout(n, 3),
+		Proportions(5, 0, 1, 0).Layout(n, 4),
+	}
+}
+
+func TestLocateGlobalIndexInverseProperty(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		for _, l := range layoutsForQuick(n) {
+			counted := make([]int, l.P)
+			for g := 0; g < n; g++ {
+				r, loc := l.Locate(g)
+				if got := l.GlobalIndex(r, loc); got != g {
+					t.Fatalf("%v: GlobalIndex(Locate(%d)) = %d", l, g, got)
+				}
+				counted[r]++
+			}
+			for r := 0; r < l.P; r++ {
+				if counted[r] != l.Count(r) {
+					t.Fatalf("%v: rank %d owns %d indices but Count says %d", l, r, counted[r], l.Count(r))
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleCoversEveryElementExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 13, 64} {
+		for _, src := range layoutsForQuick(n) {
+			for _, dst := range layoutsForQuick(n) {
+				s := NewSchedule(src, dst)
+				seen := make([]int, n)
+				for _, m := range s.Moves {
+					for _, r := range m.Runs {
+						for k := 0; k < r.Len; k++ {
+							g := r.Global + k
+							seen[g]++
+							so, sl := src.Locate(g)
+							do, dl := dst.Locate(g)
+							if so != m.From || do != m.To {
+								t.Fatalf("run endpoint mismatch at g=%d", g)
+							}
+							if sl != r.SrcOff+k || dl != r.DstOff+k {
+								t.Fatalf("run offsets wrong at g=%d", g)
+							}
+						}
+					}
+				}
+				for g, c := range seen {
+					if c != 1 {
+						t.Fatalf("%v->%v: element %d moved %d times", src, dst, g, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBlockBlockScheduleIsCompact(t *testing.T) {
+	src := BlockTemplate().Layout(1000, 4)
+	dst := BlockTemplate().Layout(1000, 10)
+	s := NewSchedule(src, dst)
+	runs := 0
+	for _, m := range s.Moves {
+		runs += len(m.Runs)
+	}
+	if runs > 13 {
+		t.Fatalf("block->block schedule has %d runs, want <= srcP+dstP-1", runs)
+	}
+}
+
+func TestIdentityScheduleIsAllLocal(t *testing.T) {
+	l := BlockTemplate().Layout(100, 4)
+	s := NewSchedule(l, l)
+	for _, m := range s.Moves {
+		if !m.Local() {
+			t.Fatalf("identity schedule moved %d->%d", m.From, m.To)
+		}
+	}
+}
+
+func TestFunnelSchedule(t *testing.T) {
+	src := BlockTemplate().Layout(40, 4)
+	dst := BlockTemplate().Layout(40, 2)
+	gather, scatter := FunnelSchedule(src, dst)
+	for _, m := range gather.Moves {
+		if m.To != 0 {
+			t.Fatalf("gather move targets %d, want 0", m.To)
+		}
+	}
+	for _, m := range scatter.Moves {
+		if m.From != 0 {
+			t.Fatalf("scatter move from %d, want 0", m.From)
+		}
+	}
+	if gather.Src.N != 40 || scatter.Dst.N != 40 {
+		t.Fatal("funnel lost length")
+	}
+}
+
+func TestMoveElements(t *testing.T) {
+	src := BlockTemplate().Layout(10, 2)
+	dst := CollapsedOn(0).Layout(10, 2)
+	s := NewSchedule(src, dst)
+	total := 0
+	for _, m := range s.Moves {
+		total += m.Elements()
+	}
+	if total != 10 {
+		t.Fatalf("schedule moves %d elements, want 10", total)
+	}
+}
+
+func TestLayoutEqual(t *testing.T) {
+	a := BlockTemplate().Layout(10, 4)
+	b := BlockTemplate().Layout(10, 4)
+	c := CyclicTemplate().Layout(10, 4)
+	if !a.Equal(b) || a.Equal(c) {
+		t.Fatal("Equal broken")
+	}
+	// Cross-kind comparison with identical ownership: block over 1 thread
+	// equals collapsed over 1 thread.
+	d := BlockTemplate().Layout(10, 1)
+	e := CollapsedOn(0).Layout(10, 1)
+	if !d.Equal(e) {
+		t.Fatal("single-thread block should equal collapsed")
+	}
+}
+
+func TestQuickWeightedCountsSum(t *testing.T) {
+	f := func(n uint16, w1, w2, w3 uint8) bool {
+		weights := []float64{float64(w1), float64(w2), float64(w3)}
+		l := Proportions(weights...).Layout(int(n)%5000, 3)
+		return l.Count(0)+l.Count(1)+l.Count(2) == int(n)%5000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero threads", func() { BlockTemplate().Layout(10, 0) })
+	mustPanic("bad root", func() { CollapsedOn(9).Layout(10, 2) })
+	mustPanic("weights mismatch", func() { Proportions(1, 2).Layout(10, 3) })
+	mustPanic("locate out of range", func() { BlockTemplate().Layout(10, 2).Locate(10) })
+	mustPanic("cyclic start", func() { CyclicTemplate().Layout(10, 2).Start(0) })
+	mustPanic("schedule length mismatch", func() {
+		NewSchedule(BlockTemplate().Layout(5, 2), BlockTemplate().Layout(6, 2))
+	})
+}

@@ -1,0 +1,38 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"pardis/internal/dist"
+)
+
+// A transfer schedule between a 2-thread client layout and a 3-thread
+// server layout: every (client thread, server thread) pair gets the exact
+// element runs it must ship — the plan behind the ORB's direct parallel
+// argument transfer.
+func ExampleNewSchedule() {
+	client := dist.BlockTemplate().Layout(12, 2) // threads own 6+6
+	server := dist.BlockTemplate().Layout(12, 3) // threads own 4+4+4
+	s := dist.NewSchedule(client, server)
+	for _, m := range s.Moves {
+		for _, r := range m.Runs {
+			fmt.Printf("client %d -> server %d: %d elements from global %d\n",
+				m.From, m.To, r.Len, r.Global)
+		}
+	}
+	// Output:
+	// client 0 -> server 0: 4 elements from global 0
+	// client 0 -> server 1: 2 elements from global 4
+	// client 1 -> server 1: 2 elements from global 6
+	// client 1 -> server 2: 4 elements from global 8
+}
+
+// Distribution templates instantiate to concrete ownership maps.
+func ExampleTemplate_Layout() {
+	l := dist.Proportions(1, 3).Layout(8, 2) // "in what proportions ..." (§3.2)
+	fmt.Println("thread 0 owns", l.Count(0), "elements starting at", l.Start(0))
+	fmt.Println("thread 1 owns", l.Count(1), "elements starting at", l.Start(1))
+	// Output:
+	// thread 0 owns 2 elements starting at 0
+	// thread 1 owns 6 elements starting at 2
+}

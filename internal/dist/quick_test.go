@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomLayout derives an arbitrary layout from fuzz inputs.
+func randomLayout(n int, p int, kindSel uint8, rng *rand.Rand) Layout {
+	switch kindSel % 4 {
+	case 0:
+		return BlockTemplate().Layout(n, p)
+	case 1:
+		return CyclicTemplate().Layout(n, p)
+	case 2:
+		return CollapsedOn(rng.Intn(p)).Layout(n, p)
+	default:
+		w := make([]float64, p)
+		for i := range w {
+			w[i] = rng.Float64() * 10
+		}
+		return Proportions(w...).Layout(n, p)
+	}
+}
+
+// TestQuickSchedulePartition: for arbitrary layout pairs, the schedule
+// moves every element exactly once with correct endpoints and offsets.
+func TestQuickSchedulePartition(t *testing.T) {
+	f := func(seed int64, nRaw uint16, srcP, dstP, srcKind, dstKind uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 300
+		sp := int(srcP)%6 + 1
+		dp := int(dstP)%6 + 1
+		src := randomLayout(n, sp, srcKind, rng)
+		dst := randomLayout(n, dp, dstKind, rng)
+		s := NewSchedule(src, dst)
+		seen := make([]int, n)
+		for _, m := range s.Moves {
+			for _, r := range m.Runs {
+				for k := 0; k < r.Len; k++ {
+					g := r.Global + k
+					if g < 0 || g >= n {
+						return false
+					}
+					seen[g]++
+					so, sl := src.Locate(g)
+					do, dl := dst.Locate(g)
+					if so != m.From || do != m.To || sl != r.SrcOff+k || dl != r.DstOff+k {
+						return false
+					}
+				}
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLayoutWireRoundTrip: every layout survives the wire encoding.
+func TestQuickLayoutWireRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16, pRaw, kindSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 1000
+		p := int(pRaw)%8 + 1
+		l := randomLayout(n, p, kindSel, rng)
+		e := newTestEncoder()
+		EncodeLayout(e, l)
+		got, err := DecodeLayout(newTestDecoder(e))
+		if err != nil {
+			return false
+		}
+		return got.Equal(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTemplateWireRoundTrip: templates survive the wire and produce
+// identical layouts on both sides.
+func TestQuickTemplateWireRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16, pRaw, kindSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := int(pRaw)%8 + 1
+		n := int(nRaw) % 1000
+		var tmpl Template
+		switch kindSel % 4 {
+		case 0:
+			tmpl = BlockTemplate()
+		case 1:
+			tmpl = CyclicTemplate()
+		case 2:
+			tmpl = CollapsedOn(rng.Intn(p))
+		default:
+			w := make([]float64, p)
+			for i := range w {
+				w[i] = rng.Float64() * 5
+			}
+			tmpl = Proportions(w...)
+		}
+		e := newTestEncoder()
+		EncodeTemplate(e, tmpl)
+		got, err := DecodeTemplate(newTestDecoder(e))
+		if err != nil {
+			return false
+		}
+		return got.Layout(n, p).Equal(tmpl.Layout(n, p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

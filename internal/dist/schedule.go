@@ -1,0 +1,109 @@
+package dist
+
+// Run is a maximal run of elements moving between one (source thread,
+// destination thread) pair: Len elements starting at global index Global,
+// at SrcOff in the source thread's local storage and DstOff in the
+// destination thread's.
+type Run struct {
+	Global int
+	Len    int
+	SrcOff int
+	DstOff int
+}
+
+// Move is the complete element traffic between one source thread and one
+// destination thread.
+type Move struct {
+	From, To int
+	Runs     []Run
+}
+
+// Elements reports the total element count of the move.
+func (m Move) Elements() int {
+	n := 0
+	for _, r := range m.Runs {
+		n += r.Len
+	}
+	return n
+}
+
+// Schedule is an element-exchange plan between a source and a destination
+// layout of the same global length.
+type Schedule struct {
+	Src, Dst Layout
+	Moves    []Move
+}
+
+// NewSchedule computes the exchange plan from src to dst. Both layouts must
+// describe the same global length (the thread counts may differ — that is
+// precisely the client/server case). Runs are maximal: consecutive global
+// indices with the same (owner pair) and contiguous local offsets coalesce,
+// so block-to-block schedules have O(srcP + dstP) runs.
+func NewSchedule(src, dst Layout) Schedule {
+	if src.N != dst.N {
+		panic("dist: schedule between layouts of different lengths")
+	}
+	s := Schedule{Src: src, Dst: dst}
+	type key struct{ from, to int }
+	open := map[key]*Move{}
+	order := []key{}
+	var cur *Run
+	var curKey key
+	for g := 0; g < src.N; g++ {
+		so, sl := src.Locate(g)
+		do, dl := dst.Locate(g)
+		k := key{so, do}
+		if cur != nil && k == curKey &&
+			sl == cur.SrcOff+cur.Len && dl == cur.DstOff+cur.Len {
+			cur.Len++
+			continue
+		}
+		m := open[k]
+		if m == nil {
+			m = &Move{From: so, To: do}
+			open[k] = m
+			order = append(order, k)
+		}
+		m.Runs = append(m.Runs, Run{Global: g, Len: 1, SrcOff: sl, DstOff: dl})
+		cur = &m.Runs[len(m.Runs)-1]
+		curKey = k
+	}
+	for _, k := range order {
+		s.Moves = append(s.Moves, *open[k])
+	}
+	return s
+}
+
+// MovesFrom returns the moves whose source is the given thread.
+func (s Schedule) MovesFrom(rank int) []Move {
+	var out []Move
+	for _, m := range s.Moves {
+		if m.From == rank {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MovesTo returns the moves whose destination is the given thread.
+func (s Schedule) MovesTo(rank int) []Move {
+	var out []Move
+	for _, m := range s.Moves {
+		if m.To == rank {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Local reports whether the move stays on one thread when source and
+// destination programs are the same (used by in-place redistribution).
+func (m Move) Local() bool { return m.From == m.To }
+
+// FunnelSchedule is the baseline the paper improves on: all elements are
+// gathered to source thread 0, then scattered from it — every run's
+// endpoint on one side is thread 0. Used by the parallel-transfer ablation.
+func FunnelSchedule(src, dst Layout) (gather Schedule, scatter Schedule) {
+	mid := CollapsedOn(0).Layout(src.N, src.P)
+	return NewSchedule(src, mid), NewSchedule(mid, dst)
+}

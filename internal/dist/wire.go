@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"fmt"
+
+	"pardis/internal/cdr"
+)
+
+// EncodeTemplate writes a distribution template in wire form (kind, root,
+// weights) so a peer can instantiate the identical layout.
+func EncodeTemplate(e *cdr.Encoder, t Template) {
+	e.PutOctet(byte(t.Kind))
+	e.PutLong(int32(t.Root))
+	e.PutSeqLen(len(t.Weights))
+	for _, w := range t.Weights {
+		e.PutDouble(w)
+	}
+}
+
+// DecodeTemplate reads a template written by EncodeTemplate.
+func DecodeTemplate(d *cdr.Decoder) (Template, error) {
+	k := Kind(d.GetOctet())
+	root := int(d.GetLong())
+	n := d.GetSeqLen(8)
+	var weights []float64
+	for i := 0; i < n; i++ {
+		weights = append(weights, d.GetDouble())
+	}
+	if err := d.Err(); err != nil {
+		return Template{}, err
+	}
+	switch k {
+	case Block, Cyclic, Collapsed, Weighted:
+		return Template{Kind: k, Root: root, Weights: weights}, nil
+	}
+	return Template{}, fmt.Errorf("dist: bad template kind %d on wire", k)
+}
+
+// EncodeLayout writes a concrete layout (including explicit ranges for
+// weighted layouts) so the receiver reconstructs identical ownership.
+func EncodeLayout(e *cdr.Encoder, l Layout) {
+	e.PutOctet(byte(l.Kind))
+	e.PutLong(int32(l.N))
+	e.PutLong(int32(l.P))
+	e.PutLong(int32(l.Root))
+	if l.Kind == Cyclic {
+		return
+	}
+	e.PutSeqLen(len(l.counts))
+	for i := range l.counts {
+		e.PutLong(int32(l.starts[i]))
+		e.PutLong(int32(l.counts[i]))
+	}
+}
+
+// DecodeLayout reads a layout written by EncodeLayout.
+func DecodeLayout(d *cdr.Decoder) (Layout, error) {
+	l := Layout{
+		Kind: Kind(d.GetOctet()),
+		N:    int(d.GetLong()),
+		P:    int(d.GetLong()),
+		Root: int(d.GetLong()),
+	}
+	if err := d.Err(); err != nil {
+		return Layout{}, err
+	}
+	if l.N < 0 || l.P <= 0 {
+		return Layout{}, fmt.Errorf("dist: bad layout dims n=%d p=%d on wire", l.N, l.P)
+	}
+	if l.Kind == Cyclic {
+		return l, nil
+	}
+	n := d.GetSeqLen(8)
+	if n != l.P {
+		if err := d.Err(); err != nil {
+			return Layout{}, err
+		}
+		return Layout{}, fmt.Errorf("dist: layout has %d ranges for %d threads", n, l.P)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		l.starts = append(l.starts, int(d.GetLong()))
+		c := int(d.GetLong())
+		if c < 0 {
+			return Layout{}, fmt.Errorf("dist: negative count on wire")
+		}
+		l.counts = append(l.counts, c)
+		total += c
+	}
+	if err := d.Err(); err != nil {
+		return Layout{}, err
+	}
+	if total != l.N {
+		return Layout{}, fmt.Errorf("dist: layout ranges cover %d of %d elements", total, l.N)
+	}
+	return l, nil
+}

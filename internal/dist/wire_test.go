@@ -1,0 +1,44 @@
+package dist
+
+import (
+	"testing"
+
+	"pardis/internal/cdr"
+)
+
+func newTestEncoder() *cdr.Encoder               { return cdr.NewEncoder(128) }
+func newTestDecoder(e *cdr.Encoder) *cdr.Decoder { return cdr.NewDecoder(e.Bytes()) }
+
+func TestWireRejectsCorruptLayouts(t *testing.T) {
+	// Truncation at every cut must error, never panic.
+	e := newTestEncoder()
+	EncodeLayout(e, Proportions(1, 2, 3).Layout(60, 3))
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := DecodeLayout(cdr.NewDecoder(full[:cut])); err == nil {
+			t.Fatalf("cut=%d accepted", cut)
+		}
+	}
+	// A layout whose ranges don't sum to N is rejected.
+	bad := cdr.NewEncoder(64)
+	bad.PutOctet(byte(Block))
+	bad.PutLong(10) // N
+	bad.PutLong(2)  // P
+	bad.PutLong(0)  // root
+	bad.PutSeqLen(2)
+	bad.PutLong(0)
+	bad.PutLong(3) // counts sum to 7, not 10
+	bad.PutLong(3)
+	bad.PutLong(4)
+	if _, err := DecodeLayout(cdr.NewDecoder(bad.Bytes())); err == nil {
+		t.Fatal("short-coverage layout accepted")
+	}
+	// Unknown template kind rejected.
+	bt := cdr.NewEncoder(16)
+	bt.PutOctet(99)
+	bt.PutLong(0)
+	bt.PutSeqLen(0)
+	if _, err := DecodeTemplate(cdr.NewDecoder(bt.Bytes())); err == nil {
+		t.Fatal("bad template kind accepted")
+	}
+}

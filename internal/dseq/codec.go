@@ -1,0 +1,142 @@
+package dseq
+
+import (
+	"fmt"
+
+	"pardis/internal/cdr"
+	"pardis/internal/typecode"
+)
+
+// Codec encodes and decodes runs of elements for transfer between address
+// spaces. The same codec serves network transport and transfers inside a
+// parallel program's communication domain — the reuse the paper highlights
+// for compiler-generated marshaling.
+type Codec[T any] interface {
+	// Encode appends v's elements (no count prefix; run lengths travel in
+	// the schedule).
+	Encode(e *cdr.Encoder, v []T)
+	// Decode reads exactly n elements.
+	Decode(d *cdr.Decoder, n int) ([]T, error)
+	// TypeCode describes the element type.
+	TypeCode() *typecode.TypeCode
+}
+
+// Float64Codec encodes IDL double elements.
+type Float64Codec struct{}
+
+// Encode implements Codec.
+func (Float64Codec) Encode(e *cdr.Encoder, v []float64) {
+	for _, x := range v {
+		e.PutDouble(x)
+	}
+}
+
+// Decode implements Codec.
+func (Float64Codec) Decode(d *cdr.Decoder, n int) ([]float64, error) {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.GetDouble()
+	}
+	return out, d.Err()
+}
+
+// TypeCode implements Codec.
+func (Float64Codec) TypeCode() *typecode.TypeCode { return typecode.TCDouble }
+
+// Int32Codec encodes IDL long elements.
+type Int32Codec struct{}
+
+// Encode implements Codec.
+func (Int32Codec) Encode(e *cdr.Encoder, v []int32) {
+	for _, x := range v {
+		e.PutLong(x)
+	}
+}
+
+// Decode implements Codec.
+func (Int32Codec) Decode(d *cdr.Decoder, n int) ([]int32, error) {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = d.GetLong()
+	}
+	return out, d.Err()
+}
+
+// TypeCode implements Codec.
+func (Int32Codec) TypeCode() *typecode.TypeCode { return typecode.TCLong }
+
+// OctetCodec encodes IDL octet elements.
+type OctetCodec struct{}
+
+// Encode implements Codec.
+func (OctetCodec) Encode(e *cdr.Encoder, v []byte) { e.PutRaw(v) }
+
+// Decode implements Codec.
+func (OctetCodec) Decode(d *cdr.Decoder, n int) ([]byte, error) {
+	b := d.GetRaw(n)
+	if b == nil {
+		return nil, d.Err()
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+// TypeCode implements Codec.
+func (OctetCodec) TypeCode() *typecode.TypeCode { return typecode.TCOctet }
+
+// StringCodec encodes IDL string elements (dynamically sized).
+type StringCodec struct{}
+
+// Encode implements Codec.
+func (StringCodec) Encode(e *cdr.Encoder, v []string) {
+	for _, s := range v {
+		e.PutString(s)
+	}
+}
+
+// Decode implements Codec.
+func (StringCodec) Decode(d *cdr.Decoder, n int) ([]string, error) {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.GetString()
+	}
+	return out, d.Err()
+}
+
+// TypeCode implements Codec.
+func (StringCodec) TypeCode() *typecode.TypeCode { return typecode.TCString }
+
+// AnyCodec encodes elements of an arbitrary IDL type, driven by its
+// typecode — the path the compiler uses for dynamically-sized nested
+// element types such as sequence<double> rows of a matrix.
+type AnyCodec struct {
+	TC *typecode.TypeCode // element type
+}
+
+// Encode implements Codec.
+func (c AnyCodec) Encode(e *cdr.Encoder, v []any) {
+	for i, el := range v {
+		if err := typecode.Marshal(e, c.TC, el); err != nil {
+			// Encoding into an in-memory buffer fails only on a type
+			// mismatch, which is a programming error at this layer.
+			panic(fmt.Sprintf("dseq: element %d: %v", i, err))
+		}
+	}
+}
+
+// Decode implements Codec.
+func (c AnyCodec) Decode(d *cdr.Decoder, n int) ([]any, error) {
+	out := make([]any, n)
+	for i := range out {
+		v, err := typecode.Unmarshal(d, c.TC)
+		if err != nil {
+			return nil, fmt.Errorf("dseq: element %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// TypeCode implements Codec.
+func (c AnyCodec) TypeCode() *typecode.TypeCode { return c.TC }

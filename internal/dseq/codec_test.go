@@ -1,0 +1,71 @@
+package dseq
+
+import (
+	"testing"
+
+	"pardis/internal/typecode"
+)
+
+// codecRoundTrip encodes a slice through a codec and decodes it back.
+func codecRoundTrip[T comparable](t *testing.T, c Codec[T], in []T) {
+	t.Helper()
+	e := newEnc()
+	c.Encode(e, in)
+	got, err := c.Decode(newDec(e), len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("got %d elements, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("element %d = %v, want %v", i, got[i], in[i])
+		}
+	}
+	if c.TypeCode() == nil {
+		t.Fatal("nil typecode")
+	}
+}
+
+func TestCodecsRoundTrip(t *testing.T) {
+	codecRoundTrip[float64](t, Float64Codec{}, []float64{1.5, -2, 0, 9e9})
+	codecRoundTrip[int32](t, Int32Codec{}, []int32{0, -1, 1 << 30})
+	codecRoundTrip[byte](t, OctetCodec{}, []byte{0, 127, 255})
+	codecRoundTrip[string](t, StringCodec{}, []string{"", "ACGT", "x"})
+	if Int32Codec.TypeCode(Int32Codec{}).Kind != typecode.Long {
+		t.Fatal("Int32Codec typecode")
+	}
+	if OctetCodec.TypeCode(OctetCodec{}).Kind != typecode.Octet {
+		t.Fatal("OctetCodec typecode")
+	}
+}
+
+func TestCodecsTruncationErrors(t *testing.T) {
+	e := newEnc()
+	Float64Codec{}.Encode(e, []float64{1})
+	if _, err := (Float64Codec{}).Decode(newDec(e), 2); err == nil {
+		t.Fatal("float64 over-read accepted")
+	}
+	e2 := newEnc()
+	OctetCodec{}.Encode(e2, []byte{1, 2})
+	if _, err := (OctetCodec{}).Decode(newDec(e2), 3); err == nil {
+		t.Fatal("octet over-read accepted")
+	}
+	e3 := newEnc()
+	Int32Codec{}.Encode(e3, []int32{1})
+	if _, err := (Int32Codec{}).Decode(newDec(e3), 2); err == nil {
+		t.Fatal("int32 over-read accepted")
+	}
+}
+
+func TestSetBoundAccessors(t *testing.T) {
+	s := Sequential([]float64{1, 2}, Float64Codec{})
+	s.SetBound(16)
+	if s.Bound() != 16 {
+		t.Fatal("bound accessor")
+	}
+	if s.Codec() == nil || s.ElemTypeCode().Kind != typecode.Double {
+		t.Fatal("codec accessors")
+	}
+}

@@ -1,0 +1,286 @@
+package dseq
+
+import (
+	"fmt"
+	"testing"
+
+	"pardis/internal/dist"
+	"pardis/internal/rts"
+	"pardis/internal/simnet"
+	"pardis/internal/vtime"
+)
+
+// runSPMD executes body over n chan-backend threads.
+func runSPMD(n int, body func(th rts.Thread)) {
+	rts.NewChanGroup("test", n).Run(body)
+}
+
+func fill(s *DSeq[float64]) {
+	// Every thread writes its owned elements to their global index value.
+	r := s.Rank()
+	for loc := range s.Local() {
+		s.Local()[loc] = float64(s.Layout().GlobalIndex(r, loc))
+	}
+}
+
+func checkGlobal(t *testing.T, s *DSeq[float64]) {
+	r := s.Rank()
+	for loc, v := range s.Local() {
+		want := float64(s.Layout().GlobalIndex(r, loc))
+		if v != want {
+			panic(fmt.Sprintf("rank %d local[%d] = %v, want %v", r, loc, v, want))
+		}
+	}
+	_ = t
+}
+
+func TestNewAllocatesPerLayout(t *testing.T) {
+	runSPMD(4, func(th rts.Thread) {
+		s := New[float64](th, 10, dist.BlockTemplate(), Float64Codec{})
+		if len(s.Local()) != s.Layout().Count(th.Rank()) {
+			panic("local size mismatch")
+		}
+		if s.Len() != 10 {
+			panic("global length wrong")
+		}
+	})
+}
+
+func TestRedistributeBlockToCyclicAndBack(t *testing.T) {
+	runSPMD(3, func(th rts.Thread) {
+		s := New[float64](th, 17, dist.BlockTemplate(), Float64Codec{})
+		fill(s)
+		s.Redistribute(dist.CyclicTemplate())
+		checkGlobal(t, s)
+		s.Redistribute(dist.BlockTemplate())
+		checkGlobal(t, s)
+	})
+}
+
+func TestRedistributeToCollapsed(t *testing.T) {
+	runSPMD(4, func(th rts.Thread) {
+		s := New[float64](th, 9, dist.BlockTemplate(), Float64Codec{})
+		fill(s)
+		s.Redistribute(dist.CollapsedOn(2))
+		if th.Rank() == 2 {
+			if len(s.Local()) != 9 {
+				panic("collapsed owner does not hold everything")
+			}
+			checkGlobal(t, s)
+		} else if len(s.Local()) != 0 {
+			panic("non-owner retained elements")
+		}
+	})
+}
+
+func TestRedistributeProportions(t *testing.T) {
+	runSPMD(2, func(th rts.Thread) {
+		s := New[float64](th, 8, dist.BlockTemplate(), Float64Codec{})
+		fill(s)
+		s.Redistribute(dist.Proportions(1, 3))
+		checkGlobal(t, s)
+		if th.Rank() == 0 && len(s.Local()) != 2 {
+			panic("proportions not honored")
+		}
+	})
+}
+
+func TestGatherTo(t *testing.T) {
+	runSPMD(3, func(th rts.Thread) {
+		s := New[float64](th, 11, dist.CyclicTemplate(), Float64Codec{})
+		fill(s)
+		full := s.GatherTo(1)
+		if th.Rank() == 1 {
+			if len(full) != 11 {
+				panic("gather wrong length")
+			}
+			for i, v := range full {
+				if v != float64(i) {
+					panic(fmt.Sprintf("full[%d] = %v", i, v))
+				}
+			}
+		} else if full != nil {
+			panic("non-root got data")
+		}
+		// Gather must not disturb the sequence itself.
+		checkGlobal(t, s)
+	})
+}
+
+func TestScatter(t *testing.T) {
+	runSPMD(4, func(th rts.Thread) {
+		var full []float64
+		if th.Rank() == 0 {
+			full = make([]float64, 13)
+			for i := range full {
+				full[i] = float64(i)
+			}
+		}
+		s := Scatter(th, 0, full, 13, dist.BlockTemplate(), Float64Codec{})
+		checkGlobal(t, s)
+	})
+}
+
+func TestWrapNoOwnership(t *testing.T) {
+	runSPMD(2, func(th rts.Thread) {
+		l := dist.BlockTemplate().Layout(6, 2)
+		mine := make([]float64, l.Count(th.Rank()))
+		s := Wrap(th, l, mine, Float64Codec{})
+		s.Local()[0] = 42
+		if mine[0] != 42 {
+			panic("Wrap copied the data — no-ownership violated")
+		}
+	})
+}
+
+func TestWrapValidatesLength(t *testing.T) {
+	runSPMD(2, func(th rts.Thread) {
+		defer func() {
+			if recover() == nil {
+				panic("want panic on bad Wrap length")
+			}
+		}()
+		Wrap(th, dist.BlockTemplate().Layout(6, 2), make([]float64, 99), Float64Codec{})
+	})
+}
+
+func TestLocationTransparentAccess(t *testing.T) {
+	runSPMD(3, func(th rts.Thread) {
+		s := New[float64](th, 12, dist.BlockTemplate(), Float64Codec{})
+		fill(s)
+		if err := s.Share(); err != nil {
+			panic(err)
+		}
+		th.Barrier()
+		// Every thread reads every element, local or not.
+		for g := 0; g < 12; g++ {
+			if s.At(g) != float64(g) {
+				panic(fmt.Sprintf("At(%d) = %v", g, s.At(g)))
+			}
+		}
+		th.Barrier()
+		// Remote write from rank 0; owner observes it.
+		if th.Rank() == 0 {
+			s.Set(11, -1)
+		}
+		th.Barrier()
+		if th.Rank() == 2 {
+			loc := len(s.Local()) - 1
+			if s.Local()[loc] != -1 {
+				panic("remote Set not visible to owner")
+			}
+		}
+	})
+}
+
+func TestRemoteAccessWithoutSharePanics(t *testing.T) {
+	runSPMD(2, func(th rts.Thread) {
+		s := New[float64](th, 4, dist.BlockTemplate(), Float64Codec{})
+		if th.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					panic("want panic for unshared remote access")
+				}
+			}()
+			_ = s.At(3)
+		}
+	})
+}
+
+func TestSequentialContext(t *testing.T) {
+	s := Sequential([]float64{5, 6, 7}, Float64Codec{})
+	if s.Len() != 3 || s.At(1) != 6 {
+		t.Fatal("sequential basics broken")
+	}
+	s.Set(2, 9)
+	if s.Local()[2] != 9 {
+		t.Fatal("sequential Set broken")
+	}
+	s.RedistributeTo(dist.BlockTemplate().Layout(3, 1)) // no-op reshape
+	if s.At(2) != 9 {
+		t.Fatal("redistribute lost data")
+	}
+}
+
+func TestNestedDynamicElements(t *testing.T) {
+	// dsequence of dynamically-sized rows (the paper's matrix type).
+	rowTC := func() *AnyCodec {
+		return &AnyCodec{TC: seqDoubleTC()}
+	}
+	runSPMD(2, func(th rts.Thread) {
+		s := New[any](th, 5, dist.BlockTemplate(), *rowTC())
+		for loc := range s.Local() {
+			g := s.Layout().GlobalIndex(th.Rank(), loc)
+			row := make([]float64, g+1) // ragged rows
+			for i := range row {
+				row[i] = float64(g*100 + i)
+			}
+			s.Local()[loc] = row
+		}
+		s.Redistribute(dist.CyclicTemplate())
+		for loc := range s.Local() {
+			g := s.Layout().GlobalIndex(th.Rank(), loc)
+			row := s.Local()[loc].([]float64)
+			if len(row) != g+1 || (g > 0 && row[g] != float64(g*100+g)) {
+				panic(fmt.Sprintf("row %d corrupted after redistribution: %v", g, row))
+			}
+		}
+	})
+}
+
+func TestStringElements(t *testing.T) {
+	runSPMD(2, func(th rts.Thread) {
+		s := New[string](th, 4, dist.BlockTemplate(), StringCodec{})
+		for loc := range s.Local() {
+			g := s.Layout().GlobalIndex(th.Rank(), loc)
+			s.Local()[loc] = fmt.Sprintf("elem-%d", g)
+		}
+		s.Redistribute(dist.CollapsedOn(1))
+		if th.Rank() == 1 {
+			for i, v := range s.Local() {
+				if v != fmt.Sprintf("elem-%d", i) {
+					panic("string element corrupted")
+				}
+			}
+		}
+	})
+}
+
+func TestDistributedInterfaceRoundTrip(t *testing.T) {
+	// Exercise EncodeRuns/DecodeRuns as the ORB would: ship a block-owned
+	// range between two independent sequences.
+	src := Sequential([]float64{0, 1, 2, 3, 4, 5}, Float64Codec{})
+	dst := Sequential(make([]float64, 6), Float64Codec{})
+	sched := dist.NewSchedule(src.DLayout(), dst.DLayout())
+	for _, m := range sched.Moves {
+		e := newEnc()
+		src.EncodeRuns(e, m.Runs)
+		if err := dst.DecodeRuns(newDec(e), m.Runs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range dst.Local() {
+		if v != float64(i) {
+			t.Fatalf("dst[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestSimBackendRedistributionCostsTime(t *testing.T) {
+	sim := vtime.NewSim()
+	host := simnet.NewHost("h", 1, 4, vtime.Microseconds(10), 1e8)
+	g := rts.NewSimGroup(sim, host, 4)
+	g.Spawn("w", func(th rts.Thread) {
+		s := New[float64](th, 100_000, dist.BlockTemplate(), Float64Codec{})
+		fill(s)
+		s.Redistribute(dist.CyclicTemplate())
+		checkGlobal(t, s)
+	})
+	final, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final <= 0 {
+		t.Fatal("redistribution consumed no virtual time")
+	}
+}

@@ -1,0 +1,101 @@
+package dseq
+
+import (
+	"fmt"
+
+	"pardis/internal/dist"
+	"pardis/internal/rts"
+	"pardis/internal/typecode"
+)
+
+// NewFromLayout creates a distributed sequence with an explicit layout,
+// allocating zeroed local storage for this thread's share.
+func NewFromLayout[T any](comm rts.Comm, l dist.Layout, codec Codec[T]) *DSeq[T] {
+	return &DSeq[T]{
+		comm:   comm,
+		layout: l,
+		local:  make([]T, l.Count(commRank(comm))),
+		codec:  codec,
+	}
+}
+
+// NewByTC creates a distributed sequence whose element type is known only
+// as a typecode — the path the ORB and the dynamic invocation interface use
+// to materialize argument holders. Primitive element kinds get their
+// specialized codecs; everything else goes through the typecode-driven
+// AnyCodec.
+func NewByTC(comm rts.Comm, l dist.Layout, elem *typecode.TypeCode) Distributed {
+	switch elem.Kind {
+	case typecode.Double:
+		return NewFromLayout[float64](comm, l, Float64Codec{})
+	case typecode.Long:
+		return NewFromLayout[int32](comm, l, Int32Codec{})
+	case typecode.Octet, typecode.Char:
+		return NewFromLayout[byte](comm, l, OctetCodec{})
+	case typecode.String:
+		return NewFromLayout[string](comm, l, StringCodec{})
+	default:
+		return NewFromLayout[any](comm, l, AnyCodec{TC: elem})
+	}
+}
+
+// EmptyByTC creates a zero-length holder for a distributed out argument
+// whose length is not yet known; the ORB reshapes it when the reply
+// announces the length.
+func EmptyByTC(comm rts.Comm, elem *typecode.TypeCode) Distributed {
+	p := 1
+	if comm != nil {
+		p = comm.Size()
+	}
+	return NewByTC(comm, dist.BlockTemplate().Layout(0, p), elem)
+}
+
+// Comm exposes the sequence's communicator (nil in a sequential context).
+func (s *DSeq[T]) Comm() rts.Comm { return s.comm }
+
+// AsFloat64 asserts a Distributed holder to its concrete float64 sequence,
+// panicking with a helpful message otherwise — the typed accessor generated
+// stubs use.
+func AsFloat64(d Distributed) *DSeq[float64] {
+	s, ok := d.(*DSeq[float64])
+	if !ok {
+		panic(fmt.Sprintf("dseq: holder is %T, want *DSeq[float64]", d))
+	}
+	return s
+}
+
+// AsInt32 asserts a Distributed holder to its concrete int32 sequence.
+func AsInt32(d Distributed) *DSeq[int32] {
+	s, ok := d.(*DSeq[int32])
+	if !ok {
+		panic(fmt.Sprintf("dseq: holder is %T, want *DSeq[int32]", d))
+	}
+	return s
+}
+
+// AsString asserts a Distributed holder to its concrete string sequence.
+func AsString(d Distributed) *DSeq[string] {
+	s, ok := d.(*DSeq[string])
+	if !ok {
+		panic(fmt.Sprintf("dseq: holder is %T, want *DSeq[string]", d))
+	}
+	return s
+}
+
+// AsAny asserts a Distributed holder to its dynamic-element sequence.
+func AsAny(d Distributed) *DSeq[any] {
+	s, ok := d.(*DSeq[any])
+	if !ok {
+		panic(fmt.Sprintf("dseq: holder is %T, want *DSeq[any]", d))
+	}
+	return s
+}
+
+// AsBytes asserts a Distributed holder to its concrete octet sequence.
+func AsBytes(d Distributed) *DSeq[byte] {
+	s, ok := d.(*DSeq[byte])
+	if !ok {
+		panic(fmt.Sprintf("dseq: holder is %T, want *DSeq[byte]", d))
+	}
+	return s
+}

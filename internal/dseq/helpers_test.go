@@ -1,0 +1,17 @@
+package dseq
+
+import (
+	"pardis/internal/cdr"
+	"pardis/internal/typecode"
+)
+
+func newEnc() *cdr.Encoder { return cdr.NewEncoder(256) }
+
+func newDec(e *cdr.Encoder) *cdr.Decoder { return cdr.NewDecoder(e.Bytes()) }
+
+func seqDoubleTC() *typecode.TypeCode { return typecode.SequenceOf(typecode.TCDouble, 0) }
+
+func f64TC() *typecode.TypeCode { return typecode.TCDouble }
+func i32TC() *typecode.TypeCode { return typecode.TCLong }
+func strTC() *typecode.TypeCode { return typecode.TCString }
+func octTC() *typecode.TypeCode { return typecode.TCOctet }

@@ -1,0 +1,148 @@
+package dseq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pardis/internal/dist"
+	"pardis/internal/rts"
+)
+
+// TestQuickRedistributionChainsPreserveContent: arbitrary chains of
+// redistributions never lose or corrupt elements.
+func TestQuickRedistributionChainsPreserveContent(t *testing.T) {
+	f := func(seed int64, nRaw uint16, pRaw uint8, hops []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 500
+		p := int(pRaw)%5 + 1
+		if len(hops) > 6 {
+			hops = hops[:6]
+		}
+		// Redistribution is collective: every thread must pass the same
+		// template, so the hop templates are fixed up front.
+		tmpls := make([]dist.Template, len(hops))
+		for i, h := range hops {
+			switch h % 4 {
+			case 0:
+				tmpls[i] = dist.BlockTemplate()
+			case 1:
+				tmpls[i] = dist.CyclicTemplate()
+			case 2:
+				tmpls[i] = dist.CollapsedOn(int(h) % p)
+			default:
+				w := make([]float64, p)
+				for j := range w {
+					w[j] = rng.Float64() * 4
+				}
+				tmpls[i] = dist.Proportions(w...)
+			}
+		}
+		ok := true
+		rts.NewChanGroup("q", p).Run(func(th rts.Thread) {
+			s := New[float64](th, n, dist.BlockTemplate(), Float64Codec{})
+			for loc := range s.Local() {
+				s.Local()[loc] = float64(s.Layout().GlobalIndex(th.Rank(), loc))
+			}
+			for _, tmpl := range tmpls {
+				s.Redistribute(tmpl)
+			}
+			for loc, v := range s.Local() {
+				if v != float64(s.Layout().GlobalIndex(th.Rank(), loc)) {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGatherScatterInverse: Scatter(GatherTo(x)) is the identity.
+func TestQuickGatherScatterInverse(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw) % 300
+		p := int(pRaw)%5 + 1
+		ok := true
+		rts.NewChanGroup("q", p).Run(func(th rts.Thread) {
+			s := New[float64](th, n, dist.CyclicTemplate(), Float64Codec{})
+			for loc := range s.Local() {
+				s.Local()[loc] = float64(s.Layout().GlobalIndex(th.Rank(), loc))
+			}
+			full := s.GatherTo(0)
+			s2 := Scatter(th, 0, full, n, dist.CyclicTemplate(), Float64Codec{})
+			for loc, v := range s2.Local() {
+				if v != float64(s2.Layout().GlobalIndex(th.Rank(), loc)) {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtSetOnCyclicLayouts(t *testing.T) {
+	rts.NewChanGroup("q", 3).Run(func(th rts.Thread) {
+		s := New[float64](th, 20, dist.CyclicTemplate(), Float64Codec{})
+		if err := s.Share(); err != nil {
+			panic(err)
+		}
+		th.Barrier()
+		if th.Rank() == 0 {
+			for g := 0; g < 20; g++ {
+				s.Set(g, float64(100+g))
+			}
+		}
+		th.Barrier()
+		for g := 0; g < 20; g++ {
+			if s.At(g) != float64(100+g) {
+				panic("cyclic At/Set broken")
+			}
+		}
+	})
+}
+
+func TestReshapeReallocatesOnlyWhenNeeded(t *testing.T) {
+	s := Sequential(make([]float64, 10), Float64Codec{})
+	before := &s.Local()[0]
+	s.Reshape(dist.BlockTemplate().Layout(10, 1)) // same size: keep storage
+	if &s.Local()[0] != before {
+		t.Fatal("Reshape reallocated unnecessarily")
+	}
+	s.Reshape(dist.BlockTemplate().Layout(20, 1))
+	if len(s.Local()) != 20 {
+		t.Fatal("Reshape did not grow storage")
+	}
+}
+
+func TestEmptyByTCAndAsserts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Distributed
+		as   func(Distributed)
+	}{
+		{"float64", func() Distributed { return EmptyByTC(nil, f64TC()) }, func(d Distributed) { AsFloat64(d) }},
+		{"int32", func() Distributed { return EmptyByTC(nil, i32TC()) }, func(d Distributed) { AsInt32(d) }},
+		{"string", func() Distributed { return EmptyByTC(nil, strTC()) }, func(d Distributed) { AsString(d) }},
+		{"byte", func() Distributed { return EmptyByTC(nil, octTC()) }, func(d Distributed) { AsBytes(d) }},
+		{"any", func() Distributed { return EmptyByTC(nil, seqDoubleTC()) }, func(d Distributed) { AsAny(d) }},
+	} {
+		d := tc.mk()
+		if d.GlobalLen() != 0 || d.LocalLen() != 0 {
+			t.Fatalf("%s: empty holder not empty", tc.name)
+		}
+		tc.as(d) // must not panic
+	}
+	// Wrong assertion panics with a useful message.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-type assert did not panic")
+		}
+	}()
+	AsInt32(EmptyByTC(nil, f64TC()))
+}

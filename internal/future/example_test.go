@@ -1,0 +1,27 @@
+package future_test
+
+import (
+	"fmt"
+
+	"pardis/internal/future"
+)
+
+// A non-blocking invocation mints one cell per request; all futures of the
+// request resolve together when the reply arrives.
+func Example() {
+	cell := future.NewCell()
+	x := future.Of[float64](cell, 0)
+	status := future.Of[string](cell, 1)
+
+	fmt.Println("resolved before reply:", x.Resolved())
+
+	// ... the ORB receives the reply and resolves everything at once:
+	cell.Resolve([]any{3.14, "converged"}, nil)
+
+	fmt.Println("resolved after reply:", x.Resolved())
+	fmt.Println(x.MustGet(), status.MustGet())
+	// Output:
+	// resolved before reply: false
+	// resolved after reply: true
+	// 3.14 converged
+}

@@ -1,0 +1,181 @@
+// Package future implements PARDIS futures: placeholders for the results of
+// non-blocking invocations.
+//
+// A non-blocking stub returns immediately after its request is sent, handing
+// the caller futures of its "out" arguments and return value. All futures of
+// one invocation resolve together when the server's reply arrives (paper
+// §3.3). Reading an unresolved future blocks; Resolved polls. The design
+// follows the ABC++ abstraction the paper credits.
+package future
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cell is the shared resolution state of one non-blocking invocation: every
+// future minted for that invocation points at the same cell, so they resolve
+// at the same instant.
+type Cell struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	resolved bool
+	err      error
+	vals     []any
+
+	// pump, when set, is called (unlocked) to drive the underlying
+	// request machinery until progress occurs. Blocking waiters loop on
+	// it; pollers call it once with block=false. The simulated transport
+	// uses it so a waiting client thread executes the ORB's reply
+	// processing on its own virtual clock; the real-time transport
+	// resolves cells from its demultiplexer and leaves pump nil.
+	pump func(block bool)
+}
+
+// NewCell returns an unresolved cell.
+func NewCell() *Cell {
+	c := &Cell{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// SetPump installs the progress function (see Cell.pump). Must be called
+// before any future of this cell is read.
+func (c *Cell) SetPump(pump func(block bool)) { c.pump = pump }
+
+// Resolve delivers the invocation's results (positional out-arguments and
+// return value) or its error, waking all waiters. Resolving twice panics:
+// a reply must arrive exactly once per request.
+func (c *Cell) Resolve(vals []any, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.resolved {
+		panic("future: cell resolved twice")
+	}
+	c.resolved = true
+	c.vals = vals
+	c.err = err
+	c.cond.Broadcast()
+}
+
+// Resolved reports whether results are available, giving the underlying
+// machinery a chance to make progress first (the paper's poll).
+func (c *Cell) Resolved() bool {
+	c.mu.Lock()
+	done := c.resolved
+	c.mu.Unlock()
+	if done {
+		return true
+	}
+	if c.pump != nil {
+		c.pump(false)
+		c.mu.Lock()
+		done = c.resolved
+		c.mu.Unlock()
+	}
+	return done
+}
+
+// Wait blocks until the cell resolves and returns its error.
+func (c *Cell) Wait() error {
+	if c.pump != nil {
+		for !c.Resolved() {
+			c.pump(true)
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.resolved {
+		c.cond.Wait()
+	}
+	return c.err
+}
+
+// Err returns the resolution error; call after Wait or Resolved.
+func (c *Cell) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Values blocks until resolution and returns all result values.
+func (c *Cell) Values() ([]any, error) {
+	if err := c.Wait(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals, nil
+}
+
+func (c *Cell) value(idx int) (any, error) {
+	if err := c.Wait(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx < 0 || idx >= len(c.vals) {
+		return nil, fmt.Errorf("future: no value at position %d (reply carried %d)", idx, len(c.vals))
+	}
+	return c.vals[idx], nil
+}
+
+// Future is a typed placeholder for one result of a non-blocking
+// invocation. The zero Future is invalid; obtain futures from Of.
+type Future[T any] struct {
+	cell *Cell
+	idx  int
+}
+
+// Of mints the future for the idx-th result carried by cell.
+func Of[T any](cell *Cell, idx int) Future[T] {
+	return Future[T]{cell: cell, idx: idx}
+}
+
+// Resolved reports whether the result is available (the paper's
+// future.resolved() poll).
+func (f Future[T]) Resolved() bool { return f.cell.Resolved() }
+
+// Get blocks until the invocation completes and returns the value. An
+// invocation failure or a result of the wrong type is reported as an error.
+func (f Future[T]) Get() (T, error) {
+	var zero T
+	v, err := f.cell.value(f.idx)
+	if err != nil {
+		return zero, err
+	}
+	if v == nil {
+		return zero, nil
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("future: result %d is %T, not %T", f.idx, v, zero)
+	}
+	return t, nil
+}
+
+// MustGet is Get, panicking on error — the ergonomic path when invocation
+// failure is already fatal to the caller.
+func (f Future[T]) MustGet() T {
+	v, err := f.Get()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Done is a future carrying no value, only completion — the analog of a
+// void return for a non-blocking invocation.
+type Done struct{ cell *Cell }
+
+// DoneOf wraps a cell as a completion-only future.
+func DoneOf(cell *Cell) Done { return Done{cell: cell} }
+
+// Resolved reports whether the invocation completed.
+func (d Done) Resolved() bool { return d.cell.Resolved() }
+
+// Wait blocks until completion and returns the invocation error, if any.
+func (d Done) Wait() error { return d.cell.Wait() }

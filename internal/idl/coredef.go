@@ -1,0 +1,26 @@
+package idl
+
+import "pardis/internal/core"
+
+// CoreDef converts a resolved interface into the runtime operation table
+// that stubs and skeletons share.
+func (ii InterfaceInfo) CoreDef() *core.InterfaceDef {
+	def := &core.InterfaceDef{Name: ii.Name}
+	for _, op := range ii.Ops {
+		o := core.Operation{Name: op.Name, Result: op.Ret, Oneway: op.Oneway}
+		for _, prm := range op.Params {
+			var mode core.Mode
+			switch prm.Dir {
+			case "in":
+				mode = core.In
+			case "out":
+				mode = core.Out
+			case "inout":
+				mode = core.InOut
+			}
+			o.Params = append(o.Params, core.NewParam(prm.Name, mode, prm.TC))
+		}
+		def.Ops = append(def.Ops, o)
+	}
+	return def
+}

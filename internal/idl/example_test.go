@@ -1,0 +1,33 @@
+package idl_test
+
+import (
+	"fmt"
+
+	"pardis/internal/idl"
+)
+
+// Compiling the paper's §4.1 interface definitions.
+func ExampleCompile() {
+	spec, err := idl.Compile(`
+		typedef sequence<double> row;
+		typedef dsequence<row> matrix;
+		typedef dsequence<double> vector;
+		interface direct {
+			void solve(in matrix A, in vector B, out vector X);
+		};
+	`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	direct, _ := spec.Interface("direct")
+	for _, op := range direct.Ops {
+		for _, prm := range op.Params {
+			fmt.Printf("%s %s: %v (distributed: %v)\n", prm.Dir, prm.Name, prm.TC, prm.Distributed())
+		}
+	}
+	// Output:
+	// in A: dsequence<sequence<double>> (distributed: true)
+	// in B: dsequence<double> (distributed: true)
+	// out X: dsequence<double> (distributed: true)
+}

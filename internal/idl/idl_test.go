@@ -1,0 +1,477 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+
+	"pardis/internal/typecode"
+)
+
+// The paper's §4.1 IDL, with the dsequence parameters the published text
+// lost to typesetting restored.
+const solverIDL = `
+//IDL
+typedef sequence<double> row;
+typedef dsequence<row> matrix;
+typedef dsequence<double> vector;
+interface direct {
+    void solve(in matrix A, in vector B, out vector X);
+};
+interface iterative {
+    void solve(in double tol, in matrix A, in vector B, out vector X);
+};
+`
+
+// The paper's §4.2 IDL.
+const dnaIDL = `
+//IDL
+enum status { FOUND, NOT_FOUND, BUSY };
+typedef sequence<string> dna_list;
+interface list_server {
+    void match(in string s, out dna_list l);
+};
+interface dna_db {
+    status search(in string s);
+};
+`
+
+// The paper's §4.3 IDL.
+const pipelineIDL = `
+//IDL
+const long N = 128;
+#pragma HPC++:vector
+#pragma POOMA:field
+typedef dsequence<double, N*N, BLOCK, BLOCK> field;
+interface visualizer {
+    void show(in field myfield);
+};
+interface field_operations {
+    void gradient(in field myfield);
+};
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := LexAll(`interface foo { void op(in long x); }; // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "interface" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "foo" {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Fatal("missing EOF")
+	}
+}
+
+func TestLexLiteralsAndComments(t *testing.T) {
+	toks, err := LexAll(`
+/* block
+   comment */
+const long A = 0x10;
+const long B = 42;
+"hi\n" 'c' 3.5 1e9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	text := func(i int) string { return toks[i].Text }
+	// const long A = 0x10 ;
+	if text(0) != "const" || text(3) != "=" || text(4) != "0x10" {
+		t.Fatalf("tokens: %v", toks[:6])
+	}
+	found := map[TokKind]bool{}
+	for _, k := range kinds {
+		found[k] = true
+	}
+	for _, k := range []TokKind{TokString, TokChar, TokFloat, TokInt} {
+		if !found[k] {
+			t.Fatalf("kind %d missing", k)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `/* unterminated`, `'x`, "@", "#define X 1"} {
+		if _, err := LexAll(src); err == nil {
+			t.Fatalf("LexAll(%q): want error", src)
+		}
+	}
+}
+
+func TestParsePaperSolverIDL(t *testing.T) {
+	spec, err := Compile(solverIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Interfaces) != 2 {
+		t.Fatalf("%d interfaces", len(spec.Interfaces))
+	}
+	direct, ok := spec.Interface("direct")
+	if !ok || len(direct.Ops) != 1 {
+		t.Fatalf("direct = %+v", direct)
+	}
+	solve := direct.Ops[0]
+	if solve.Ret != nil || len(solve.Params) != 3 {
+		t.Fatalf("solve = %+v", solve)
+	}
+	// matrix: dsequence of dynamically-sized rows.
+	a := solve.Params[0]
+	if a.TC.Kind != typecode.DSequence || a.TC.Elem.Kind != typecode.Sequence ||
+		a.TC.Elem.Elem.Kind != typecode.Double {
+		t.Fatalf("matrix tc = %v", a.TC)
+	}
+	if a.TypeName != "matrix" || a.Dir != "in" {
+		t.Fatalf("param A = %+v", a)
+	}
+	x := solve.Params[2]
+	if x.Dir != "out" || x.TC.Kind != typecode.DSequence || x.TC.Elem.Kind != typecode.Double {
+		t.Fatalf("param X = %+v", x)
+	}
+	iter, _ := spec.Interface("iterative")
+	if iter.Ops[0].Params[0].TC.Kind != typecode.Double {
+		t.Fatal("tol must be a plain double")
+	}
+}
+
+func TestParsePaperDNAIDL(t *testing.T) {
+	spec, err := Compile(dnaIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, ok := spec.Interface("dna_db")
+	if !ok {
+		t.Fatal("dna_db missing")
+	}
+	search := db.Ops[0]
+	if search.Ret == nil || search.Ret.Kind != typecode.Enum || search.Ret.Name != "status" {
+		t.Fatalf("search ret = %v", search.Ret)
+	}
+	ls, _ := spec.Interface("list_server")
+	l := ls.Ops[0].Params[1]
+	if l.TC.Kind != typecode.Sequence || l.TC.Elem.Kind != typecode.String {
+		t.Fatalf("dna_list = %v", l.TC)
+	}
+	if len(spec.Enums) != 1 || len(spec.Enums[0].Labels) != 3 {
+		t.Fatalf("enums = %+v", spec.Enums)
+	}
+}
+
+func TestParsePaperPipelineIDL(t *testing.T) {
+	spec, err := Compile(pipelineIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, ok := spec.Typedef("field")
+	if !ok {
+		t.Fatal("field typedef missing")
+	}
+	if td.TC.Kind != typecode.DSequence || td.TC.Bound != 128*128 {
+		t.Fatalf("field tc = %+v", td.TC)
+	}
+	if td.TC.ClientDist != "BLOCK" || td.TC.ServerDist != "BLOCK" {
+		t.Fatalf("field dists = %q %q", td.TC.ClientDist, td.TC.ServerDist)
+	}
+	if len(td.Pragmas) != 2 {
+		t.Fatalf("pragmas = %+v", td.Pragmas)
+	}
+	if td.Pragmas[0].Package != "HPC++" || td.Pragmas[0].Target != "vector" ||
+		td.Pragmas[1].Package != "POOMA" || td.Pragmas[1].Target != "field" {
+		t.Fatalf("pragmas = %+v", td.Pragmas)
+	}
+	if len(spec.Consts) != 1 || spec.Consts[0].Value != 128 {
+		t.Fatalf("consts = %+v", spec.Consts)
+	}
+}
+
+func TestConstExpressions(t *testing.T) {
+	spec, err := Compile(`
+const long A = 2 + 3 * 4;
+const long B = (2 + 3) * 4;
+const long C = 1 << 10;
+const long D = -A;
+const long E = A % 5;
+const long F = 0xFF & 0x0F;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"A": 14, "B": 20, "C": 1024, "D": -14, "E": 4, "F": 0x0F}
+	for _, ci := range spec.Consts {
+		if ci.Value != want[ci.Name] {
+			t.Fatalf("%s = %d, want %d", ci.Name, ci.Value, want[ci.Name])
+		}
+	}
+}
+
+func TestModulesAndScoping(t *testing.T) {
+	spec, err := Compile(`
+module math {
+    typedef sequence<double> vec;
+    interface ops {
+        double dot(in vec a, in vec b);
+    };
+};
+interface user {
+    void consume(in math::vec v);
+};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := spec.Typedef("math::vec"); !ok {
+		t.Fatal("module-scoped typedef missing")
+	}
+	ii, ok := spec.Interface("math::ops")
+	if !ok || ii.Ops[0].Params[0].TC.Kind != typecode.Sequence {
+		t.Fatalf("ops = %+v", ii)
+	}
+	u, _ := spec.Interface("user")
+	if u.Ops[0].Params[0].TC.Elem.Kind != typecode.Double {
+		t.Fatal("scoped reference resolution broken")
+	}
+}
+
+func TestInterfaceInheritance(t *testing.T) {
+	spec, err := Compile(`
+interface base {
+    void ping();
+};
+interface derived : base {
+    void pong();
+};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := spec.Interface("derived")
+	if len(d.Ops) != 2 || d.Ops[0].Name != "ping" || d.Ops[1].Name != "pong" {
+		t.Fatalf("derived ops = %+v", d.Ops)
+	}
+}
+
+func TestStructsAndExceptionsAndRaises(t *testing.T) {
+	spec, err := Compile(`
+struct point { double x, y; };
+exception solver_failed { string reason; long code; };
+interface s {
+    point mirror(in point p) raises (solver_failed);
+};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Structs) != 1 || len(spec.Structs[0].Fields) != 2 {
+		t.Fatalf("structs = %+v", spec.Structs)
+	}
+	ii, _ := spec.Interface("s")
+	if len(ii.Ops[0].Raises) != 1 || ii.Ops[0].Raises[0] != "solver_failed" {
+		t.Fatalf("raises = %v", ii.Ops[0].Raises)
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`interface i { void op(in undefined_t x); };`, "undefined type"},
+		{`typedef sequence<double> t; typedef sequence<double> t;`, "duplicate definition"},
+		{`interface i { oneway long op(); };`, "must return void"},
+		{`interface i { oneway void op(out long x); };`, "oneway"},
+		{`interface i { void op(inout dsequence<double> x); };`, "inout"},
+		{`struct s { dsequence<double> d; };`, "not allowed"},
+		{`const long x = 1/0;`, "division by zero"},
+		{`interface i { void op() raises (nope); };`, "undefined exception"},
+		{`const string s = 3;`, "integer constants"},
+		{`typedef sequence<double, 0> z;`, "positive"},
+		{`#pragma POOMA:field
+typedef sequence<double> notdist;`, "dsequence"},
+		{`interface i : nope { };`, "undefined base"},
+		{`interface i { void a(); void a(); };`, "duplicate operation"},
+		{`enum e { A, A };`, "duplicate label"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%.40q): err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	for _, src := range []string{
+		`interface {`,
+		`interface i { void op(in long) };`,
+		`typedef dsequence<double, 4, DIAGONAL> d;`,
+		`module m { interface i { };`,
+		`const long x = ;`,
+	} {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%.40q): want error", src)
+		}
+	}
+}
+
+func TestIncludes(t *testing.T) {
+	files := map[string]string{
+		"types.idl": `typedef sequence<double> vec;`,
+	}
+	f, err := ParseWithIncludes(`
+#include "types.idl"
+interface i { void op(in vec v); };
+`, func(name string) (string, error) { return files[name], nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := spec.Typedef("vec"); !ok {
+		t.Fatal("included typedef missing")
+	}
+}
+
+func TestCoreDefBridge(t *testing.T) {
+	spec, err := Compile(solverIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii, _ := spec.Interface("iterative")
+	def := ii.CoreDef()
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	op, ok := def.Op("solve")
+	if !ok || len(op.Params) != 4 {
+		t.Fatalf("op = %+v", op)
+	}
+	if !op.Params[1].Distributed() || op.Params[0].Distributed() {
+		t.Fatal("distribution flags wrong")
+	}
+	if op.HasDistributed() != true {
+		t.Fatal("HasDistributed")
+	}
+}
+
+func TestEnumLabelsAsConsts(t *testing.T) {
+	spec, err := Compile(`
+enum color { RED, GREEN, BLUE };
+const long G = GREEN;
+typedef sequence<double, BLUE + 1> three;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Consts[0].Value != 1 {
+		t.Fatalf("G = %d", spec.Consts[0].Value)
+	}
+	td, _ := spec.Typedef("three")
+	if td.TC.Bound != 3 {
+		t.Fatalf("bound = %d", td.TC.Bound)
+	}
+}
+
+func TestAttributesDesugar(t *testing.T) {
+	spec, err := Compile(`
+interface sensor {
+    readonly attribute double reading;
+    attribute long threshold, window;
+};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ii, _ := spec.Interface("sensor")
+	names := map[string]bool{}
+	for _, op := range ii.Ops {
+		names[op.Name] = true
+	}
+	for _, want := range []string{"_get_reading", "_get_threshold", "_set_threshold", "_get_window", "_set_window"} {
+		if !names[want] {
+			t.Fatalf("missing desugared op %s (have %v)", want, names)
+		}
+	}
+	if names["_set_reading"] {
+		t.Fatal("readonly attribute grew a setter")
+	}
+	get, _ := spec.Interface("sensor")
+	if get.Ops[0].Ret.Kind != typecode.Double {
+		t.Fatal("getter result type wrong")
+	}
+	// Setter takes one in parameter of the attribute type.
+	for _, op := range ii.Ops {
+		if op.Name == "_set_threshold" {
+			if len(op.Params) != 1 || op.Params[0].Dir != "in" || op.Params[0].TC.Kind != typecode.Long {
+				t.Fatalf("setter signature wrong: %+v", op.Params)
+			}
+		}
+	}
+}
+
+func TestAttributeErrors(t *testing.T) {
+	if _, err := Compile(`interface i { attribute undefined_t x; };`); err == nil {
+		t.Fatal("undefined attribute type accepted")
+	}
+	if _, err := Compile(`interface i { readonly long x; };`); err == nil {
+		t.Fatal("readonly without attribute accepted")
+	}
+	if _, err := Compile(`interface i { attribute long x; void _get_x(); };`); err == nil {
+		t.Fatal("attribute/operation collision accepted")
+	}
+}
+
+func TestUnionDeclaration(t *testing.T) {
+	spec, err := Compile(`
+enum kind { OK, WARN, FAIL };
+union outcome switch(kind) {
+    case OK:           double value;
+    case WARN:
+    case FAIL:         string message;
+    default:           long code;
+};
+interface reporter {
+    outcome status();
+};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Unions) != 1 {
+		t.Fatalf("unions = %d", len(spec.Unions))
+	}
+	u := spec.Unions[0]
+	if u.Kind != typecode.Union || u.Disc.Kind != typecode.Enum || len(u.Cases) != 3 {
+		t.Fatalf("union tc = %+v", u)
+	}
+	if got := u.CaseFor(2); got == nil || got.Field.Name != "message" {
+		t.Fatalf("CaseFor(FAIL) = %+v", got)
+	}
+	if got := u.CaseFor(42); got == nil || got.Field.Name != "code" {
+		t.Fatalf("default arm = %+v", got)
+	}
+	r, _ := spec.Interface("reporter")
+	if r.Ops[0].Ret.Kind != typecode.Union {
+		t.Fatal("union usable as result type")
+	}
+}
+
+func TestUnionSemanticErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`union u switch(string) { case 1: long a; };`, "discriminant"},
+		{`union u switch(long) { case 1: long a; case 1: long b; };`, "duplicate case label"},
+		{`union u switch(long) { default: long a; default: long b; };`, "multiple default"},
+		{`union u switch(long) { case 1: long a; case 2: long a; };`, "duplicate member"},
+		{`union u switch(long) { case 1: undefined_t a; };`, "undefined type"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%.50q): err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,775 @@
+package idl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser builds the AST by recursive descent with one token of lookahead.
+type Parser struct {
+	lex     *Lexer
+	tok     Token
+	pragmas []Pragma // accumulated until the next dsequence typedef
+}
+
+// Parse parses one compilation unit.
+func Parse(src string) (*File, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	for p.tok.Kind != TokEOF {
+		d, err := p.definition()
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			f.Defs = append(f.Defs, d)
+		}
+	}
+	return f, nil
+}
+
+// ParseWithIncludes parses src, resolving `#include "name"` lines through
+// resolve before lexing (textual inclusion, each file once).
+func ParseWithIncludes(src string, resolve func(name string) (string, error)) (*File, error) {
+	expanded, err := expandIncludes(src, resolve, map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	return Parse(expanded)
+}
+
+func expandIncludes(src string, resolve func(string) (string, error), seen map[string]bool) (string, error) {
+	var out strings.Builder
+	for _, line := range strings.SplitAfter(src, "\n") {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "#include") {
+			out.WriteString(line)
+			continue
+		}
+		name := strings.TrimSpace(strings.TrimPrefix(t, "#include"))
+		name = strings.Trim(name, `"<>`)
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if resolve == nil {
+			return "", fmt.Errorf("idl: #include %q but no resolver configured", name)
+		}
+		inc, err := resolve(name)
+		if err != nil {
+			return "", fmt.Errorf("idl: include %q: %w", name, err)
+		}
+		expanded, err := expandIncludes(inc, resolve, seen)
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(expanded)
+		out.WriteString("\n")
+	}
+	return out.String(), nil
+}
+
+func (p *Parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) fail(format string, args ...any) error {
+	return errAt(p.tok.Line, p.tok.Col, format, args...)
+}
+
+func (p *Parser) expect(text string) error {
+	if !p.tok.Is(text) {
+		return p.fail("expected %q, found %s", text, p.tok)
+	}
+	return p.next()
+}
+
+func (p *Parser) ident() (string, error) {
+	if p.tok.Kind != TokIdent {
+		return "", p.fail("expected identifier, found %s", p.tok)
+	}
+	name := p.tok.Text
+	return name, p.next()
+}
+
+// definition parses one top-level definition; it returns nil for pragmas
+// (they attach to the next typedef).
+func (p *Parser) definition() (Def, error) {
+	switch {
+	case p.tok.Kind == TokPragma:
+		prag, err := parsePragma(p.tok)
+		if err != nil {
+			return nil, errAt(p.tok.Line, p.tok.Col, "%v", err)
+		}
+		p.pragmas = append(p.pragmas, prag)
+		return nil, p.next()
+	case p.tok.Is("module"):
+		return p.module()
+	case p.tok.Is("interface"):
+		return p.interfaceDecl()
+	case p.tok.Is("typedef"):
+		return p.typedefDecl()
+	case p.tok.Is("struct"):
+		return p.structDecl()
+	case p.tok.Is("enum"):
+		return p.enumDecl()
+	case p.tok.Is("const"):
+		return p.constDecl()
+	case p.tok.Is("exception"):
+		return p.exceptionDecl()
+	case p.tok.Is("union"):
+		return p.unionDecl()
+	}
+	return nil, p.fail("expected definition, found %s", p.tok)
+}
+
+// parsePragma interprets "Package:target" (e.g. "POOMA:field").
+func parsePragma(t Token) (Pragma, error) {
+	parts := strings.SplitN(t.Text, ":", 2)
+	if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+		return Pragma{}, fmt.Errorf("malformed pragma %q, want Package:target", t.Text)
+	}
+	return Pragma{Package: strings.TrimSpace(parts[0]), Target: strings.TrimSpace(parts[1])}, nil
+}
+
+func (p *Parser) module() (Def, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name}
+	for !p.tok.Is("}") {
+		if p.tok.Kind == TokEOF {
+			return nil, p.fail("unterminated module %s", name)
+		}
+		d, err := p.definition()
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			m.Defs = append(m.Defs, d)
+		}
+	}
+	if err := p.next(); err != nil { // consume }
+		return nil, err
+	}
+	if p.tok.Is(";") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (p *Parser) interfaceDecl() (Def, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &InterfaceDecl{Name: name}
+	if p.tok.Is(":") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		for {
+			base, err := p.scopedName()
+			if err != nil {
+				return nil, err
+			}
+			d.Bases = append(d.Bases, base)
+			if !p.tok.Is(",") {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.tok.Is("}") {
+		if p.tok.Kind == TokEOF {
+			return nil, p.fail("unterminated interface %s", name)
+		}
+		switch {
+		case p.tok.Is("typedef"):
+			td, err := p.typedefDecl()
+			if err != nil {
+				return nil, err
+			}
+			d.Members = append(d.Members, td)
+		case p.tok.Is("const"):
+			cd, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			d.Members = append(d.Members, cd)
+		case p.tok.Is("readonly"), p.tok.Is("attribute"):
+			ad, err := p.attributeDecl()
+			if err != nil {
+				return nil, err
+			}
+			d.Members = append(d.Members, ad)
+		default:
+			op, err := p.opDecl()
+			if err != nil {
+				return nil, err
+			}
+			d.Members = append(d.Members, op)
+		}
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) opDecl() (Def, error) {
+	op := &OpDecl{}
+	if p.tok.Is("oneway") {
+		op.Oneway = true
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	ret, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	op.Ret = ret
+	op.Name, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.tok.Is(")") {
+		var dir string
+		switch {
+		case p.tok.Is("in"):
+			dir = "in"
+		case p.tok.Is("out"):
+			dir = "out"
+		case p.tok.Is("inout"):
+			dir = "inout"
+		default:
+			return nil, p.fail("expected parameter direction, found %s", p.tok)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		pt, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		pname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		op.Params = append(op.Params, ParamDecl{Dir: dir, Type: pt, Name: pname})
+		if p.tok.Is(",") {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.next(); err != nil { // consume )
+		return nil, err
+	}
+	if p.tok.Is("raises") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		for !p.tok.Is(")") {
+			exc, err := p.scopedName()
+			if err != nil {
+				return nil, err
+			}
+			op.Raises = append(op.Raises, exc)
+			if p.tok.Is(",") {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	return op, p.expect(";")
+}
+
+func (p *Parser) attributeDecl() (Def, error) {
+	d := &AttributeDecl{}
+	if p.tok.Is("readonly") {
+		d.ReadOnly = true
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("attribute"); err != nil {
+		return nil, err
+	}
+	t, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	d.Type = t
+	for {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d.Names = append(d.Names, n)
+		if !p.tok.Is(",") {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	return d, p.expect(";")
+}
+
+func (p *Parser) typedefDecl() (Def, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	t, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	td := &TypedefDecl{Name: name, Type: t, Pragmas: p.pragmas}
+	p.pragmas = nil
+	return td, p.expect(";")
+}
+
+func (p *Parser) structDecl() (Def, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	members, err := p.memberBlock(name)
+	if err != nil {
+		return nil, err
+	}
+	return &StructDecl{Name: name, Members: members}, nil
+}
+
+func (p *Parser) exceptionDecl() (Def, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	members, err := p.memberBlock(name)
+	if err != nil {
+		return nil, err
+	}
+	return &ExceptionDecl{Name: name, Members: members}, nil
+}
+
+func (p *Parser) memberBlock(owner string) ([]Member, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var members []Member
+	for !p.tok.Is("}") {
+		if p.tok.Kind == TokEOF {
+			return nil, p.fail("unterminated body of %s", owner)
+		}
+		t, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		m := Member{Type: t}
+		for {
+			n, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			m.Names = append(m.Names, n)
+			if !p.tok.Is(",") {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return members, p.expect(";")
+}
+
+func (p *Parser) unionDecl() (Def, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("switch"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	disc, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	d := &UnionDecl{Name: name, Disc: disc}
+	for !p.tok.Is("}") {
+		if p.tok.Kind == TokEOF {
+			return nil, p.fail("unterminated union %s", name)
+		}
+		arm := UnionArm{}
+		for {
+			switch {
+			case p.tok.Is("case"):
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				lbl, err := p.constExpr()
+				if err != nil {
+					return nil, err
+				}
+				arm.Labels = append(arm.Labels, lbl)
+			case p.tok.Is("default"):
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				arm.Default = true
+			default:
+				return nil, p.fail("expected case or default, found %s", p.tok)
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			if !p.tok.Is("case") && !p.tok.Is("default") {
+				break
+			}
+		}
+		arm.Type, err = p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		arm.Name, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		d.Arms = append(d.Arms, arm)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return d, p.expect(";")
+}
+
+func (p *Parser) enumDecl() (Def, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	d := &EnumDecl{Name: name}
+	for {
+		label, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d.Labels = append(d.Labels, label)
+		if !p.tok.Is(",") {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return d, p.expect(";")
+}
+
+func (p *Parser) constDecl() (Def, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	t, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	e, err := p.constExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Name: name, Type: t, Expr: e}, p.expect(";")
+}
+
+func (p *Parser) scopedName() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	for p.tok.Is("::") {
+		if err := p.next(); err != nil {
+			return "", err
+		}
+		part, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		name += "::" + part
+	}
+	return name, nil
+}
+
+var distNames = map[string]bool{"BLOCK": true, "CYCLIC": true, "COLLAPSED": true, "CONCENTRATED": true}
+
+func (p *Parser) typeSpec() (Type, error) {
+	switch {
+	case p.tok.Is("void"), p.tok.Is("boolean"), p.tok.Is("char"), p.tok.Is("octet"),
+		p.tok.Is("float"), p.tok.Is("double"), p.tok.Is("string"):
+		name := p.tok.Text
+		return &BasicType{Name: name}, p.next()
+	case p.tok.Is("short"):
+		return &BasicType{Name: "short"}, p.next()
+	case p.tok.Is("long"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Is("long") {
+			return &BasicType{Name: "long long"}, p.next()
+		}
+		return &BasicType{Name: "long"}, nil
+	case p.tok.Is("unsigned"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.tok.Is("short"):
+			return &BasicType{Name: "unsigned short"}, p.next()
+		case p.tok.Is("long"):
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if p.tok.Is("long") {
+				return &BasicType{Name: "unsigned long long"}, p.next()
+			}
+			return &BasicType{Name: "unsigned long"}, nil
+		}
+		return nil, p.fail("expected short/long after unsigned")
+	case p.tok.Is("sequence"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("<"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		st := &SeqType{Elem: elem}
+		if p.tok.Is(",") {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			st.Bound, err = p.constExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, p.expect(">")
+	case p.tok.Is("dsequence"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("<"); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		dt := &DSeqType{Elem: elem}
+		// Optional: bound, client dist, server dist — in that order.
+		if p.tok.Is(",") {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			dt.Bound, err = p.constExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, slot := range []*string{&dt.ClientDist, &dt.ServerDist} {
+			if !p.tok.Is(",") {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind != TokIdent || !distNames[p.tok.Text] {
+				return nil, p.fail("expected distribution (BLOCK/CYCLIC/COLLAPSED/CONCENTRATED), found %s", p.tok)
+			}
+			*slot = p.tok.Text
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		return dt, p.expect(">")
+	case p.tok.Kind == TokIdent:
+		name, err := p.scopedName()
+		if err != nil {
+			return nil, err
+		}
+		return &NamedType{Name: name}, nil
+	}
+	return nil, p.fail("expected type, found %s", p.tok)
+}
+
+// constExpr parses +,-,*,/,%,<<,>> with the usual precedence, unary -/~,
+// parentheses, integer literals, and constant references.
+func (p *Parser) constExpr() (Expr, error) { return p.addExpr() }
+
+func (p *Parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Is("+") || p.tok.Is("-") || p.tok.Is("<<") || p.tok.Is(">>") ||
+		p.tok.Is("|") || p.tok.Is("&") || p.tok.Is("^") {
+		op := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Is("*") || p.tok.Is("/") || p.tok.Is("%") {
+		op := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	if p.tok.Is("-") || p.tok.Is("~") {
+		op := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	switch {
+	case p.tok.Kind == TokInt:
+		v, err := strconv.ParseInt(p.tok.Text, 0, 64)
+		if err != nil {
+			return nil, p.fail("bad integer literal %s: %v", p.tok, err)
+		}
+		return &IntLit{Value: v}, p.next()
+	case p.tok.Kind == TokIdent:
+		name, err := p.scopedName()
+		if err != nil {
+			return nil, err
+		}
+		return &Ref{Name: name}, nil
+	case p.tok.Is("("):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.constExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	return nil, p.fail("expected constant expression, found %s", p.tok)
+}

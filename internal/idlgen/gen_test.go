@@ -1,0 +1,165 @@
+package idlgen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"pardis/internal/idl"
+)
+
+const solverIDL = `
+typedef sequence<double> row;
+typedef dsequence<row> matrix;
+typedef dsequence<double> vector;
+interface direct {
+    void solve(in matrix A, in vector B, out vector X);
+};
+interface iterative {
+    void solve(in double tol, in matrix A, in vector B, out vector X);
+};
+`
+
+const dnaIDL = `
+enum status { FOUND, NOT_FOUND, BUSY };
+typedef sequence<string> dna_list;
+interface list_server {
+    void match(in string s, out dna_list l);
+};
+interface dna_db {
+    status search(in string s);
+};
+`
+
+const pipelineIDL = `
+const long N = 128;
+#pragma HPC++:vector
+#pragma POOMA:field
+typedef dsequence<double, N*N, BLOCK, BLOCK> field;
+interface visualizer {
+    void show(in field myfield);
+};
+interface field_operations {
+    void gradient(in field myfield);
+};
+`
+
+func generate(t *testing.T, src string, opt Options) string {
+	t.Helper()
+	spec, err := idl.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generated code must be syntactically valid Go.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, code)
+	}
+	return string(code)
+}
+
+func mustContain(t *testing.T, code string, wants ...string) {
+	t.Helper()
+	for _, w := range wants {
+		if !strings.Contains(code, w) {
+			t.Errorf("generated code lacks %q", w)
+		}
+	}
+}
+
+func TestGenerateSolver(t *testing.T) {
+	code := generate(t, solverIDL, Options{Package: "linsolve"})
+	mustContain(t, code,
+		"package linsolve",
+		"func DirectIDL() *core.InterfaceDef",
+		"type Direct struct",
+		"func BindDirect(orb *core.ORB, ior core.IOR) (*Direct, error)",
+		"func SPMDBindDirect(orb *core.ORB, ior core.IOR) (*Direct, error)",
+		// Blocking stub: matrix is a dsequence of dynamic rows -> DSeq[any].
+		"func (p *Direct) Solve(A *dseq.DSeq[any], B *dseq.DSeq[float64]) (*dseq.DSeq[float64], error)",
+		// Non-blocking stub returns a future of the out vector.
+		"func (p *Direct) SolveNB(A *dseq.DSeq[any], B *dseq.DSeq[float64]) (future.Future[*dseq.DSeq[float64]], error)",
+		"dseq.EmptyByTC(p.b.ORB().Comm(), typecode.TCDouble)",
+		"type DirectServant interface",
+		"Solve(ctx *poa.Context, A *dseq.DSeq[any], B *dseq.DSeq[float64]) (*dseq.DSeq[float64], error)",
+		"func RegisterDirectSPMD(p *poa.POA, key string, impl DirectServant) (core.IOR, error)",
+	)
+	// Distributed interfaces must not offer single registration.
+	if strings.Contains(code, "RegisterDirectSingle") {
+		t.Error("single registration generated for a distributed interface")
+	}
+	// The iterative variant carries the leading tol double.
+	mustContain(t, code,
+		"func (p *Iterative) Solve(tol float64, A *dseq.DSeq[any], B *dseq.DSeq[float64]) (*dseq.DSeq[float64], error)")
+}
+
+func TestGenerateDNA(t *testing.T) {
+	code := generate(t, dnaIDL, Options{Package: "dnadb"})
+	mustContain(t, code,
+		"StatusFOUND",
+		"StatusBUSY",
+		"func (p *ListServer) Match(s string) ([]string, error)",
+		"func (p *ListServer) MatchNB(s string) (future.Future[[]string], error)",
+		"func (p *DnaDb) Search(s string) (uint32, error)",
+		"func RegisterListServerSingle(p *poa.POA, key string, impl ListServerServant) (core.IOR, error)",
+	)
+}
+
+func TestGeneratePipelinePlain(t *testing.T) {
+	code := generate(t, pipelineIDL, Options{Package: "pipeline"})
+	mustContain(t, code,
+		"const N = 128",
+		"func (p *Visualizer) Show(myfield *dseq.DSeq[float64]) error",
+		"func (p *FieldOperations) GradientNB(myfield *dseq.DSeq[float64]) (future.Done, error)",
+	)
+}
+
+func TestGeneratePipelineMapped(t *testing.T) {
+	pooma := generate(t, pipelineIDL, Options{Package: "pipeline", Mapping: "POOMA"})
+	mustContain(t, pooma,
+		`"pardis/internal/pooma"`,
+		"func (p *Visualizer) Show(myfield *pooma.Field) error",
+		"myfield.AsDSeq()",
+	)
+	hpcxx := generate(t, pipelineIDL, Options{Package: "pipeline", Mapping: "HPC++"})
+	mustContain(t, hpcxx,
+		`"pardis/internal/pstl"`,
+		"func (p *Visualizer) Show(myfield *pstl.DistVector) error",
+	)
+	// The same IDL with no mapping must not import the packages.
+	plain := generate(t, pipelineIDL, Options{Package: "pipeline"})
+	if strings.Contains(plain, "pooma") || strings.Contains(plain, "pstl") {
+		t.Error("plain generation pulled in package mappings")
+	}
+}
+
+func TestGenerateVoidNoParams(t *testing.T) {
+	code := generate(t, `interface c { void tick(); long count(); };`, Options{Package: "x"})
+	mustContain(t, code,
+		"func (p *C) Tick() error",
+		"func (p *C) Count() (int32, error)",
+		"func (p *C) TickNB() (future.Done, error)",
+	)
+}
+
+func TestGenerateKeywordParamEscaped(t *testing.T) {
+	code := generate(t, `interface k { void f(in long type, in long func); };`, Options{Package: "x"})
+	mustContain(t, code, "type_ int32", "func_ int32")
+}
+
+func TestGenerateOnewayAndInout(t *testing.T) {
+	code := generate(t, `
+interface w {
+    oneway void fire(in string msg);
+    void bump(inout long v);
+};`, Options{Package: "x"})
+	mustContain(t, code,
+		"Oneway: true",
+		"func (p *W) Bump(v int32) (int32, error)",
+	)
+}

@@ -1,0 +1,417 @@
+package idlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"pardis/internal/idl"
+	"pardis/internal/typecode"
+)
+
+// iface emits the operation table, proxy, stubs, servant interface,
+// skeleton and registration helpers for one interface.
+func (g *gen) iface(out *strings.Builder, ii idl.InterfaceInfo) error {
+	name := goName(ii.Name)
+	p := func(format string, args ...any) { fmt.Fprintf(out, format, args...) }
+	g.use("pardis/internal/core")
+	g.use("pardis/internal/typecode")
+
+	// Operation table.
+	p("// %sIDL returns the operation table of IDL interface %s.\n", name, ii.Name)
+	p("func %sIDL() *core.InterfaceDef {\n\treturn &core.InterfaceDef{\n\t\tName: %q,\n\t\tOps: []core.Operation{\n", name, ii.Name)
+	for _, op := range ii.Ops {
+		p("\t\t\t{\n\t\t\t\tName: %q,\n", op.Name)
+		if op.Oneway {
+			p("\t\t\t\tOneway: true,\n")
+		}
+		if op.Ret != nil {
+			p("\t\t\t\tResult: %s,\n", g.tcExpr(op.Ret))
+		}
+		if len(op.Params) > 0 {
+			p("\t\t\t\tParams: []core.Param{\n")
+			for _, prm := range op.Params {
+				mode := map[string]string{"in": "core.In", "out": "core.Out", "inout": "core.InOut"}[prm.Dir]
+				p("\t\t\t\t\tcore.NewParam(%q, %s, %s),\n", prm.Name, mode, g.tcExpr(prm.TC))
+			}
+			p("\t\t\t\t},\n")
+		}
+		p("\t\t\t},\n")
+	}
+	p("\t\t},\n\t}\n}\n\n")
+
+	// Proxy.
+	p("// %s is the client proxy for IDL interface %s.\n", name, ii.Name)
+	p("type %s struct {\n\tb *core.Binding\n}\n\n", name)
+	p("// Bind%s establishes a per-thread binding to the object.\n", name)
+	p("func Bind%s(orb *core.ORB, ior core.IOR) (*%s, error) {\n", name, name)
+	p("\tb, err := orb.Bind(ior, %sIDL())\n\tif err != nil {\n\t\treturn nil, err\n\t}\n\treturn &%s{b: b}, nil\n}\n\n", name, name)
+	p("// SPMDBind%s collectively binds the parallel client as one entity.\n", name)
+	p("func SPMDBind%s(orb *core.ORB, ior core.IOR) (*%s, error) {\n", name, name)
+	p("\tb, err := orb.SPMDBind(ior, %sIDL())\n\tif err != nil {\n\t\treturn nil, err\n\t}\n\treturn &%s{b: b}, nil\n}\n\n", name, name)
+	p("// Binding exposes the proxy's underlying binding (for SetOutDist,\n// Locate, Shutdown).\nfunc (p *%s) Binding() *core.Binding { return p.b }\n\n", name)
+
+	// Stubs.
+	for _, op := range ii.Ops {
+		if err := g.stubs(out, name, op); err != nil {
+			return err
+		}
+	}
+
+	// Servant interface + skeleton.
+	g.use("pardis/internal/poa")
+	p("// %sServant is the typed implementation interface for %s.\n", name, ii.Name)
+	p("type %sServant interface {\n", name)
+	for _, op := range ii.Ops {
+		p("\t%s\n", g.servantSig(op))
+	}
+	p("}\n\n")
+	p("// New%sSkeleton adapts a typed servant to the POA's dispatch.\n", name)
+	p("func New%sSkeleton(impl %sServant) poa.Servant {\n", name, name)
+	p("\treturn poa.ServantFunc(func(ctx *poa.Context, op string, in []any) (any, []any, error) {\n")
+	p("\t\tswitch op {\n")
+	for _, op := range ii.Ops {
+		g.skeletonCase(out, op)
+	}
+	p("\t\t}\n\t\treturn nil, nil, fmt.Errorf(\"%s: no operation %%q\", op)\n\t})\n}\n\n", ii.Name)
+	g.use("fmt")
+
+	// Registration helpers.
+	p("// Register%sSPMD collectively registers an SPMD %s object.\n", name, ii.Name)
+	p("func Register%sSPMD(p *poa.POA, key string, impl %sServant) (core.IOR, error) {\n", name, name)
+	p("\treturn p.RegisterSPMD(key, %sIDL(), New%sSkeleton(impl))\n}\n\n", name, name)
+	hasDist := false
+	for _, op := range ii.Ops {
+		for _, prm := range op.Params {
+			if prm.Distributed() {
+				hasDist = true
+			}
+		}
+	}
+	if !hasDist {
+		p("// Register%sSingle registers a single %s object owned by the calling thread.\n", name, ii.Name)
+		p("func Register%sSingle(p *poa.POA, key string, impl %sServant) (core.IOR, error) {\n", name, name)
+		p("\treturn p.RegisterSingle(key, %sIDL(), New%sSkeleton(impl))\n}\n\n", name, name)
+	}
+	return nil
+}
+
+// resultTypes lists the Go types of an operation's results in cell order.
+func (g *gen) resultTypes(op idl.OpInfo) (types []string, params []idl.ParamInfo) {
+	if op.Ret != nil {
+		types = append(types, g.plainGoType(op.Ret))
+		params = append(params, idl.ParamInfo{TC: op.Ret})
+	}
+	for _, prm := range op.Params {
+		if prm.Dir != "in" {
+			types = append(types, g.goType(prm))
+			params = append(params, prm)
+		}
+	}
+	return types, params
+}
+
+// stubs emits the blocking and non-blocking client stubs for one op.
+func (g *gen) stubs(out *strings.Builder, iface string, op idl.OpInfo) error {
+	p := func(format string, args ...any) { fmt.Fprintf(out, format, args...) }
+	opName := goName(op.Name)
+
+	// Input parameter list (in + inout).
+	var inputs []string
+	for _, prm := range op.Params {
+		if prm.Dir != "out" {
+			inputs = append(inputs, fmt.Sprintf("%s %s", safeName(prm.Name), g.goType(prm)))
+		}
+	}
+	inputList := strings.Join(inputs, ", ")
+
+	// args expression per param.
+	argExpr := func(prm idl.ParamInfo) string {
+		switch {
+		case prm.Dir == "out" && prm.Distributed():
+			return fmt.Sprintf("dseq.EmptyByTC(p.b.ORB().Comm(), %s)", g.tcExpr(prm.TC.Elem))
+		case prm.Dir == "out":
+			return "nil"
+		default:
+			if _, mapped := g.nativeMapping(prm); mapped {
+				// Native in-parameter: no-copy view as a dseq.
+				return safeName(prm.Name) + ".AsDSeq()"
+			}
+			if isStruct(prm.TC) {
+				return safeName(prm.Name) + ".AsStructVal()"
+			}
+			return safeName(prm.Name)
+		}
+	}
+	var args []string
+	for _, prm := range op.Params {
+		args = append(args, argExpr(prm))
+	}
+	if anyDistOut(op) {
+		g.use("pardis/internal/dseq")
+	}
+
+	rTypes, rParams := g.resultTypes(op)
+
+	// Non-blocking stub. Futures of distributed out parameters are typed
+	// by the underlying dseq even under a package mapping: the native
+	// conversion happens after resolution.
+	g.use("pardis/internal/future")
+	var nbElems []string
+	for i, rt := range rTypes {
+		nbElems = append(nbElems, futureElem(rt, rParams[i]))
+	}
+	var nbResults []string
+	for _, el := range nbElems {
+		nbResults = append(nbResults, futureType(el))
+	}
+	// A void operation still completes asynchronously: hand back a
+	// completion future — unless it is oneway, where no reply ever comes.
+	doneOnly := len(nbElems) == 0 && !op.Oneway
+	if doneOnly {
+		nbResults = append(nbResults, "future.Done")
+	}
+	nbResults = append(nbResults, "error")
+	p("// %sNB is the non-blocking stub for %s.%s: it returns immediately\n", opName, iface, op.Name)
+	p("// after the request is sent, with futures that resolve together when\n// the server replies.\n")
+	p("func (p *%s) %sNB(%s) (%s) {\n", iface, opName, inputList, strings.Join(nbResults, ", "))
+	cellVar := "cell"
+	if len(nbElems) == 0 && !doneOnly {
+		cellVar = "_" // oneway: nothing to resolve
+	}
+	p("\t%s, err := p.b.InvokeNB(%q, []any{%s})\n", cellVar, op.Name, strings.Join(args, ", "))
+	zf := zeroFutures(nbElems)
+	if doneOnly {
+		zf = "future.Done{}, err"
+	}
+	p("\tif err != nil {\n\t\treturn %s\n\t}\n", zf)
+	var rets []string
+	for i, el := range nbElems {
+		rets = append(rets, fmt.Sprintf("future.Of[%s](cell, %d)", el, i))
+	}
+	if doneOnly {
+		rets = append(rets, "future.DoneOf(cell)")
+	}
+	rets = append(rets, "nil")
+	p("\treturn %s\n}\n\n", strings.Join(rets, ", "))
+
+	// Blocking stub.
+	var blockResults []string
+	blockResults = append(blockResults, rTypes...)
+	blockResults = append(blockResults, "error")
+	p("// %s is the blocking stub for %s.%s.\n", opName, iface, op.Name)
+	p("func (p *%s) %s(%s) (%s) {\n", iface, opName, inputList, strings.Join(blockResults, ", "))
+	if len(rTypes) == 0 {
+		p("\t_, err := p.b.Invoke(%q, []any{%s})\n\treturn err\n}\n\n", op.Name, strings.Join(args, ", "))
+		return nil
+	}
+	p("\tvals, err := p.b.Invoke(%q, []any{%s})\n", op.Name, strings.Join(args, ", "))
+	p("\tif err != nil {\n\t\treturn %s\n\t}\n", zeroValues(rTypes))
+	var extracted []string
+	for i, rt := range rTypes {
+		extracted = append(extracted, g.extractResult(fmt.Sprintf("vals[%d]", i), rt, rParams[i]))
+	}
+	extracted = append(extracted, "nil")
+	p("\treturn %s\n}\n\n", strings.Join(extracted, ", "))
+	return nil
+}
+
+func anyDistOut(op idl.OpInfo) bool {
+	for _, prm := range op.Params {
+		if prm.Dir == "out" && prm.Distributed() {
+			return true
+		}
+	}
+	return false
+}
+
+// futureElem is the instantiation type of a result future. Native-mapped
+// out parameters resolve as their underlying dseq type, and struct results
+// as the wire representation — both convert after resolution (futures carry
+// the values the reply delivered).
+func futureElem(goType string, prm idl.ParamInfo) string {
+	if prm.TC != nil && prm.TC.Kind == typecode.DSequence {
+		return "*dseq.DSeq[" + dseqElem(prm.TC.Elem) + "]"
+	}
+	if prm.TC != nil && prm.TC.Kind == typecode.Struct {
+		return "*typecode.StructVal"
+	}
+	return goType
+}
+
+func futureType(goType string) string {
+	return "future.Future[" + goType + "]"
+}
+
+func zeroFutures(rTypes []string) string {
+	var zs []string
+	for _, rt := range rTypes {
+		zs = append(zs, futureType(rt)+"{}")
+	}
+	zs = append(zs, "err")
+	return strings.Join(zs, ", ")
+}
+
+func zeroValues(rTypes []string) string {
+	var zs []string
+	for _, rt := range rTypes {
+		zs = append(zs, zeroOf(rt))
+	}
+	zs = append(zs, "err")
+	return strings.Join(zs, ", ")
+}
+
+func zeroOf(goType string) string {
+	switch goType {
+	case "bool":
+		return "false"
+	case "string":
+		return `""`
+	case "byte", "int16", "uint16", "int32", "uint32", "int64", "uint64", "float32", "float64":
+		return "0"
+	}
+	if strings.HasPrefix(goType, "*") || strings.HasPrefix(goType, "[]") || goType == "any" {
+		return "nil"
+	}
+	return goType + "{}"
+}
+
+// extractResult converts a cell value to the stub's typed result.
+func (g *gen) extractResult(expr, goType string, prm idl.ParamInfo) string {
+	if prm.TC != nil && prm.TC.Kind == typecode.DSequence {
+		d := fmt.Sprintf("%s(%s.(dseq.Distributed))", asFunc(prm.TC.Elem), expr)
+		if native, ok := g.nativeMapping(prm); ok {
+			return nativeFrom(native, d)
+		}
+		return d
+	}
+	if prm.TC != nil && isStruct(prm.TC) {
+		return fmt.Sprintf("%sFromStructVal(%s.(*typecode.StructVal))", structGoName(prm.TC), expr)
+	}
+	if goType == "any" {
+		return expr
+	}
+	return fmt.Sprintf("%s.(%s)", expr, goType)
+}
+
+// nativeFrom wraps a dseq expression into the mapped package's native type.
+func nativeFrom(native, dseqExpr string) string {
+	switch native {
+	case "*pooma.Field":
+		return "pooma.FieldFromDSeq(" + dseqExpr + ")"
+	case "*pstl.DistVector":
+		return "pstl.VectorFromDSeq(" + dseqExpr + ")"
+	}
+	return dseqExpr
+}
+
+// servantSig renders the typed servant method signature.
+func (g *gen) servantSig(op idl.OpInfo) string {
+	var inputs []string
+	inputs = append(inputs, "ctx *poa.Context")
+	for _, prm := range op.Params {
+		if prm.Dir != "out" {
+			inputs = append(inputs, fmt.Sprintf("%s %s", safeName(prm.Name), g.goType(prm)))
+		}
+	}
+	var results []string
+	if op.Ret != nil {
+		results = append(results, g.plainGoType(op.Ret))
+	}
+	for _, prm := range op.Params {
+		if prm.Dir != "in" {
+			results = append(results, g.goType(prm))
+		}
+	}
+	results = append(results, "error")
+	return fmt.Sprintf("%s(%s) (%s)", goName(op.Name), strings.Join(inputs, ", "), strings.Join(results, ", "))
+}
+
+// skeletonCase emits one dispatch case of the skeleton.
+func (g *gen) skeletonCase(out *strings.Builder, op idl.OpInfo) {
+	p := func(format string, args ...any) { fmt.Fprintf(out, format, args...) }
+	p("\t\tcase %q:\n", op.Name)
+	// Typed arguments from in[].
+	var callArgs []string
+	callArgs = append(callArgs, "ctx")
+	for i, prm := range op.Params {
+		if prm.Dir == "out" {
+			continue
+		}
+		expr := fmt.Sprintf("in[%d]", i)
+		if prm.Distributed() {
+			g.use("pardis/internal/dseq")
+			d := fmt.Sprintf("%s(%s.(dseq.Distributed))", asFunc(prm.TC.Elem), expr)
+			if native, ok := g.nativeMapping(prm); ok {
+				d = nativeFrom(native, d)
+			}
+			callArgs = append(callArgs, d)
+		} else if isStruct(prm.TC) {
+			callArgs = append(callArgs,
+				fmt.Sprintf("%sFromStructVal(%s.(*typecode.StructVal))", structGoName(prm.TC), expr))
+		} else if gt := g.goType(prm); gt == "any" {
+			callArgs = append(callArgs, expr)
+		} else {
+			callArgs = append(callArgs, fmt.Sprintf("%s.(%s)", expr, gt))
+		}
+	}
+	// Result variables.
+	var lhs []string
+	if op.Ret != nil {
+		lhs = append(lhs, "ret")
+	}
+	outIdx := 0
+	var outVars []string
+	for _, prm := range op.Params {
+		if prm.Dir == "in" {
+			continue
+		}
+		v := fmt.Sprintf("out%d", outIdx)
+		outIdx++
+		lhs = append(lhs, v)
+		outVars = append(outVars, v)
+	}
+	lhs = append(lhs, "err")
+	p("\t\t\t%s := impl.%s(%s)\n", strings.Join(lhs, ", "), goName(op.Name), strings.Join(callArgs, ", "))
+	p("\t\t\tif err != nil {\n\t\t\t\treturn nil, nil, err\n\t\t\t}\n")
+	// Convert native out values back to dseq for the wire.
+	outIdx = 0
+	var outExprs []string
+	for _, prm := range op.Params {
+		if prm.Dir == "in" {
+			continue
+		}
+		v := outVars[outIdx]
+		outIdx++
+		if _, ok := g.nativeMapping(prm); ok && prm.Distributed() {
+			outExprs = append(outExprs, v+".AsDSeq()")
+		} else if isStruct(prm.TC) {
+			outExprs = append(outExprs, v+".AsStructVal()")
+		} else {
+			outExprs = append(outExprs, v)
+		}
+	}
+	retExpr := "nil"
+	if op.Ret != nil {
+		retExpr = "ret"
+		if isStruct(op.Ret) {
+			retExpr = "ret.AsStructVal()"
+		}
+	}
+	if len(outExprs) == 0 {
+		p("\t\t\treturn %s, nil, nil\n", retExpr)
+	} else {
+		p("\t\t\treturn %s, []any{%s}, nil\n", retExpr, strings.Join(outExprs, ", "))
+	}
+}
+
+// safeName avoids Go keyword collisions in generated parameter names.
+func safeName(n string) string {
+	switch n {
+	case "type", "func", "map", "range", "select", "case", "chan", "const",
+		"defer", "go", "if", "else", "for", "import", "interface", "package",
+		"return", "struct", "switch", "var", "break", "continue", "default",
+		"fallthrough", "goto", "in", "len", "cap", "error":
+		return n + "_"
+	}
+	return n
+}

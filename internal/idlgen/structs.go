@@ -1,0 +1,92 @@
+package idlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"pardis/internal/typecode"
+)
+
+// Typed struct generation: every IDL struct becomes a Go struct type with
+// conversions to and from the wire representation (*typecode.StructVal).
+// Operation signatures then use the typed form — `*Point` instead of the
+// dynamic-invocation value — while the ORB keeps marshaling through
+// typecodes underneath.
+
+// structGoName is the generated Go type name for an IDL struct.
+func structGoName(tc *typecode.TypeCode) string { return goName(tc.Name) }
+
+// emitStructs writes the struct type declarations and their conversions.
+func (g *gen) emitStructs(out *strings.Builder) {
+	for _, s := range g.spec.Structs {
+		g.emitStruct(out, s)
+	}
+}
+
+func (g *gen) emitStruct(out *strings.Builder, tc *typecode.TypeCode) {
+	p := func(format string, args ...any) { fmt.Fprintf(out, format, args...) }
+	name := structGoName(tc)
+	g.use("pardis/internal/typecode")
+
+	p("// %s mirrors IDL struct %s.\ntype %s struct {\n", name, tc.Name, name)
+	for _, f := range tc.Fields {
+		p("\t%s %s\n", goName(f.Name), g.fieldGoType(f.Type))
+	}
+	p("}\n\n")
+
+	// To wire form. A nil receiver marshals as a zero-valued struct, so
+	// partially-initialized values survive the wire.
+	p("// AsStructVal converts to the wire representation.\n")
+	p("func (v *%s) AsStructVal() *typecode.StructVal {\n", name)
+	p("\tif v == nil {\n\t\tv = &%s{}\n\t}\n", name)
+	p("\treturn &typecode.StructVal{TC: %sTC(), Fields: []any{\n", name)
+	for _, f := range tc.Fields {
+		p("\t\t%s,\n", g.fieldToWire("v."+goName(f.Name), f.Type))
+	}
+	p("\t}}\n}\n\n")
+
+	// From wire form.
+	p("// %sFromStructVal converts from the wire representation.\n", name)
+	p("func %sFromStructVal(sv *typecode.StructVal) *%s {\n", name, name)
+	p("\tif sv == nil {\n\t\treturn nil\n\t}\n")
+	p("\treturn &%s{\n", name)
+	for i, f := range tc.Fields {
+		p("\t\t%s: %s,\n", goName(f.Name), g.fieldFromWire(fmt.Sprintf("sv.Fields[%d]", i), f.Type))
+	}
+	p("\t}\n}\n\n")
+}
+
+// fieldGoType is the Go type of a struct field.
+func (g *gen) fieldGoType(tc *typecode.TypeCode) string {
+	if tc.Kind == typecode.Struct {
+		return "*" + structGoName(tc)
+	}
+	return g.plainGoType(tc)
+}
+
+// fieldToWire converts a typed field expression to its wire value. Slice
+// fields convert through their named Go type so nil slices stay typed on
+// the wire (a bare nil would break the receiving assertion).
+func (g *gen) fieldToWire(expr string, tc *typecode.TypeCode) string {
+	if tc.Kind == typecode.Struct {
+		return expr + ".AsStructVal()"
+	}
+	return expr
+}
+
+// fieldFromWire converts a wire value expression to the typed field.
+func (g *gen) fieldFromWire(expr string, tc *typecode.TypeCode) string {
+	if tc.Kind == typecode.Struct {
+		return fmt.Sprintf("%sFromStructVal(%s.(*typecode.StructVal))", structGoName(tc), expr)
+	}
+	gt := g.plainGoType(tc)
+	if gt == "any" {
+		return expr
+	}
+	return fmt.Sprintf("%s.(%s)", expr, gt)
+}
+
+// structParam reports whether a parameter/result type is a named struct.
+func isStruct(tc *typecode.TypeCode) bool {
+	return tc != nil && tc.Kind == typecode.Struct
+}

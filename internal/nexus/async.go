@@ -1,0 +1,78 @@
+package nexus
+
+import (
+	"pardis/internal/simnet"
+	"pardis/internal/vtime"
+)
+
+// NewAsyncSimEndpoint creates a simulated endpoint whose sends are executed
+// by a dedicated *communication process* co-located with the owner: Send
+// enqueues the frame (a cheap handoff) and returns, and the companion
+// process pays the wire occupancy — the multi-threaded PARDIS the paper's
+// §6 proposes ("using communication threads, additional to the computing
+// threads, as sending and receiving processes ... might alleviate such
+// problems as pipeline congestion").
+//
+// Receives still happen on the owning process, preserving the polling
+// model. The companion terminates when the endpoint is closed.
+func NewAsyncSimEndpoint(f *SimFabric, name string, p *vtime.Proc, host *simnet.Host) Endpoint {
+	inner := f.NewEndpoint(name, p, host).(*simEP)
+	outbox := vtime.NewChan(f.sim, name+"-outbox")
+	ep := &asyncSimEP{simEP: inner, outbox: outbox, owner: p}
+	comm := f.sim.Spawn(name+"-comm", func(cp *vtime.Proc) {
+		// The companion charges send costs on its own clock and
+		// transmits on behalf of the owner by stamping frames with the
+		// owner's address.
+		for {
+			v := cp.Recv(outbox)
+			job, ok := v.(asyncSend)
+			if !ok {
+				return // close sentinel
+			}
+			dst, ok := f.eps[job.to]
+			if !ok {
+				continue // destination vanished; nothing to report asynchronously
+			}
+			link, err := f.linkFor(host.Name, dst.host.Name)
+			if err != nil {
+				continue
+			}
+			cp.Advance(vtime.Microseconds(50))
+			arrival := link.Send(cp, len(job.data)+64)
+			cp.SendAt(dst.inbox, Frame{From: inner.addr, Data: job.data}, arrival)
+		}
+	})
+	comm.SetDaemon(true)
+	return ep
+}
+
+type asyncSend struct {
+	to   Addr
+	data []byte
+}
+
+type asyncSimEP struct {
+	*simEP
+	outbox *vtime.Chan
+	owner  *vtime.Proc
+}
+
+// Send hands the frame to the communication process; the computing thread
+// pays only a small handoff cost.
+func (e *asyncSimEP) Send(to Addr, data []byte) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if _, ok := e.fabric.eps[to]; !ok {
+		return ErrNoRoute
+	}
+	e.owner.Advance(vtime.Microseconds(10)) // enqueue handoff
+	e.owner.Send(e.outbox, asyncSend{to: to, data: data}, 0)
+	return nil
+}
+
+// Close retires the endpoint and its communication process.
+func (e *asyncSimEP) Close() error {
+	e.owner.Send(e.outbox, nil, 0) // sentinel stops the companion
+	return e.simEP.Close()
+}

@@ -1,0 +1,173 @@
+// Package nexus is PARDIS' network transport layer, playing the role
+// NexusLite (the single-threaded Nexus implementation) played in the
+// original system.
+//
+// The model is Nexus' startpoint/endpoint remote-service-request style
+// rather than BSD sockets: every logical thread owns one Endpoint; frames
+// sent to an endpoint's address accumulate in its inbox, stamped with the
+// sender's address, and the owner polls or blocks for them. Three
+// interchangeable fabrics implement the model:
+//
+//   - Inproc — in-process queues; runnable examples and tests.
+//   - TCP — real sockets on the loopback or a LAN (transport.go).
+//   - Sim — virtual-time fabric over simnet links; the experiment
+//     harness (sim.go).
+//
+// Single-threadedness is preserved where it matters: on the Sim fabric a
+// Send occupies the sending thread for the frame's full wire time, exactly
+// the NexusLite behaviour the paper blames for the flattening of Figure 5.
+package nexus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Addr identifies an endpoint. The scheme prefix names the fabric
+// ("inproc://", "tcp://", "sim://").
+type Addr string
+
+// Frame is one received message.
+type Frame struct {
+	From Addr
+	Data []byte
+}
+
+// ErrClosed is returned for operations on a closed endpoint or fabric.
+var ErrClosed = errors.New("nexus: endpoint closed")
+
+// ErrNoRoute is returned when an address cannot be reached.
+var ErrNoRoute = errors.New("nexus: no route to address")
+
+// Endpoint is a logical thread's communication port.
+//
+// Recv and Poll must be called only by the owning thread; Send may be
+// called by the owner (Sim fabric: only the owner). Frames between the same
+// pair of endpoints arrive in send order.
+type Endpoint interface {
+	// Addr is this endpoint's reachable address.
+	Addr() Addr
+	// Send delivers a frame to the endpoint at to. It may block for the
+	// frame's wire occupancy but never waits for the receiver.
+	Send(to Addr, data []byte) error
+	// Recv blocks until a frame arrives.
+	Recv() (Frame, error)
+	// Poll returns a frame if one is pending.
+	Poll() (Frame, bool, error)
+	// Close releases the endpoint; concurrent and subsequent receives
+	// fail with ErrClosed.
+	Close() error
+}
+
+// --- In-process fabric -------------------------------------------------------
+
+// Inproc is an in-process fabric: a namespace of endpoints connected by
+// queues. Safe for concurrent use by many goroutines.
+type Inproc struct {
+	mu   sync.Mutex
+	next int
+	eps  map[Addr]*inprocEP
+}
+
+// NewInproc creates an empty in-process fabric.
+func NewInproc() *Inproc {
+	return &Inproc{eps: map[Addr]*inprocEP{}}
+}
+
+// NewEndpoint creates an endpoint. The name is advisory; the returned
+// endpoint's Addr is unique within the fabric.
+func (f *Inproc) NewEndpoint(name string) Endpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.next++
+	ep := &inprocEP{
+		fabric: f,
+		addr:   Addr(fmt.Sprintf("inproc://%s/%d", name, f.next)),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+	f.eps[ep.addr] = ep
+	return ep
+}
+
+func (f *Inproc) lookup(a Addr) (*inprocEP, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.eps[a]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoRoute, a)
+	}
+	return ep, nil
+}
+
+func (f *Inproc) drop(a Addr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.eps, a)
+}
+
+type inprocEP struct {
+	fabric *Inproc
+	addr   Addr
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Frame
+	closed bool
+}
+
+func (e *inprocEP) Addr() Addr { return e.addr }
+
+func (e *inprocEP) Send(to Addr, data []byte) error {
+	dst, err := e.fabric.lookup(to)
+	if err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.closed {
+		return fmt.Errorf("%w: %s", ErrClosed, to)
+	}
+	dst.queue = append(dst.queue, Frame{From: e.addr, Data: cp})
+	dst.cond.Broadcast()
+	return nil
+}
+
+func (e *inprocEP) Recv() (Frame, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 {
+		return Frame{}, ErrClosed
+	}
+	fr := e.queue[0]
+	e.queue = e.queue[1:]
+	return fr, nil
+}
+
+func (e *inprocEP) Poll() (Frame, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed && len(e.queue) == 0 {
+		return Frame{}, false, ErrClosed
+	}
+	if len(e.queue) == 0 {
+		return Frame{}, false, nil
+	}
+	fr := e.queue[0]
+	e.queue = e.queue[1:]
+	return fr, true, nil
+}
+
+func (e *inprocEP) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.fabric.drop(e.addr)
+	return nil
+}

@@ -1,0 +1,232 @@
+package nexus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// maxFrame bounds a single frame to keep a corrupt length prefix from
+// allocating unbounded memory.
+const maxFrame = 1 << 28 // 256 MiB
+
+// NewTCPEndpoint creates an endpoint listening on the given address
+// (""/":0" picks a free loopback port). Real-network counterpart of the
+// Inproc fabric: frames are length-prefixed on persistent connections, and
+// a connection opened by a dialer is reused for frames flowing back.
+func NewTCPEndpoint(listen string) (Endpoint, error) {
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("nexus: %w", err)
+	}
+	e := &tcpEP{
+		ln:    ln,
+		addr:  Addr("tcp://" + ln.Addr().String()),
+		conns: map[Addr]*tcpConn{},
+	}
+	e.cond = sync.NewCond(&e.mu)
+	go e.acceptLoop()
+	return e, nil
+}
+
+type tcpConn struct {
+	c  net.Conn
+	wm sync.Mutex // serializes frame writes
+}
+
+type tcpEP struct {
+	ln   net.Listener
+	addr Addr
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Frame
+	conns  map[Addr]*tcpConn
+	closed bool
+}
+
+func (e *tcpEP) Addr() Addr { return e.addr }
+
+func (e *tcpEP) acceptLoop() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(c, "")
+	}
+}
+
+// readLoop reads frames from one connection. The first frame on an inbound
+// connection is a hello carrying the dialer's endpoint address; it
+// registers the connection as the route back to that address.
+func (e *tcpEP) readLoop(c net.Conn, peer Addr) {
+	defer c.Close()
+	for {
+		data, err := readFrame(c)
+		if err != nil {
+			if peer != "" {
+				e.mu.Lock()
+				if tc, ok := e.conns[peer]; ok && tc.c == c {
+					delete(e.conns, peer)
+				}
+				e.mu.Unlock()
+			}
+			return
+		}
+		if peer == "" {
+			peer = Addr(data)
+			e.mu.Lock()
+			if _, exists := e.conns[peer]; !exists {
+				e.conns[peer] = &tcpConn{c: c}
+			}
+			e.mu.Unlock()
+			continue
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		e.queue = append(e.queue, Frame{From: peer, Data: data})
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+func readFrame(c net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("nexus: frame of %d bytes exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(c, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func writeFrame(tc *tcpConn, data []byte) error {
+	tc.wm.Lock()
+	defer tc.wm.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := tc.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := tc.c.Write(data)
+	return err
+}
+
+func (e *tcpEP) Send(to Addr, data []byte) error {
+	tc, err := e.connTo(to)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(tc, data); err != nil {
+		// Connection died; drop it so a retry re-dials.
+		e.mu.Lock()
+		if cur, ok := e.conns[to]; ok && cur == tc {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		return fmt.Errorf("nexus: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (e *tcpEP) connTo(to Addr) (*tcpConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if tc, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return tc, nil
+	}
+	e.mu.Unlock()
+
+	hostport, ok := strings.CutPrefix(string(to), "tcp://")
+	if !ok {
+		return nil, fmt.Errorf("%w: %s is not a tcp address", ErrNoRoute, to)
+	}
+	c, err := net.Dial("tcp", hostport)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrNoRoute, to, err)
+	}
+	tc := &tcpConn{c: c}
+	// Hello: announce our endpoint address so the peer can route replies
+	// over this connection.
+	if err := writeFrame(tc, []byte(e.addr)); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("nexus: hello to %s: %w", to, err)
+	}
+	e.mu.Lock()
+	if cur, ok := e.conns[to]; ok {
+		// Lost a dial race; use the established connection.
+		e.mu.Unlock()
+		c.Close()
+		return cur, nil
+	}
+	e.conns[to] = tc
+	e.mu.Unlock()
+	go e.readLoop(c, to)
+	return tc, nil
+}
+
+func (e *tcpEP) Recv() (Frame, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 {
+		return Frame{}, ErrClosed
+	}
+	fr := e.queue[0]
+	e.queue = e.queue[1:]
+	return fr, nil
+}
+
+func (e *tcpEP) Poll() (Frame, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed && len(e.queue) == 0 {
+		return Frame{}, false, ErrClosed
+	}
+	if len(e.queue) == 0 {
+		return Frame{}, false, nil
+	}
+	fr := e.queue[0]
+	e.queue = e.queue[1:]
+	return fr, true, nil
+}
+
+func (e *tcpEP) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[Addr]*tcpConn{}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.ln.Close()
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,453 @@
+// Package pgiop defines PARDIS' inter-ORB wire protocol — the GIOP analog
+// exchanged as nexus frames between client and server computing threads.
+//
+// Beyond GIOP's Request/Reply/Locate messages, the protocol adds the
+// ArgStream message: a self-describing segment of a distributed argument
+// flowing *directly* between one client thread and one server thread, which
+// is how the ORB transfers distributed arguments in parallel instead of
+// funneling them through a single connection.
+//
+// Correlation model:
+//   - (BindingID, SeqNo) identifies one collective invocation globally;
+//     SeqNo also gives the per-binding ordering guarantee.
+//   - ReqID is a per-client-thread id used to match Reply (and out-bound
+//     ArgStream) messages to that thread's pending futures.
+package pgiop
+
+import (
+	"errors"
+	"fmt"
+
+	"pardis/internal/cdr"
+	"pardis/internal/dist"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType byte
+
+// Protocol message types.
+const (
+	MsgRequest MsgType = iota + 1
+	MsgReply
+	MsgArgStream
+	MsgLocateRequest
+	MsgLocateReply
+	MsgCancelRequest
+	MsgShutdown
+)
+
+// Version is the protocol version carried in every message.
+const Version byte = 1
+
+var magic = [2]byte{'P', 'G'}
+
+// ErrBadMessage reports a malformed or foreign frame.
+var ErrBadMessage = errors.New("pgiop: bad message")
+
+// Status codes carried in Reply.
+const (
+	StatusOK        byte = 0
+	StatusException byte = 1
+)
+
+// Directions for ArgStream.
+const (
+	DirIn  byte = 0 // client -> server
+	DirOut byte = 1 // server -> client
+)
+
+// DistInSpec announces a distributed "in" argument: its parameter index and
+// global length. (Both sides already know the distribution templates from
+// the interface definition exchanged at bind time.)
+type DistInSpec struct {
+	Param int32
+	N     int32
+	// Layout is the client-side layout of the argument, letting the
+	// server validate against the runs it receives.
+	Layout dist.Layout
+}
+
+// DistOutSpec announces the client's requested distribution for a
+// distributed "out" argument — the paper's "the client can set the
+// distribution of the expected out arguments before making an invocation".
+type DistOutSpec struct {
+	Param int32
+	Tmpl  dist.Template
+}
+
+// Request is the invocation header. Every client thread sends one to server
+// thread 0; threads j != 0 learn of it through the server's internal
+// dispatch broadcast.
+type Request struct {
+	BindingID  string
+	SeqNo      uint32
+	ReqID      uint32
+	ClientRank int32
+	ClientSize int32
+	ReplyAddr  string
+	ObjectKey  string
+	Operation  string
+	Oneway     bool
+	Body       []byte // inline (non-distributed) in/inout arguments
+	DistIns    []DistInSpec
+	DistOuts   []DistOutSpec
+}
+
+// OutLen announces a distributed out argument's global length in a Reply.
+type OutLen struct {
+	Param int32
+	N     int32
+	// Layout is the server-side layout the segments were cut from.
+	Layout dist.Layout
+}
+
+// Reply completes an invocation for one client thread.
+type Reply struct {
+	ReqID   uint32
+	Status  byte
+	Error   string // exception reason when Status != StatusOK
+	Body    []byte // return value + non-distributed out/inout arguments
+	OutLens []OutLen
+}
+
+// Run describes one contiguous piece of an ArgStream in receiver
+// coordinates.
+type Run struct {
+	Global int32 // first global element index
+	Len    int32
+	DstOff int32 // offset in the receiving thread's local storage
+}
+
+// ArgStream carries segment data of one distributed argument between one
+// (sender thread, receiver thread) pair.
+type ArgStream struct {
+	BindingID string
+	SeqNo     uint32
+	ReqID     uint32 // out-direction: the receiving client thread's ReqID
+	Param     int32
+	Dir       byte
+	Runs      []Run
+	Payload   []byte
+}
+
+// LocateRequest asks whether a server hosts the object.
+type LocateRequest struct {
+	ReqID     uint32
+	ObjectKey string
+}
+
+// LocateReply answers a LocateRequest.
+type LocateReply struct {
+	ReqID uint32
+	Found bool
+}
+
+// CancelRequest withdraws interest in a pending request's reply.
+type CancelRequest struct {
+	BindingID string
+	SeqNo     uint32
+}
+
+// Shutdown asks a server to leave its dispatch loop.
+type Shutdown struct {
+	Reason string
+}
+
+func putHeader(e *cdr.Encoder, t MsgType) {
+	e.PutOctet(magic[0])
+	e.PutOctet(magic[1])
+	e.PutOctet(Version)
+	e.PutOctet(byte(t))
+}
+
+// PeekType classifies a frame without fully decoding it.
+func PeekType(frame []byte) (MsgType, error) {
+	if len(frame) < 4 || frame[0] != magic[0] || frame[1] != magic[1] {
+		return 0, fmt.Errorf("%w: missing magic", ErrBadMessage)
+	}
+	if frame[2] != Version {
+		return 0, fmt.Errorf("%w: version %d", ErrBadMessage, frame[2])
+	}
+	t := MsgType(frame[3])
+	if t < MsgRequest || t > MsgShutdown {
+		return 0, fmt.Errorf("%w: type %d", ErrBadMessage, frame[3])
+	}
+	return t, nil
+}
+
+// body returns a decoder positioned after the 4-byte header. It decodes
+// over the whole frame so alignment phase matches the encoder's.
+func body(frame []byte) *cdr.Decoder {
+	d := cdr.NewDecoder(frame)
+	for i := 0; i < 4; i++ {
+		d.GetOctet()
+	}
+	return d
+}
+
+func expect(frame []byte, want MsgType) (*cdr.Decoder, error) {
+	t, err := PeekType(frame)
+	if err != nil {
+		return nil, err
+	}
+	if t != want {
+		return nil, fmt.Errorf("%w: type %d, want %d", ErrBadMessage, t, want)
+	}
+	return body(frame), nil
+}
+
+// EncodeRequest serializes a Request message.
+func EncodeRequest(r *Request) []byte {
+	e := cdr.NewEncoder(128 + len(r.Body))
+	putHeader(e, MsgRequest)
+	e.PutString(r.BindingID)
+	e.PutULong(r.SeqNo)
+	e.PutULong(r.ReqID)
+	e.PutLong(r.ClientRank)
+	e.PutLong(r.ClientSize)
+	e.PutString(r.ReplyAddr)
+	e.PutString(r.ObjectKey)
+	e.PutString(r.Operation)
+	e.PutBool(r.Oneway)
+	e.PutOctets(r.Body)
+	e.PutSeqLen(len(r.DistIns))
+	for _, s := range r.DistIns {
+		e.PutLong(s.Param)
+		e.PutLong(s.N)
+		dist.EncodeLayout(e, s.Layout)
+	}
+	e.PutSeqLen(len(r.DistOuts))
+	for _, s := range r.DistOuts {
+		e.PutLong(s.Param)
+		dist.EncodeTemplate(e, s.Tmpl)
+	}
+	return e.Bytes()
+}
+
+// DecodeRequest parses a Request message.
+func DecodeRequest(frame []byte) (*Request, error) {
+	d, err := expect(frame, MsgRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &Request{
+		BindingID:  d.GetString(),
+		SeqNo:      d.GetULong(),
+		ReqID:      d.GetULong(),
+		ClientRank: d.GetLong(),
+		ClientSize: d.GetLong(),
+		ReplyAddr:  d.GetString(),
+		ObjectKey:  d.GetString(),
+		Operation:  d.GetString(),
+		Oneway:     d.GetBool(),
+	}
+	r.Body = cloneBytes(d.GetOctets())
+	nIn := d.GetSeqLen(4)
+	for i := 0; i < nIn; i++ {
+		s := DistInSpec{Param: d.GetLong(), N: d.GetLong()}
+		l, err := dist.DecodeLayout(d)
+		if err != nil {
+			return nil, fmt.Errorf("%w: dist-in %d: %v", ErrBadMessage, i, err)
+		}
+		s.Layout = l
+		r.DistIns = append(r.DistIns, s)
+	}
+	nOut := d.GetSeqLen(4)
+	for i := 0; i < nOut; i++ {
+		s := DistOutSpec{Param: d.GetLong()}
+		t, err := dist.DecodeTemplate(d)
+		if err != nil {
+			return nil, fmt.Errorf("%w: dist-out %d: %v", ErrBadMessage, i, err)
+		}
+		s.Tmpl = t
+		r.DistOuts = append(r.DistOuts, s)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return r, nil
+}
+
+// EncodeReply serializes a Reply message.
+func EncodeReply(r *Reply) []byte {
+	e := cdr.NewEncoder(64 + len(r.Body))
+	putHeader(e, MsgReply)
+	e.PutULong(r.ReqID)
+	e.PutOctet(r.Status)
+	e.PutString(r.Error)
+	e.PutOctets(r.Body)
+	e.PutSeqLen(len(r.OutLens))
+	for _, o := range r.OutLens {
+		e.PutLong(o.Param)
+		e.PutLong(o.N)
+		dist.EncodeLayout(e, o.Layout)
+	}
+	return e.Bytes()
+}
+
+// DecodeReply parses a Reply message.
+func DecodeReply(frame []byte) (*Reply, error) {
+	d, err := expect(frame, MsgReply)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reply{
+		ReqID:  d.GetULong(),
+		Status: d.GetOctet(),
+		Error:  d.GetString(),
+	}
+	r.Body = cloneBytes(d.GetOctets())
+	n := d.GetSeqLen(4)
+	for i := 0; i < n; i++ {
+		o := OutLen{Param: d.GetLong(), N: d.GetLong()}
+		l, err := dist.DecodeLayout(d)
+		if err != nil {
+			return nil, fmt.Errorf("%w: out-len %d: %v", ErrBadMessage, i, err)
+		}
+		o.Layout = l
+		r.OutLens = append(r.OutLens, o)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return r, nil
+}
+
+// EncodeArgStream serializes an ArgStream message.
+func EncodeArgStream(a *ArgStream) []byte {
+	e := cdr.NewEncoder(64 + len(a.Payload))
+	putHeader(e, MsgArgStream)
+	e.PutString(a.BindingID)
+	e.PutULong(a.SeqNo)
+	e.PutULong(a.ReqID)
+	e.PutLong(a.Param)
+	e.PutOctet(a.Dir)
+	e.PutSeqLen(len(a.Runs))
+	for _, r := range a.Runs {
+		e.PutLong(r.Global)
+		e.PutLong(r.Len)
+		e.PutLong(r.DstOff)
+	}
+	e.PutOctets(a.Payload)
+	return e.Bytes()
+}
+
+// DecodeArgStream parses an ArgStream message.
+func DecodeArgStream(frame []byte) (*ArgStream, error) {
+	d, err := expect(frame, MsgArgStream)
+	if err != nil {
+		return nil, err
+	}
+	a := &ArgStream{
+		BindingID: d.GetString(),
+		SeqNo:     d.GetULong(),
+		ReqID:     d.GetULong(),
+		Param:     d.GetLong(),
+		Dir:       d.GetOctet(),
+	}
+	n := d.GetSeqLen(4)
+	for i := 0; i < n; i++ {
+		a.Runs = append(a.Runs, Run{Global: d.GetLong(), Len: d.GetLong(), DstOff: d.GetLong()})
+	}
+	a.Payload = cloneBytes(d.GetOctets())
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return a, nil
+}
+
+// EncodeLocateRequest serializes a LocateRequest.
+func EncodeLocateRequest(l *LocateRequest) []byte {
+	e := cdr.NewEncoder(32)
+	putHeader(e, MsgLocateRequest)
+	e.PutULong(l.ReqID)
+	e.PutString(l.ObjectKey)
+	return e.Bytes()
+}
+
+// DecodeLocateRequest parses a LocateRequest.
+func DecodeLocateRequest(frame []byte) (*LocateRequest, error) {
+	d, err := expect(frame, MsgLocateRequest)
+	if err != nil {
+		return nil, err
+	}
+	l := &LocateRequest{ReqID: d.GetULong(), ObjectKey: d.GetString()}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return l, nil
+}
+
+// EncodeLocateReply serializes a LocateReply.
+func EncodeLocateReply(l *LocateReply) []byte {
+	e := cdr.NewEncoder(16)
+	putHeader(e, MsgLocateReply)
+	e.PutULong(l.ReqID)
+	e.PutBool(l.Found)
+	return e.Bytes()
+}
+
+// DecodeLocateReply parses a LocateReply.
+func DecodeLocateReply(frame []byte) (*LocateReply, error) {
+	d, err := expect(frame, MsgLocateReply)
+	if err != nil {
+		return nil, err
+	}
+	l := &LocateReply{ReqID: d.GetULong(), Found: d.GetBool()}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return l, nil
+}
+
+// EncodeCancelRequest serializes a CancelRequest.
+func EncodeCancelRequest(c *CancelRequest) []byte {
+	e := cdr.NewEncoder(32)
+	putHeader(e, MsgCancelRequest)
+	e.PutString(c.BindingID)
+	e.PutULong(c.SeqNo)
+	return e.Bytes()
+}
+
+// DecodeCancelRequest parses a CancelRequest.
+func DecodeCancelRequest(frame []byte) (*CancelRequest, error) {
+	d, err := expect(frame, MsgCancelRequest)
+	if err != nil {
+		return nil, err
+	}
+	c := &CancelRequest{BindingID: d.GetString(), SeqNo: d.GetULong()}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return c, nil
+}
+
+// EncodeShutdown serializes a Shutdown message.
+func EncodeShutdown(s *Shutdown) []byte {
+	e := cdr.NewEncoder(32)
+	putHeader(e, MsgShutdown)
+	e.PutString(s.Reason)
+	return e.Bytes()
+}
+
+// DecodeShutdown parses a Shutdown message.
+func DecodeShutdown(frame []byte) (*Shutdown, error) {
+	d, err := expect(frame, MsgShutdown)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shutdown{Reason: d.GetString()}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return s, nil
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

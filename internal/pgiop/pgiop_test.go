@@ -1,0 +1,179 @@
+package pgiop
+
+import (
+	"errors"
+	"testing"
+
+	"pardis/internal/dist"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := &Request{
+		BindingID:  "bind-42",
+		SeqNo:      7,
+		ReqID:      1001,
+		ClientRank: 2,
+		ClientSize: 4,
+		ReplyAddr:  "inproc://client/2",
+		ObjectKey:  "obj:direct_solver",
+		Operation:  "solve",
+		Oneway:     false,
+		Body:       []byte{1, 2, 3, 4},
+		DistIns: []DistInSpec{
+			{Param: 0, N: 100, Layout: dist.BlockTemplate().Layout(100, 4)},
+			{Param: 1, N: 50, Layout: dist.CyclicTemplate().Layout(50, 4)},
+		},
+		DistOuts: []DistOutSpec{
+			{Param: 2, Tmpl: dist.Proportions(1, 2, 3, 4)},
+		},
+	}
+	out, err := DecodeRequest(EncodeRequest(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BindingID != in.BindingID || out.SeqNo != in.SeqNo || out.ReqID != in.ReqID ||
+		out.ClientRank != 2 || out.ClientSize != 4 || out.ReplyAddr != in.ReplyAddr ||
+		out.ObjectKey != in.ObjectKey || out.Operation != in.Operation || out.Oneway {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if string(out.Body) != string(in.Body) {
+		t.Fatal("body mismatch")
+	}
+	if len(out.DistIns) != 2 || out.DistIns[0].N != 100 || !out.DistIns[0].Layout.Equal(in.DistIns[0].Layout) {
+		t.Fatalf("dist-ins mismatch: %+v", out.DistIns)
+	}
+	if !out.DistIns[1].Layout.Equal(in.DistIns[1].Layout) {
+		t.Fatal("cyclic layout lost")
+	}
+	if len(out.DistOuts) != 1 || out.DistOuts[0].Tmpl.Kind != dist.Weighted ||
+		len(out.DistOuts[0].Tmpl.Weights) != 4 {
+		t.Fatalf("dist-outs mismatch: %+v", out.DistOuts)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	in := &Reply{
+		ReqID:  9,
+		Status: StatusException,
+		Error:  "servant raised: no such DNA",
+		Body:   []byte{0xAA},
+		OutLens: []OutLen{
+			{Param: 1, N: 256, Layout: dist.BlockTemplate().Layout(256, 8)},
+		},
+	}
+	out, err := DecodeReply(EncodeReply(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ReqID != 9 || out.Status != StatusException || out.Error != in.Error ||
+		len(out.Body) != 1 || out.Body[0] != 0xAA {
+		t.Fatalf("reply mismatch: %+v", out)
+	}
+	if len(out.OutLens) != 1 || out.OutLens[0].N != 256 || !out.OutLens[0].Layout.Equal(in.OutLens[0].Layout) {
+		t.Fatalf("outlens mismatch: %+v", out.OutLens)
+	}
+}
+
+func TestArgStreamRoundTrip(t *testing.T) {
+	in := &ArgStream{
+		BindingID: "b",
+		SeqNo:     3,
+		ReqID:     77,
+		Param:     1,
+		Dir:       DirOut,
+		Runs:      []Run{{Global: 0, Len: 10, DstOff: 0}, {Global: 40, Len: 5, DstOff: 10}},
+		Payload:   []byte{9, 9, 9},
+	}
+	out, err := DecodeArgStream(EncodeArgStream(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BindingID != "b" || out.SeqNo != 3 || out.ReqID != 77 || out.Param != 1 || out.Dir != DirOut {
+		t.Fatalf("argstream header mismatch: %+v", out)
+	}
+	if len(out.Runs) != 2 || out.Runs[1] != (Run{40, 5, 10}) {
+		t.Fatalf("runs mismatch: %+v", out.Runs)
+	}
+	if string(out.Payload) != string(in.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestLocateAndControlMessages(t *testing.T) {
+	lr, err := DecodeLocateRequest(EncodeLocateRequest(&LocateRequest{ReqID: 5, ObjectKey: "k"}))
+	if err != nil || lr.ReqID != 5 || lr.ObjectKey != "k" {
+		t.Fatalf("locate request: %+v %v", lr, err)
+	}
+	lp, err := DecodeLocateReply(EncodeLocateReply(&LocateReply{ReqID: 5, Found: true}))
+	if err != nil || !lp.Found {
+		t.Fatalf("locate reply: %+v %v", lp, err)
+	}
+	cr, err := DecodeCancelRequest(EncodeCancelRequest(&CancelRequest{BindingID: "b", SeqNo: 2}))
+	if err != nil || cr.BindingID != "b" || cr.SeqNo != 2 {
+		t.Fatalf("cancel: %+v %v", cr, err)
+	}
+	sd, err := DecodeShutdown(EncodeShutdown(&Shutdown{Reason: "done"}))
+	if err != nil || sd.Reason != "done" {
+		t.Fatalf("shutdown: %+v %v", sd, err)
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	fr := EncodeReply(&Reply{ReqID: 1})
+	typ, err := PeekType(fr)
+	if err != nil || typ != MsgReply {
+		t.Fatalf("peek = %v, %v", typ, err)
+	}
+	if _, err := PeekType([]byte{'X', 'Y', 1, 1}); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := PeekType([]byte{'P', 'G', 99, 1}); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := PeekType([]byte{'P', 'G', Version, 200}); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("bad type accepted")
+	}
+	if _, err := PeekType(nil); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+func TestWrongTypeRejected(t *testing.T) {
+	fr := EncodeReply(&Reply{})
+	if _, err := DecodeRequest(fr); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("reply decoded as request")
+	}
+}
+
+func TestTruncatedFramesRejected(t *testing.T) {
+	frames := [][]byte{
+		EncodeRequest(&Request{BindingID: "b", Operation: "op", Body: []byte{1},
+			DistIns: []DistInSpec{{Param: 0, N: 4, Layout: dist.BlockTemplate().Layout(4, 2)}}}),
+		EncodeReply(&Reply{ReqID: 1, Body: []byte{2}, OutLens: []OutLen{{Param: 0, N: 4, Layout: dist.BlockTemplate().Layout(4, 2)}}}),
+		EncodeArgStream(&ArgStream{BindingID: "b", Runs: []Run{{0, 4, 0}}, Payload: []byte{1, 2}}),
+	}
+	decoders := []func([]byte) error{
+		func(b []byte) error { _, err := DecodeRequest(b); return err },
+		func(b []byte) error { _, err := DecodeReply(b); return err },
+		func(b []byte) error { _, err := DecodeArgStream(b); return err },
+	}
+	for i, fr := range frames {
+		for cut := 4; cut < len(fr); cut++ {
+			if err := decoders[i](fr[:cut]); err == nil {
+				t.Fatalf("frame %d cut at %d decoded successfully", i, cut)
+			}
+		}
+	}
+}
+
+func TestHostileLayoutRejected(t *testing.T) {
+	// A layout whose ranges don't cover N must be rejected.
+	in := &Request{DistIns: []DistInSpec{{Param: 0, N: 10, Layout: dist.BlockTemplate().Layout(10, 2)}}}
+	fr := EncodeRequest(in)
+	// Corrupt a count deep in the frame: find and flip the last byte of
+	// the payload (a count field).
+	fr[len(fr)-1] ^= 0x01
+	if _, err := DecodeRequest(fr); err == nil {
+		t.Fatal("corrupted layout accepted")
+	}
+}

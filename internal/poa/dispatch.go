@@ -1,0 +1,352 @@
+package poa
+
+import (
+	"fmt"
+	"sort"
+
+	"pardis/internal/cdr"
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/nexus"
+	"pardis/internal/pgiop"
+	"pardis/internal/rts"
+	"pardis/internal/typecode"
+)
+
+// Decision kinds broadcast by thread 0.
+const (
+	decDispatch byte = 1
+	decShutdown byte = 2
+)
+
+// collectivePhase runs one round of the dispatch agreement: thread 0
+// broadcasts the invocations whose header sets completed (in arrival
+// order), every thread dispatches them identically.
+func (p *POA) collectivePhase() int {
+	var payloads [][]byte
+	if p.th.Rank() == 0 {
+		for _, k := range p.ready {
+			g := p.gathers[k]
+			delete(p.gathers, k)
+			if g == nil {
+				continue
+			}
+			payloads = append(payloads, encodeDecision(g))
+		}
+		p.ready = nil
+		if p.pendingShutdown {
+			payloads = append(payloads, []byte{decShutdown})
+		}
+		cnt := cdr.NewEncoder(4)
+		cnt.PutULong(uint32(len(payloads)))
+		rts.Bcast(p.th, 0, cnt.Bytes())
+		for _, d := range payloads {
+			rts.Bcast(p.th, 0, d)
+		}
+	} else {
+		d := cdr.NewDecoder(rts.Bcast(p.th, 0, nil))
+		n := int(d.GetULong())
+		for i := 0; i < n; i++ {
+			payloads = append(payloads, rts.Bcast(p.th, 0, nil))
+		}
+	}
+	count := 0
+	for _, pay := range payloads {
+		req, clients, kind, err := decodeDecision(pay)
+		if err != nil {
+			// A corrupt internal broadcast is a bug, not recoverable state.
+			panic(fmt.Sprintf("poa: corrupt dispatch decision: %v", err))
+		}
+		if kind == decShutdown {
+			p.shutdown = true
+			continue
+		}
+		p.dispatchSPMD(req, clients)
+		count++
+	}
+	return count
+}
+
+func encodeDecision(g *gather) []byte {
+	var clients []clientInfo
+	for rank, r := range g.reqs {
+		clients = append(clients, clientInfo{Rank: rank, ReqID: r.ReqID, Addr: r.ReplyAddr})
+	}
+	sort.Slice(clients, func(a, b int) bool { return clients[a].Rank < clients[b].Rank })
+	req := g.reqs[0]
+	e := cdr.NewEncoder(256)
+	e.PutOctet(decDispatch)
+	e.PutOctets(pgiop.EncodeRequest(req))
+	e.PutSeqLen(len(clients))
+	for _, c := range clients {
+		e.PutLong(c.Rank)
+		e.PutULong(c.ReqID)
+		e.PutString(c.Addr)
+	}
+	return e.Bytes()
+}
+
+func decodeDecision(pay []byte) (*pgiop.Request, []clientInfo, byte, error) {
+	d := cdr.NewDecoder(pay)
+	kind := d.GetOctet()
+	if kind == decShutdown {
+		return nil, nil, kind, d.Err()
+	}
+	req, err := pgiop.DecodeRequest(d.GetOctets())
+	if err != nil {
+		return nil, nil, kind, err
+	}
+	n := d.GetSeqLen(4)
+	clients := make([]clientInfo, 0, n)
+	for i := 0; i < n; i++ {
+		clients = append(clients, clientInfo{Rank: d.GetLong(), ReqID: d.GetULong(), Addr: d.GetString()})
+	}
+	return req, clients, kind, d.Err()
+}
+
+// dispatchSingle services a request for a single object owned by this
+// thread.
+func (p *POA) dispatchSingle(req *pgiop.Request) {
+	e := p.objects[req.ObjectKey]
+	if e == nil {
+		if !req.Oneway {
+			p.sendException(req.ReplyAddr, req.ReqID, fmt.Sprintf("no object %q", req.ObjectKey))
+		}
+		return
+	}
+	op, ok := e.iface.Op(req.Operation)
+	if !ok {
+		if !req.Oneway {
+			p.sendException(req.ReplyAddr, req.ReqID, fmt.Sprintf("no operation %s on %s", req.Operation, e.iface.Name))
+		}
+		return
+	}
+	inVals, err := p.decodeInline(op, req.Body)
+	if err != nil {
+		if !req.Oneway {
+			p.sendException(req.ReplyAddr, req.ReqID, err.Error())
+		}
+		return
+	}
+	ctx := &Context{Thread: p.th, POA: p, Oneway: req.Oneway}
+	ret, outs, serr := e.servant.Invoke(ctx, op.Name, inVals)
+	if req.Oneway {
+		return
+	}
+	if serr != nil {
+		p.sendException(req.ReplyAddr, req.ReqID, serr.Error())
+		return
+	}
+	body, _, err := p.encodeResults(op, ret, outs, nil, nil, req)
+	if err != nil {
+		p.sendException(req.ReplyAddr, req.ReqID, err.Error())
+		return
+	}
+	reply := &pgiop.Reply{ReqID: req.ReqID, Status: pgiop.StatusOK, Body: body}
+	_ = p.r.Send(nexus.Addr(req.ReplyAddr), pgiop.EncodeReply(reply))
+}
+
+// decodeInline unmarshals the non-distributed in/inout arguments of a
+// request body into the servant argument slots.
+func (p *POA) decodeInline(op *core.Operation, body []byte) ([]any, error) {
+	inVals := make([]any, len(op.Params))
+	dec := cdr.NewDecoder(body)
+	for i := range op.Params {
+		prm := &op.Params[i]
+		if prm.Distributed() || prm.Mode == core.Out {
+			continue
+		}
+		v, err := typecode.Unmarshal(dec, prm.Type)
+		if err != nil {
+			return nil, fmt.Errorf("argument %s: %v", prm.Name, err)
+		}
+		inVals[i] = v
+	}
+	return inVals, nil
+}
+
+// dispatchSPMD runs one collective invocation on this thread.
+func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo) {
+	rank, size := p.th.Rank(), p.th.Size()
+	e := p.objects[req.ObjectKey]
+	fail := func(msg string) {
+		if rank == 0 && !req.Oneway {
+			for _, c := range clients {
+				p.sendException(c.Addr, c.ReqID, msg)
+			}
+		}
+	}
+	if e == nil {
+		fail(fmt.Sprintf("no object %q", req.ObjectKey))
+		return
+	}
+	op, ok := e.iface.Op(req.Operation)
+	if !ok {
+		fail(fmt.Sprintf("no operation %s on %s", req.Operation, e.iface.Name))
+		return
+	}
+	inVals, err := p.decodeInline(op, req.Body)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	// Receive distributed in arguments: segments were sent directly to
+	// this thread by the client threads owning overlapping elements.
+	for _, spec := range req.DistIns {
+		i := int(spec.Param)
+		if i < 0 || i >= len(op.Params) || !op.Params[i].Distributed() {
+			fail(fmt.Sprintf("request names non-distributed parameter %d", i))
+			return
+		}
+		prm := &op.Params[i]
+		serverLayout := prm.ServerDist.Layout(int(spec.N), size)
+		holder := dseq.NewByTC(p.th, serverLayout, prm.Type.Elem)
+		if err := p.collectSegments(req, int32(i), holder, serverLayout.Count(rank)); err != nil {
+			fail(err.Error())
+			return
+		}
+		inVals[i] = holder
+	}
+	ctx := &Context{Thread: p.th, POA: p, Oneway: req.Oneway}
+	ret, outs, serr := e.servant.Invoke(ctx, op.Name, inVals)
+	if req.Oneway {
+		return
+	}
+	if serr != nil {
+		fail(serr.Error())
+		return
+	}
+	body, outLens, err := p.encodeResults(op, ret, outs, clients, req.DistOuts, req)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if rank == 0 {
+		for _, c := range clients {
+			reply := &pgiop.Reply{ReqID: c.ReqID, Status: pgiop.StatusOK, Body: body, OutLens: outLens}
+			_ = p.r.Send(nexus.Addr(c.Addr), pgiop.EncodeReply(reply))
+		}
+	}
+}
+
+// collectSegments consumes the in-direction segments of one distributed
+// argument until this thread's share is complete.
+func (p *POA) collectSegments(req *pgiop.Request, param int32, holder dseq.Distributed, need int) error {
+	k := segKey{req.BindingID, req.SeqNo, param}
+	got := 0
+	for got < need {
+		if len(p.segs[k]) == 0 {
+			if !p.drainBlocking() {
+				return fmt.Errorf("transport closed while receiving argument %d", param)
+			}
+			continue
+		}
+		a := p.segs[k][0]
+		p.segs[k] = p.segs[k][1:]
+		n, err := applySegment(holder, a)
+		if err != nil {
+			return err
+		}
+		got += n
+		if got > need {
+			return fmt.Errorf("argument %d received %d of %d elements", param, got, need)
+		}
+	}
+	delete(p.segs, k)
+	return nil
+}
+
+func applySegment(holder dseq.Distributed, a *pgiop.ArgStream) (int, error) {
+	localLen := holder.LocalLen()
+	var runs []dist.Run
+	n := 0
+	for _, r := range a.Runs {
+		if r.Len < 0 || r.DstOff < 0 || int(r.DstOff)+int(r.Len) > localLen {
+			return 0, fmt.Errorf("segment run [%d+%d] exceeds local storage %d", r.DstOff, r.Len, localLen)
+		}
+		runs = append(runs, dist.Run{Global: int(r.Global), Len: int(r.Len), DstOff: int(r.DstOff)})
+		n += int(r.Len)
+	}
+	if err := holder.DecodeRuns(cdr.NewDecoder(a.Payload), runs); err != nil {
+		return 0, fmt.Errorf("corrupt segment payload: %v", err)
+	}
+	return n, nil
+}
+
+// encodeResults marshals the inline reply body (return value + non-
+// distributed outs) and, for SPMD dispatch, ships distributed out segments
+// directly to the client threads.
+func (p *POA) encodeResults(op *core.Operation, ret any, outs []any,
+	clients []clientInfo, distOuts []pgiop.DistOutSpec, req *pgiop.Request) ([]byte, []pgiop.OutLen, error) {
+
+	want := 0
+	for i := range op.Params {
+		if op.Params[i].Mode != core.In {
+			want++
+		}
+	}
+	if len(outs) != want {
+		return nil, nil, fmt.Errorf("servant returned %d out values for %d out parameters", len(outs), want)
+	}
+	enc := cdr.NewEncoder(256)
+	if op.Result != nil {
+		if err := typecode.Marshal(enc, op.Result, ret); err != nil {
+			return nil, nil, fmt.Errorf("return value: %v", err)
+		}
+	}
+	var outLens []pgiop.OutLen
+	outIdx := 0
+	for i := range op.Params {
+		prm := &op.Params[i]
+		if prm.Mode == core.In {
+			continue
+		}
+		val := outs[outIdx]
+		outIdx++
+		if !prm.Distributed() {
+			if err := typecode.Marshal(enc, prm.Type, val); err != nil {
+				return nil, nil, fmt.Errorf("out value %s: %v", prm.Name, err)
+			}
+			continue
+		}
+		holder, ok := val.(dseq.Distributed)
+		if !ok {
+			return nil, nil, fmt.Errorf("servant returned %T for distributed out %s", val, prm.Name)
+		}
+		tmpl := prm.ClientDist
+		for _, s := range distOuts {
+			if int(s.Param) == i {
+				tmpl = s.Tmpl
+			}
+		}
+		clientLayout := tmpl.Layout(holder.GlobalLen(), int(req.ClientSize))
+		sched := dist.NewSchedule(holder.DLayout(), clientLayout)
+		for _, mv := range sched.MovesFrom(p.th.Rank()) {
+			pay := cdr.NewEncoder(mv.Elements() * 8)
+			holder.EncodeRuns(pay, mv.Runs)
+			as := &pgiop.ArgStream{
+				BindingID: req.BindingID,
+				SeqNo:     req.SeqNo,
+				ReqID:     clients[mv.To].ReqID,
+				Param:     int32(i),
+				Dir:       pgiop.DirOut,
+				Runs:      wireRuns(mv.Runs),
+				Payload:   pay.Bytes(),
+			}
+			if err := p.r.Send(nexus.Addr(clients[mv.To].Addr), pgiop.EncodeArgStream(as)); err != nil {
+				return nil, nil, fmt.Errorf("out segment to client %d: %v", mv.To, err)
+			}
+		}
+		outLens = append(outLens, pgiop.OutLen{Param: int32(i), N: int32(holder.GlobalLen()), Layout: holder.DLayout()})
+	}
+	return enc.Bytes(), outLens, nil
+}
+
+func wireRuns(runs []dist.Run) []pgiop.Run {
+	out := make([]pgiop.Run, len(runs))
+	for i, r := range runs {
+		out[i] = pgiop.Run{Global: int32(r.Global), Len: int32(r.Len), DstOff: int32(r.DstOff)}
+	}
+	return out
+}

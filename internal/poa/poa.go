@@ -1,0 +1,336 @@
+// Package poa implements PARDIS' server-side object adapter: servant
+// registration for single and SPMD objects, the ImplIsReady dispatch loop
+// and the ProcessRequests mid-computation poll (both collective with
+// respect to all computing threads of the server, as the paper requires),
+// and direct parallel reception/transmission of distributed arguments.
+//
+// # Collective dispatch
+//
+// An SPMD invocation is accepted only when every client thread has issued
+// it. All request headers arrive at server thread 0, which gathers them per
+// (binding, sequence number); when a set completes, thread 0 broadcasts a
+// dispatch decision through the server's run-time system, so every
+// computing thread dequeues requests in the identical order — the ordering
+// guarantee of §2.1. Threads then collect their in-argument segments
+// (which client threads sent them directly), run the servant collectively,
+// ship out-argument segments directly to the client threads, and thread 0
+// completes the invocation with per-thread replies.
+//
+// Single objects are dispatched locally by their owning thread with no
+// collective machinery, which is what allows the distributed list-server
+// placement of the paper's Figure 4 to parallelize client queries.
+package poa
+
+import (
+	"fmt"
+
+	"pardis/internal/core"
+	"pardis/internal/nexus"
+	"pardis/internal/pgiop"
+	"pardis/internal/rts"
+)
+
+// Servant is an object implementation. For SPMD objects every computing
+// thread holds a servant instance and Invoke is called collectively on all
+// of them; distributed in-arguments arrive as dseq.Distributed values
+// already holding the thread's local portion, and distributed out values
+// must be returned as dseq.Distributed with their server-side layout.
+// outs has one entry per out/inout parameter, in declaration order.
+type Servant interface {
+	Invoke(ctx *Context, op string, in []any) (ret any, outs []any, err error)
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(ctx *Context, op string, in []any) (any, []any, error)
+
+// Invoke implements Servant.
+func (f ServantFunc) Invoke(ctx *Context, op string, in []any) (any, []any, error) {
+	return f(ctx, op, in)
+}
+
+// Context is passed to servant invocations.
+type Context struct {
+	// Thread is the computing thread's run-time-system context.
+	Thread rts.Thread
+	// POA lets a servant poll for further requests during a long
+	// computation — POA::process_requests() in the paper's §4.2.
+	POA *POA
+	// Oneway reports that no reply will be sent.
+	Oneway bool
+}
+
+type entry struct {
+	iface   *core.InterfaceDef
+	servant Servant
+	spmd    bool
+}
+
+type invKey struct {
+	binding string
+	seq     uint32
+}
+
+type segKey struct {
+	binding string
+	seq     uint32
+	param   int32
+}
+
+// clientInfo is one client thread's identity for an invocation.
+type clientInfo struct {
+	Rank  int32
+	ReqID uint32
+	Addr  string
+}
+
+type gather struct {
+	reqs map[int32]*pgiop.Request
+}
+
+// POA is one computing thread's server-side adapter. An SPMD server
+// creates one POA per thread over the thread's router and communicator;
+// registration and dispatch calls are collective across them.
+type POA struct {
+	th    rts.Thread
+	r     *core.Router
+	local *core.LocalTable
+
+	objects map[string]*entry
+
+	// Thread 0 only: header gathering and the ready queue.
+	gathers map[invKey]*gather
+	ready   []invKey
+
+	localQ          []*pgiop.Request // single-object requests for this thread
+	segs            map[segKey][]*pgiop.ArgStream
+	shutdown        bool
+	pendingShutdown bool
+
+	// PollInterval is the idle wait inside ImplIsReady, seconds.
+	PollInterval float64
+}
+
+// New creates the adapter for one computing thread. table (optional)
+// receives direct-call registrations for single objects, enabling the
+// co-located bypass.
+func New(th rts.Thread, r *core.Router, table *core.LocalTable) *POA {
+	return &POA{
+		th:           th,
+		r:            r,
+		local:        table,
+		objects:      map[string]*entry{},
+		gathers:      map[invKey]*gather{},
+		segs:         map[segKey][]*pgiop.ArgStream{},
+		PollInterval: 200e-6,
+	}
+}
+
+// Thread returns the POA's computing-thread context.
+func (p *POA) Thread() rts.Thread { return p.th }
+
+// Router returns the POA's frame router.
+func (p *POA) Router() *core.Router { return p.r }
+
+// RegisterSPMD collectively registers an SPMD object: every computing
+// thread calls it with the same key and its own servant instance. The
+// returned IOR carries every thread's endpoint address.
+func (p *POA) RegisterSPMD(key string, iface *core.InterfaceDef, s Servant) (core.IOR, error) {
+	if err := iface.Validate(); err != nil {
+		return core.IOR{}, err
+	}
+	if _, dup := p.objects[key]; dup {
+		return core.IOR{}, fmt.Errorf("poa: object key %q already registered", key)
+	}
+	p.objects[key] = &entry{iface: iface, servant: s, spmd: true}
+	addrs := rts.AllGather(p.th, []byte(p.r.Addr()))
+	ior := core.IOR{
+		Interface:  iface.Name,
+		Key:        key,
+		SPMD:       true,
+		ServerSize: p.th.Size(),
+		Host:       p.th.HostName(),
+	}
+	for _, a := range addrs {
+		ior.Addrs = append(ior.Addrs, string(a))
+	}
+	// Publish server-side distribution overrides so clients compute
+	// identical transfer schedules.
+	for oi := range iface.Ops {
+		op := &iface.Ops[oi]
+		for pi := range op.Params {
+			prm := &op.Params[pi]
+			if prm.Distributed() && prm.Mode == core.In {
+				ior.InDists = append(ior.InDists, core.DistOverride{Op: op.Name, Param: pi, Tmpl: prm.ServerDist})
+			}
+		}
+	}
+	return ior, nil
+}
+
+// RegisterSingle registers a single object owned by the calling thread
+// alone ("single objects are associated with only one computing thread").
+// Operations with distributed arguments are rejected, per §3.1. Not
+// collective.
+func (p *POA) RegisterSingle(key string, iface *core.InterfaceDef, s Servant) (core.IOR, error) {
+	if err := iface.Validate(); err != nil {
+		return core.IOR{}, err
+	}
+	for oi := range iface.Ops {
+		if iface.Ops[oi].HasDistributed() {
+			return core.IOR{}, fmt.Errorf("poa: single object %q cannot serve operation %s with distributed arguments",
+				key, iface.Ops[oi].Name)
+		}
+	}
+	if _, dup := p.objects[key]; dup {
+		return core.IOR{}, fmt.Errorf("poa: object key %q already registered", key)
+	}
+	e := &entry{iface: iface, servant: s, spmd: false}
+	p.objects[key] = e
+	if p.local != nil {
+		p.local.Register(key, func(op *core.Operation, args []any) ([]any, error) {
+			return p.directCall(e, op, args)
+		})
+	}
+	return core.IOR{
+		Interface:  iface.Name,
+		Key:        key,
+		SPMD:       false,
+		ServerSize: 1,
+		Addrs:      []string{string(p.r.Addr())},
+		Host:       p.th.HostName(),
+	}, nil
+}
+
+// directCall services a co-located invocation without marshaling.
+func (p *POA) directCall(e *entry, op *core.Operation, args []any) ([]any, error) {
+	ctx := &Context{Thread: p.th, POA: p, Oneway: op.Oneway}
+	in := make([]any, 0, len(args))
+	for i := range op.Params {
+		if op.Params[i].Mode != core.Out {
+			in = append(in, args[i])
+		} else {
+			in = append(in, nil)
+		}
+	}
+	ret, outs, err := e.servant.Invoke(ctx, op.Name, in)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]any, 0, 1+len(outs))
+	if op.Result != nil {
+		vals = append(vals, ret)
+	}
+	vals = append(vals, outs...)
+	return vals, nil
+}
+
+// Deactivate marks the server for shutdown; ImplIsReady returns after the
+// current collective round.
+func (p *POA) Deactivate() { p.pendingShutdown = true }
+
+// ImplIsReady passes control to PARDIS: the thread polls for requests until
+// the server is deactivated (by Deactivate or a Shutdown message).
+// Collective with respect to all computing threads of the server.
+func (p *POA) ImplIsReady() {
+	for {
+		n := p.ProcessRequests()
+		if p.shutdown {
+			return
+		}
+		if n == 0 {
+			p.th.Sleep(p.PollInterval)
+		}
+	}
+}
+
+// ProcessRequests polls for and dispatches pending requests, then returns,
+// allowing the server to proceed with an interrupted computation.
+// Collective with respect to all computing threads of the server. It
+// returns the number of requests this thread dispatched.
+func (p *POA) ProcessRequests() int {
+	count := 0
+	p.drain()
+	// Single-object requests are served by their owning thread alone.
+	for len(p.localQ) > 0 {
+		req := p.localQ[0]
+		p.localQ = p.localQ[1:]
+		p.dispatchSingle(req)
+		count++
+		p.drain()
+	}
+	// Collective phase: thread 0 announces the completed SPMD
+	// invocations (and shutdown) in its arrival order.
+	count += p.collectivePhase()
+	return count
+}
+
+// drain moves every pending frame from the transport into the adapter's
+// queues without blocking.
+func (p *POA) drain() {
+	for {
+		m, ok, err := p.r.RecvServer(false)
+		if err != nil || !ok {
+			return
+		}
+		p.route(m)
+	}
+}
+
+// drainBlocking waits for one more server-bound message.
+func (p *POA) drainBlocking() bool {
+	m, ok, err := p.r.RecvServer(true)
+	if err != nil || !ok {
+		return false
+	}
+	p.route(m)
+	return true
+}
+
+func (p *POA) route(m *core.Msg) {
+	switch m.Type {
+	case pgiop.MsgRequest:
+		p.routeRequest(m.Req)
+	case pgiop.MsgArgStream:
+		a := m.Arg
+		k := segKey{a.BindingID, a.SeqNo, a.Param}
+		p.segs[k] = append(p.segs[k], a)
+	case pgiop.MsgLocateRequest:
+		_, found := p.objects[m.Loc.ObjectKey]
+		reply := pgiop.EncodeLocateReply(&pgiop.LocateReply{ReqID: m.Loc.ReqID, Found: found})
+		_ = p.r.Send(m.From, reply)
+	case pgiop.MsgCancelRequest:
+		delete(p.gathers, invKey{m.Cancel.BindingID, m.Cancel.SeqNo})
+	case pgiop.MsgShutdown:
+		p.pendingShutdown = true
+	}
+}
+
+func (p *POA) routeRequest(req *pgiop.Request) {
+	e := p.objects[req.ObjectKey]
+	if e == nil {
+		if !req.Oneway {
+			p.sendException(req.ReplyAddr, req.ReqID, fmt.Sprintf("no object %q on this server", req.ObjectKey))
+		}
+		return
+	}
+	if !e.spmd {
+		p.localQ = append(p.localQ, req)
+		return
+	}
+	// SPMD headers arrive only at thread 0.
+	k := invKey{req.BindingID, req.SeqNo}
+	g := p.gathers[k]
+	if g == nil {
+		g = &gather{reqs: map[int32]*pgiop.Request{}}
+		p.gathers[k] = g
+	}
+	g.reqs[req.ClientRank] = req
+	if len(g.reqs) == int(req.ClientSize) {
+		p.ready = append(p.ready, k)
+	}
+}
+
+func (p *POA) sendException(addr string, reqID uint32, msg string) {
+	reply := pgiop.EncodeReply(&pgiop.Reply{ReqID: reqID, Status: pgiop.StatusException, Error: msg})
+	_ = p.r.Send(nexus.Addr(addr), reply)
+}

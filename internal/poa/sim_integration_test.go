@@ -1,0 +1,154 @@
+package poa_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/nexus"
+	"pardis/internal/poa"
+	"pardis/internal/rts"
+	"pardis/internal/simnet"
+	"pardis/internal/vtime"
+)
+
+// TestSimFullStack runs the complete ORB path — SPMD client on one host,
+// SPMD server on another, ATM-class link — under virtual time, and checks
+// both correctness and that the modeled time is sensible.
+func TestSimFullStack(t *testing.T) {
+	sim := vtime.NewSim()
+	fab := nexus.NewSimFabric(sim)
+	tb := simnet.PaperTestbed()
+	clientHost := tb.Host("onyx")
+	serverHost := tb.Host("powerchallenge")
+	fab.Connect("onyx", "powerchallenge", tb.Link("atm"))
+
+	const S, C, N = 4, 2, 50_000
+	serverG := rts.NewSimGroup(sim, serverHost, S)
+	clientG := rts.NewSimGroup(sim, clientHost, C)
+
+	iorCh := vtime.NewChan(sim, "ior")
+
+	serverG.Spawn("server", func(th rts.Thread) {
+		st := th.(*rts.SimThread)
+		r := core.NewRouter(fab.NewEndpoint(fmt.Sprintf("srv%d", th.Rank()), st.Proc(), serverHost))
+		p := poa.New(th, r, nil)
+		p.PollInterval = 100e-6
+		ior, err := p.RegisterSPMD("scaler-sim", scaleIface(), scaleServant{})
+		if err != nil {
+			panic(err)
+		}
+		if th.Rank() == 0 {
+			for i := 0; i < C; i++ {
+				st.Proc().Send(iorCh, ior, 0)
+			}
+		}
+		p.ImplIsReady()
+	})
+
+	var clientElapsed vtime.Time
+	clientG.Spawn("client", func(th rts.Thread) {
+		st := th.(*rts.SimThread)
+		r := core.NewRouter(fab.NewEndpoint(fmt.Sprintf("cli%d", th.Rank()), st.Proc(), clientHost))
+		orb := core.NewORB(r, th, nil)
+		ior := st.Proc().Recv(iorCh).(core.IOR)
+		b, err := orb.SPMDBind(ior, scaleIface())
+		if err != nil {
+			panic(err)
+		}
+		x := dseq.New[float64](th, N, dist.BlockTemplate(), dseq.Float64Codec{})
+		for loc := range x.Local() {
+			x.Local()[loc] = 1
+		}
+		y := dseq.New[float64](th, 0, dist.BlockTemplate(), dseq.Float64Codec{})
+		vals, err := b.Invoke("scale", []any{2.0, x, y})
+		if err != nil {
+			panic(err)
+		}
+		if vals[0] != float64(N) {
+			panic(fmt.Sprintf("sum = %v", vals[0]))
+		}
+		yd := dseq.AsFloat64(vals[1].(dseq.Distributed))
+		for _, v := range yd.Local() {
+			if v != 2 {
+				panic("bad element")
+			}
+		}
+		th.Barrier()
+		if th.Rank() == 0 {
+			clientElapsed = st.Proc().Now()
+			b.Shutdown("done")
+		}
+	})
+
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 2*N doubles cross a 155 Mb/s link: ≥ 2*8*N/19.375e6 s ≈ 41 ms,
+	// and the whole exchange should stay well under a second.
+	if clientElapsed < vtime.Milliseconds(40) {
+		t.Fatalf("client elapsed %v — too fast for the modeled link", clientElapsed)
+	}
+	if clientElapsed > vtime.Seconds(1) {
+		t.Fatalf("client elapsed %v — contention model exploded", clientElapsed)
+	}
+}
+
+// TestSimLoopbackFasterThanRemote verifies the locality effect the paper's
+// §4.1 bypass relies on: co-located client/server exchange beats the
+// ATM-linked one for the same payload.
+func TestSimLoopbackFasterThanRemote(t *testing.T) {
+	run := func(colocated bool) vtime.Time {
+		sim := vtime.NewSim()
+		fab := nexus.NewSimFabric(sim)
+		tb := simnet.PaperTestbed()
+		serverHost := tb.Host("powerchallenge")
+		clientHost := serverHost
+		if !colocated {
+			clientHost = tb.Host("onyx")
+			fab.Connect("onyx", "powerchallenge", tb.Link("atm"))
+		}
+		const N = 100_000
+		serverG := rts.NewSimGroup(sim, serverHost, 2)
+		clientG := rts.NewSimGroup(sim, clientHost, 1)
+		iorCh := vtime.NewChan(sim, "ior")
+		serverG.Spawn("server", func(th rts.Thread) {
+			st := th.(*rts.SimThread)
+			r := core.NewRouter(fab.NewEndpoint("srv", st.Proc(), serverHost))
+			p := poa.New(th, r, nil)
+			p.PollInterval = 100e-6
+			ior, _ := p.RegisterSPMD("sc", scaleIface(), scaleServant{})
+			if th.Rank() == 0 {
+				st.Proc().Send(iorCh, ior, 0)
+			}
+			p.ImplIsReady()
+		})
+		var elapsed vtime.Time
+		clientG.Spawn("client", func(th rts.Thread) {
+			st := th.(*rts.SimThread)
+			r := core.NewRouter(fab.NewEndpoint("cli", st.Proc(), clientHost))
+			orb := core.NewORB(r, th, nil)
+			ior := st.Proc().Recv(iorCh).(core.IOR)
+			b, _ := orb.SPMDBind(ior, scaleIface())
+			x := dseq.New[float64](th, N, dist.BlockTemplate(), dseq.Float64Codec{})
+			y := dseq.New[float64](th, 0, dist.BlockTemplate(), dseq.Float64Codec{})
+			start := st.Proc().Now()
+			if _, err := b.Invoke("scale", []any{1.0, x, y}); err != nil {
+				panic(err)
+			}
+			elapsed = st.Proc().Now() - start
+			b.Shutdown("done")
+		})
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	local := run(true)
+	remote := run(false)
+	if local*2 >= remote {
+		t.Fatalf("co-located %v should be far faster than remote %v", local, remote)
+	}
+}

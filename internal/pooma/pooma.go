@@ -1,0 +1,287 @@
+// Package pooma is a miniature reimplementation of the POOMA library's
+// field abstraction — the parallel package the paper's diffusion component
+// is written in (§4.3) and one of the two systems PARDIS grew custom IDL
+// mappings for (§3.4).
+//
+// A Field is a 2-D grid of doubles, row-major, distributed over the
+// computing threads of an SPMD program by contiguous row blocks. Stencil
+// application exchanges one-row guard halos through the same minimal RTS
+// interface PARDIS itself uses, so fields work on both the real-time and
+// the simulated backend. The PARDIS mapping is a pair of no-copy
+// conversions to and from the distributed sequence (`#pragma POOMA:field`).
+package pooma
+
+import (
+	"fmt"
+	"math"
+
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/rts"
+)
+
+// Application-level tags for guard exchange (below the PARDIS-reserved
+// range, as the paper requires of user traffic).
+const (
+	tagGuardUp   rts.Tag = 0x1001
+	tagGuardDown rts.Tag = 0x1002
+)
+
+// Field is a 2-D grid distributed by row blocks.
+type Field struct {
+	nx, ny int // ny rows of nx columns
+	comm   rts.Comm
+	rows   dist.Layout // distribution of rows over threads
+	d      *dseq.DSeq[float64]
+}
+
+// NewField collectively creates an ny x nx field distributed in contiguous
+// row blocks.
+func NewField(comm rts.Comm, nx, ny int) *Field {
+	rows := dist.BlockTemplate().Layout(ny, commSize(comm))
+	return fieldWithRows(comm, nx, ny, rows)
+}
+
+func fieldWithRows(comm rts.Comm, nx, ny int, rows dist.Layout) *Field {
+	elems := elementLayout(rows, nx)
+	return &Field{
+		nx: nx, ny: ny, comm: comm, rows: rows,
+		d: dseq.NewFromLayout[float64](comm, elems, dseq.Float64Codec{}),
+	}
+}
+
+// elementLayout scales a row layout to the row-major element layout.
+func elementLayout(rows dist.Layout, nx int) dist.Layout {
+	w := make([]float64, rows.P)
+	for r := 0; r < rows.P; r++ {
+		w[r] = float64(rows.Count(r))
+	}
+	return dist.Proportions(w...).Layout(rows.N*nx, rows.P)
+}
+
+func commSize(c rts.Comm) int {
+	if c == nil {
+		return 1
+	}
+	return c.Size()
+}
+
+func commRank(c rts.Comm) int {
+	if c == nil {
+		return 0
+	}
+	return c.Rank()
+}
+
+// FieldFromDSeq adopts a distributed sequence as a square field — the
+// receiving half of the PARDIS mapping. Like the paper's example (a
+// 128x128 grid shipped as a row-major vector), the grid is assumed square;
+// non-square grids use FieldFromDSeqShaped.
+func FieldFromDSeq(d *dseq.DSeq[float64]) *Field {
+	n := int(math.Round(math.Sqrt(float64(d.GlobalLen()))))
+	if n*n != d.GlobalLen() {
+		panic(fmt.Sprintf("pooma: sequence of %d elements is not a square grid", d.GlobalLen()))
+	}
+	return FieldFromDSeqShaped(d, n, n)
+}
+
+// FieldFromDSeqShaped adopts a distributed sequence as an ny x nx field.
+// The sequence's distribution must cut on row boundaries.
+func FieldFromDSeqShaped(d *dseq.DSeq[float64], nx, ny int) *Field {
+	if nx*ny != d.GlobalLen() {
+		panic(fmt.Sprintf("pooma: %d elements cannot form a %dx%d grid", d.GlobalLen(), ny, nx))
+	}
+	l := d.DLayout()
+	if !l.Contiguous() {
+		panic("pooma: field requires a contiguous (row-block) distribution")
+	}
+	w := make([]float64, l.P)
+	for r := 0; r < l.P; r++ {
+		c := l.Count(r)
+		if c%nx != 0 {
+			panic(fmt.Sprintf("pooma: thread %d owns %d elements, not whole rows of %d", r, c, nx))
+		}
+		w[r] = float64(c / nx)
+	}
+	rows := dist.Proportions(w...).Layout(ny, l.P)
+	return &Field{nx: nx, ny: ny, comm: d.Comm(), rows: rows, d: d}
+}
+
+// AsDSeq exposes the field's storage as a distributed sequence without
+// copying — the sending half of the PARDIS mapping.
+func (f *Field) AsDSeq() *dseq.DSeq[float64] { return f.d }
+
+// NX reports the number of columns.
+func (f *Field) NX() int { return f.nx }
+
+// NY reports the number of rows.
+func (f *Field) NY() int { return f.ny }
+
+// FirstRow reports the first global row this thread owns.
+func (f *Field) FirstRow() int {
+	if f.LocalRows() == 0 {
+		return 0
+	}
+	return f.rows.Start(commRank(f.comm))
+}
+
+// LocalRows reports how many rows this thread owns.
+func (f *Field) LocalRows() int { return f.rows.Count(commRank(f.comm)) }
+
+// Local exposes this thread's rows as a row-major slice.
+func (f *Field) Local() []float64 { return f.d.Local() }
+
+// Row returns local row i (0 <= i < LocalRows) without copying.
+func (f *Field) Row(i int) []float64 {
+	return f.d.Local()[i*f.nx : (i+1)*f.nx]
+}
+
+// Fill sets every owned element with the value of fn at its global
+// coordinates.
+func (f *Field) Fill(fn func(x, y int) float64) {
+	first := f.FirstRow()
+	for i := 0; i < f.LocalRows(); i++ {
+		row := f.Row(i)
+		for x := range row {
+			row[x] = fn(x, first+i)
+		}
+	}
+}
+
+// neighbors returns the ranks owning the rows just above and below this
+// thread's block (-1 if none), skipping empty blocks.
+func (f *Field) neighbors() (up, down int) {
+	up, down = -1, -1
+	if f.LocalRows() == 0 {
+		return
+	}
+	first, last := f.FirstRow(), f.FirstRow()+f.LocalRows()-1
+	if first > 0 {
+		up = f.rows.Owner(first - 1)
+	}
+	if last < f.ny-1 {
+		down = f.rows.Owner(last + 1)
+	}
+	return
+}
+
+// exchangeGuards trades boundary rows with neighbor threads and returns
+// the guard rows (nil where the block touches the grid edge). Collective.
+func (f *Field) exchangeGuards() (above, below []float64) {
+	if f.comm == nil || f.comm.Size() == 1 || f.LocalRows() == 0 {
+		return nil, nil
+	}
+	up, down := f.neighbors()
+	if up >= 0 {
+		f.comm.Send(up, tagGuardUp, encodeRow(f.Row(0)))
+	}
+	if down >= 0 {
+		f.comm.Send(down, tagGuardDown, encodeRow(f.Row(f.LocalRows()-1)))
+	}
+	if down >= 0 {
+		below = decodeRow(f.comm.Recv(down, tagGuardUp).Data)
+	}
+	if up >= 0 {
+		above = decodeRow(f.comm.Recv(up, tagGuardDown).Data)
+	}
+	return above, below
+}
+
+func encodeRow(row []float64) []byte {
+	b := make([]byte, 8*len(row))
+	for i, v := range row {
+		u := math.Float64bits(v)
+		for k := 0; k < 8; k++ {
+			b[8*i+k] = byte(u >> (8 * k))
+		}
+	}
+	return b
+}
+
+func decodeRow(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		var u uint64
+		for k := 0; k < 8; k++ {
+			u |= uint64(b[8*i+k]) << (8 * k)
+		}
+		out[i] = math.Float64frombits(u)
+	}
+	return out
+}
+
+// Stencil9 is a 3x3 stencil weight matrix, [dy+1][dx+1] indexed.
+type Stencil9 [3][3]float64
+
+// ApplyStencil computes dst = stencil(f) over the interior (grid-edge
+// elements copy through), exchanging guard rows with neighbors.
+// Collective; dst must share f's shape and distribution.
+func (f *Field) ApplyStencil(dst *Field, s Stencil9) {
+	if dst.nx != f.nx || dst.ny != f.ny {
+		panic("pooma: stencil destination shape mismatch")
+	}
+	above, below := f.exchangeGuards()
+	first := f.FirstRow()
+	local := f.LocalRows()
+	rowAt := func(i int) []float64 { // local row index, may reach guards
+		switch {
+		case i < 0:
+			return above
+		case i >= local:
+			return below
+		default:
+			return f.Row(i)
+		}
+	}
+	for i := 0; i < local; i++ {
+		gy := first + i
+		out := dst.Row(i)
+		in := f.Row(i)
+		if gy == 0 || gy == f.ny-1 {
+			copy(out, in)
+			continue
+		}
+		up, mid, down := rowAt(i-1), in, rowAt(i+1)
+		out[0], out[f.nx-1] = in[0], in[f.nx-1]
+		for x := 1; x < f.nx-1; x++ {
+			out[x] = s[0][0]*up[x-1] + s[0][1]*up[x] + s[0][2]*up[x+1] +
+				s[1][0]*mid[x-1] + s[1][1]*mid[x] + s[1][2]*mid[x+1] +
+				s[2][0]*down[x-1] + s[2][1]*down[x] + s[2][2]*down[x+1]
+		}
+	}
+}
+
+// DiffusionStencil is the 9-point diffusion operator of the paper's §4.3
+// simulation: new = (1-8*alpha)*center + alpha*neighbors.
+func DiffusionStencil(alpha float64) Stencil9 {
+	return Stencil9{
+		{alpha, alpha, alpha},
+		{alpha, 1 - 8*alpha, alpha},
+		{alpha, alpha, alpha},
+	}
+}
+
+// Step advances one diffusion time-step into dst.
+func (f *Field) Step(dst *Field, alpha float64) {
+	f.ApplyStencil(dst, DiffusionStencil(alpha))
+}
+
+// SumAbs collectively reduces the sum of |elements| to every thread
+// (a convergence metric for tests).
+func (f *Field) SumAbs() float64 {
+	local := 0.0
+	for _, v := range f.d.Local() {
+		local += math.Abs(v)
+	}
+	if f.comm == nil {
+		return local
+	}
+	parts := rts.Gather(f.comm, 0, encodeRow([]float64{local}))
+	total := 0.0
+	if f.comm.Rank() == 0 {
+		for _, p := range parts {
+			total += decodeRow(p)[0]
+		}
+	}
+	return decodeRow(rts.Bcast(f.comm, 0, encodeRow([]float64{total})))[0]
+}

@@ -1,0 +1,213 @@
+package pooma
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/rts"
+)
+
+// sequentialStencil is the single-threaded oracle.
+func sequentialStencil(nx, ny int, in []float64, s Stencil9) []float64 {
+	out := make([]float64, len(in))
+	copy(out, in)
+	for y := 1; y < ny-1; y++ {
+		for x := 1; x < nx-1; x++ {
+			acc := 0.0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					acc += s[dy+1][dx+1] * in[(y+dy)*nx+(x+dx)]
+				}
+			}
+			out[y*nx+x] = acc
+		}
+	}
+	return out
+}
+
+func initial(x, y int) float64 {
+	return math.Sin(float64(x)*0.3) * math.Cos(float64(y)*0.2)
+}
+
+func gatherField(f *Field, th rts.Thread) []float64 {
+	return f.AsDSeq().GatherTo(0)
+}
+
+func TestStencilMatchesSequentialOracle(t *testing.T) {
+	const nx, ny = 16, 23
+	s := DiffusionStencil(0.05)
+
+	// Sequential reference.
+	ref := make([]float64, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			ref[y*nx+x] = initial(x, y)
+		}
+	}
+	want := sequentialStencil(nx, ny, ref, s)
+
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			var got []float64
+			rts.NewChanGroup("h", p).Run(func(th rts.Thread) {
+				f := NewField(th, nx, ny)
+				dst := NewField(th, nx, ny)
+				f.Fill(initial)
+				f.ApplyStencil(dst, s)
+				g := gatherField(dst, th)
+				if th.Rank() == 0 {
+					got = g
+				}
+			})
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMultiStepDiffusionConserves(t *testing.T) {
+	const nx, ny = 12, 12
+	rts.NewChanGroup("h", 3).Run(func(th rts.Thread) {
+		a := NewField(th, nx, ny)
+		b := NewField(th, nx, ny)
+		a.Fill(func(x, y int) float64 {
+			if x == nx/2 && y == ny/2 {
+				return 100
+			}
+			return 0
+		})
+		before := a.SumAbs()
+		for step := 0; step < 10; step++ {
+			a.Step(b, 0.02)
+			a, b = b, a
+		}
+		after := a.SumAbs()
+		// Diffusion with copy-through borders keeps mass bounded; the
+		// hot spot must have spread.
+		if after > before+1e-9 {
+			panic(fmt.Sprintf("mass grew: %v -> %v", before, after))
+		}
+		if a.LocalRows() > 0 {
+			spread := 0
+			for _, v := range a.Local() {
+				if v != 0 {
+					spread++
+				}
+			}
+			mid := ny / 2
+			touches := a.FirstRow() <= mid+10 && a.FirstRow()+a.LocalRows() > mid-10
+			if touches && spread == 0 {
+				panic("diffusion did not spread")
+			}
+		}
+	})
+}
+
+func TestDSeqRoundTripNoCopy(t *testing.T) {
+	rts.NewChanGroup("h", 2).Run(func(th rts.Thread) {
+		f := NewField(th, 8, 8)
+		f.Fill(func(x, y int) float64 { return float64(y*8 + x) })
+		d := f.AsDSeq()
+		// Mutating through the sequence is visible in the field.
+		if len(d.Local()) > 0 {
+			d.Local()[0] = -1
+			if f.Local()[0] != -1 {
+				panic("AsDSeq copied")
+			}
+		}
+		g := FieldFromDSeq(d)
+		if g.NX() != 8 || g.NY() != 8 || g.LocalRows() != f.LocalRows() {
+			panic("FieldFromDSeq shape wrong")
+		}
+		if len(g.Local()) > 0 {
+			g.Local()[0] = -2
+			if d.Local()[0] != -2 {
+				panic("FieldFromDSeq copied")
+			}
+		}
+	})
+}
+
+func TestFieldFromDSeqShapedValidation(t *testing.T) {
+	d := dseq.Sequential(make([]float64, 12), dseq.Float64Codec{})
+	f := FieldFromDSeqShaped(d, 4, 3)
+	if f.NX() != 4 || f.NY() != 3 || f.LocalRows() != 3 {
+		t.Fatal("shaped adoption wrong")
+	}
+	mustPanic(t, "non-square", func() { FieldFromDSeq(d) })
+	mustPanic(t, "bad shape", func() { FieldFromDSeqShaped(d, 5, 3) })
+	cyc := dseq.NewFromLayout[float64](nil, dist.CyclicTemplate().Layout(16, 1), dseq.Float64Codec{})
+	mustPanic(t, "cyclic", func() { FieldFromDSeqShaped(cyc, 4, 4) })
+}
+
+func TestRowBoundaryDistributionRejected(t *testing.T) {
+	rts.NewChanGroup("h", 2).Run(func(th rts.Thread) {
+		// 3 columns, 7 elements per thread: not whole rows.
+		d := dseq.New[float64](th, 14, dist.BlockTemplate(), dseq.Float64Codec{})
+		defer func() {
+			if recover() == nil {
+				panic("want panic for ragged row distribution")
+			}
+		}()
+		FieldFromDSeqShaped(d, 3, 0) // 3*0 != 14 triggers first check
+	})
+}
+
+func TestSumAbs(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		rts.NewChanGroup("h", p).Run(func(th rts.Thread) {
+			f := NewField(th, 4, 6)
+			f.Fill(func(x, y int) float64 { return 1 })
+			if got := f.SumAbs(); got != 24 {
+				panic(fmt.Sprintf("SumAbs = %v", got))
+			}
+		})
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: want panic", name)
+		}
+	}()
+	f()
+}
+
+func TestMoreThreadsThanRows(t *testing.T) {
+	// 8 threads, 4 rows: half the threads own nothing; the stencil must
+	// still match the sequential oracle.
+	const nx, ny = 6, 4
+	s := DiffusionStencil(0.1)
+	ref := make([]float64, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			ref[y*nx+x] = initial(x, y)
+		}
+	}
+	want := sequentialStencil(nx, ny, ref, s)
+	var got []float64
+	rts.NewChanGroup("h", 8).Run(func(th rts.Thread) {
+		f := NewField(th, nx, ny)
+		dst := NewField(th, nx, ny)
+		f.Fill(initial)
+		f.ApplyStencil(dst, s)
+		g := dst.AsDSeq().GatherTo(0)
+		if th.Rank() == 0 {
+			got = g
+		}
+	})
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package pstl is a miniature reimplementation of the HPC++ Parallel
+// Standard Template Library — the second parallel package PARDIS grew a
+// custom IDL mapping for (`#pragma HPC++:vector`, paper §3.4), and the
+// system the evaluation's gradient component is written in (§4.3).
+//
+// A DistVector is a block-distributed vector of doubles; the package
+// provides the PSTL-style parallel algorithms the examples need (fill,
+// transform, reduce, dot) plus the 2-D magnitude-gradient kernel of the
+// paper's metaapplication, all expressed over the same minimal RTS
+// interface as the rest of the system.
+package pstl
+
+import (
+	"fmt"
+	"math"
+
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/rts"
+)
+
+const tagHalo rts.Tag = 0x2001
+
+// DistVector is a block-distributed vector of doubles.
+type DistVector struct {
+	d *dseq.DSeq[float64]
+}
+
+// NewDistVector collectively creates a zeroed vector of global length n,
+// distributed blockwise.
+func NewDistVector(comm rts.Comm, n int) *DistVector {
+	return &DistVector{d: dseq.New[float64](comm, n, dist.BlockTemplate(), dseq.Float64Codec{})}
+}
+
+// VectorFromDSeq adopts a distributed sequence without copying — the
+// receiving half of the PARDIS mapping.
+func VectorFromDSeq(d *dseq.DSeq[float64]) *DistVector { return &DistVector{d: d} }
+
+// AsDSeq exposes the vector's storage as a distributed sequence without
+// copying — the sending half of the PARDIS mapping.
+func (v *DistVector) AsDSeq() *dseq.DSeq[float64] { return v.d }
+
+// Len reports the global length.
+func (v *DistVector) Len() int { return v.d.GlobalLen() }
+
+// Local exposes this thread's elements.
+func (v *DistVector) Local() []float64 { return v.d.Local() }
+
+// comm returns the underlying communicator (nil in sequential contexts).
+func (v *DistVector) comm() rts.Comm { return v.d.Comm() }
+
+func (v *DistVector) rank() int {
+	if v.comm() == nil {
+		return 0
+	}
+	return v.comm().Rank()
+}
+
+// First reports the first global index this thread owns (0 when it owns
+// nothing).
+func (v *DistVector) First() int {
+	if len(v.d.Local()) == 0 {
+		return 0
+	}
+	return v.d.DLayout().Start(v.rank())
+}
+
+// ParFill sets every owned element from its global index.
+func (v *DistVector) ParFill(fn func(i int) float64) {
+	first := v.First()
+	for i := range v.d.Local() {
+		v.d.Local()[i] = fn(first + i)
+	}
+}
+
+// ParTransform applies fn elementwise into dst (dst may be v). The two
+// vectors must share length and distribution.
+func (v *DistVector) ParTransform(dst *DistVector, fn func(float64) float64) {
+	checkConforming(v, dst)
+	src, out := v.d.Local(), dst.d.Local()
+	for i, x := range src {
+		out[i] = fn(x)
+	}
+}
+
+// ParZip combines two vectors elementwise into dst.
+func ParZip(a, b, dst *DistVector, fn func(x, y float64) float64) {
+	checkConforming(a, b)
+	checkConforming(a, dst)
+	la, lb, out := a.d.Local(), b.d.Local(), dst.d.Local()
+	for i := range la {
+		out[i] = fn(la[i], lb[i])
+	}
+}
+
+func checkConforming(a, b *DistVector) {
+	if a.Len() != b.Len() || !a.d.DLayout().Equal(b.d.DLayout()) {
+		panic(fmt.Sprintf("pstl: nonconforming vectors (%d vs %d elements)", a.Len(), b.Len()))
+	}
+}
+
+// ParReduce collectively folds every element with op (associative,
+// commutative) starting from init; every thread receives the result.
+func (v *DistVector) ParReduce(init float64, op func(a, b float64) float64) float64 {
+	acc := init
+	for _, x := range v.d.Local() {
+		acc = op(acc, x)
+	}
+	c := v.comm()
+	if c == nil {
+		return acc
+	}
+	parts := rts.Gather(c, 0, f64s(acc))
+	if c.Rank() == 0 {
+		acc = init
+		for _, p := range parts {
+			acc = op(acc, sf64(p))
+		}
+	}
+	return sf64(rts.Bcast(c, 0, f64s(acc)))
+}
+
+// Sum reduces with addition.
+func (v *DistVector) Sum() float64 {
+	return v.ParReduce(0, func(a, b float64) float64 { return a + b })
+}
+
+// Dot computes the global dot product of two conforming vectors.
+func Dot(a, b *DistVector) float64 {
+	checkConforming(a, b)
+	local := 0.0
+	la, lb := a.d.Local(), b.d.Local()
+	for i := range la {
+		local += la[i] * lb[i]
+	}
+	c := a.comm()
+	if c == nil {
+		return local
+	}
+	parts := rts.Gather(c, 0, f64s(local))
+	total := 0.0
+	if c.Rank() == 0 {
+		for _, p := range parts {
+			total += sf64(p)
+		}
+	}
+	return sf64(rts.Bcast(c, 0, f64s(total)))
+}
+
+// Axpy computes dst = alpha*x + y elementwise.
+func Axpy(alpha float64, x, y, dst *DistVector) {
+	ParZip(x, y, dst, func(a, b float64) float64 { return alpha*a + b })
+}
+
+// Gradient2D computes the magnitude gradient of a row-major ny x nx grid
+// held in v into dst (central differences in the interior, zero on the
+// border) — the gradient kernel of the paper's §4.3 metaapplication. The
+// grid's distribution must cut on row boundaries. Collective.
+func Gradient2D(v, dst *DistVector, nx, ny int) {
+	checkConforming(v, dst)
+	if nx*ny != v.Len() {
+		panic(fmt.Sprintf("pstl: %d elements cannot form a %dx%d grid", v.Len(), ny, nx))
+	}
+	local := v.d.Local()
+	if len(local)%nx != 0 {
+		panic("pstl: gradient requires whole-row distribution")
+	}
+	rows := len(local) / nx
+	firstRow := v.First() / nx
+	above, below := haloRows(v, nx, firstRow, rows)
+	rowAt := func(i int) []float64 {
+		switch {
+		case i < 0:
+			return above
+		case i >= rows:
+			return below
+		default:
+			return local[i*nx : (i+1)*nx]
+		}
+	}
+	out := dst.d.Local()
+	for i := 0; i < rows; i++ {
+		gy := firstRow + i
+		o := out[i*nx : (i+1)*nx]
+		if gy == 0 || gy == ny-1 {
+			for x := range o {
+				o[x] = 0
+			}
+			continue
+		}
+		mid, up, down := rowAt(i), rowAt(i-1), rowAt(i+1)
+		o[0], o[nx-1] = 0, 0
+		for x := 1; x < nx-1; x++ {
+			gx := (mid[x+1] - mid[x-1]) / 2
+			gyv := (down[x] - up[x]) / 2
+			o[x] = math.Sqrt(gx*gx + gyv*gyv)
+		}
+	}
+}
+
+// haloRows exchanges boundary rows between neighboring threads.
+func haloRows(v *DistVector, nx, firstRow, rows int) (above, below []float64) {
+	c := v.comm()
+	if c == nil || c.Size() == 1 || rows == 0 {
+		return nil, nil
+	}
+	layout := v.d.DLayout()
+	ny := v.Len() / nx
+	lastRow := firstRow + rows - 1
+	up, down := -1, -1
+	if firstRow > 0 {
+		up = layout.Owner((firstRow - 1) * nx)
+	}
+	if lastRow < ny-1 {
+		down = layout.Owner((lastRow + 1) * nx)
+	}
+	local := v.d.Local()
+	if up >= 0 {
+		c.Send(up, tagHalo+1, f64slice(local[:nx]))
+	}
+	if down >= 0 {
+		c.Send(down, tagHalo+2, f64slice(local[(rows-1)*nx:]))
+	}
+	if down >= 0 {
+		below = sf64slice(c.Recv(down, tagHalo+1).Data)
+	}
+	if up >= 0 {
+		above = sf64slice(c.Recv(up, tagHalo+2).Data)
+	}
+	return above, below
+}
+
+func f64s(v float64) []byte { return f64slice([]float64{v}) }
+
+func sf64(b []byte) float64 { return sf64slice(b)[0] }
+
+func f64slice(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		u := math.Float64bits(x)
+		for k := 0; k < 8; k++ {
+			b[8*i+k] = byte(u >> (8 * k))
+		}
+	}
+	return b
+}
+
+func sf64slice(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		var u uint64
+		for k := 0; k < 8; k++ {
+			u |= uint64(b[8*i+k]) << (8 * k)
+		}
+		out[i] = math.Float64frombits(u)
+	}
+	return out
+}
+
+// NewGridVector collectively creates a vector holding a row-major ny x nx
+// grid, distributed by whole row blocks (what Gradient2D requires).
+func NewGridVector(comm rts.Comm, nx, ny int) *DistVector {
+	p := 1
+	if comm != nil {
+		p = comm.Size()
+	}
+	rows := dist.BlockTemplate().Layout(ny, p)
+	w := make([]float64, p)
+	for r := 0; r < p; r++ {
+		w[r] = float64(rows.Count(r))
+	}
+	l := dist.Proportions(w...).Layout(nx*ny, p)
+	return &DistVector{d: dseq.NewFromLayout[float64](comm, l, dseq.Float64Codec{})}
+}

@@ -1,0 +1,123 @@
+package pstl
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pardis/internal/rts"
+)
+
+func TestParFillTransformReduce(t *testing.T) {
+	for _, p := range []int{1, 2, 5} {
+		rts.NewChanGroup("h", p).Run(func(th rts.Thread) {
+			v := NewDistVector(th, 100)
+			v.ParFill(func(i int) float64 { return float64(i) })
+			if got := v.Sum(); got != 4950 {
+				panic(fmt.Sprintf("sum = %v", got))
+			}
+			w := NewDistVector(th, 100)
+			v.ParTransform(w, func(x float64) float64 { return 2 * x })
+			if got := w.Sum(); got != 9900 {
+				panic(fmt.Sprintf("transformed sum = %v", got))
+			}
+			if got := v.ParReduce(math.Inf(-1), math.Max); got != 99 {
+				panic(fmt.Sprintf("max = %v", got))
+			}
+		})
+	}
+}
+
+func TestDotAndAxpy(t *testing.T) {
+	rts.NewChanGroup("h", 3).Run(func(th rts.Thread) {
+		x := NewDistVector(th, 50)
+		y := NewDistVector(th, 50)
+		x.ParFill(func(i int) float64 { return 1 })
+		y.ParFill(func(i int) float64 { return float64(i) })
+		if got := Dot(x, y); got != 1225 {
+			panic(fmt.Sprintf("dot = %v", got))
+		}
+		z := NewDistVector(th, 50)
+		Axpy(2, x, y, z) // z = 2 + i
+		if got := z.Sum(); got != 1225+100 {
+			panic(fmt.Sprintf("axpy sum = %v", got))
+		}
+	})
+}
+
+// sequentialGradient is the single-threaded oracle.
+func sequentialGradient(nx, ny int, in []float64) []float64 {
+	out := make([]float64, len(in))
+	for y := 1; y < ny-1; y++ {
+		for x := 1; x < nx-1; x++ {
+			gx := (in[y*nx+x+1] - in[y*nx+x-1]) / 2
+			gy := (in[(y+1)*nx+x] - in[(y-1)*nx+x]) / 2
+			out[y*nx+x] = math.Sqrt(gx*gx + gy*gy)
+		}
+	}
+	return out
+}
+
+func TestGradientMatchesSequentialOracle(t *testing.T) {
+	const nx, ny = 10, 21
+	ref := make([]float64, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			ref[y*nx+x] = math.Sin(0.4*float64(x)) + math.Cos(0.7*float64(y))
+		}
+	}
+	want := sequentialGradient(nx, ny, ref)
+	for _, p := range []int{1, 2, 3, 7} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			var got []float64
+			rts.NewChanGroup("h", p).Run(func(th rts.Thread) {
+				// Whole-row block distribution.
+				v := NewGridVector(th, nx, ny)
+				v.ParFill(func(i int) float64 { return ref[i] })
+				dst := NewGridVector(th, nx, ny)
+				Gradient2D(v, dst, nx, ny)
+				g := dst.AsDSeq().GatherTo(0)
+				if th.Rank() == 0 {
+					got = g
+				}
+			})
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					t.Fatalf("element %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestNonconformingPanics(t *testing.T) {
+	a := NewDistVector(nil, 10)
+	b := NewDistVector(nil, 11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for nonconforming vectors")
+		}
+	}()
+	a.ParTransform(b, func(x float64) float64 { return x })
+}
+
+func TestGradientValidation(t *testing.T) {
+	a := NewDistVector(nil, 10)
+	b := NewDistVector(nil, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for non-grid length")
+		}
+	}()
+	Gradient2D(a, b, 3, 3)
+}
+
+func TestVectorFromDSeqNoCopy(t *testing.T) {
+	v := NewDistVector(nil, 5)
+	w := VectorFromDSeq(v.AsDSeq())
+	w.Local()[0] = 42
+	if v.Local()[0] != 42 {
+		t.Fatal("VectorFromDSeq copied")
+	}
+}

@@ -1,0 +1,308 @@
+// Package registry implements PARDIS' Object Repository and Implementation
+// Repository, plus activation agents.
+//
+// A repository defines a naming domain: objects register on activation and
+// clients search it when binding by name ("each repository is associated
+// with a unique namespace; configuring clients and servers to work with
+// different repositories allows the programmer to split the namespace").
+// The Implementation Repository maps names of non-persistent servers to the
+// activation agents that can start them; agents reside on the server's
+// host and can be run in activating or non-activating mode.
+//
+// The repository itself is an ordinary PARDIS single object served through
+// the POA — clients reach it with a bootstrap IOR built from its well-known
+// endpoint address.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pardis/internal/core"
+	"pardis/internal/poa"
+	"pardis/internal/typecode"
+)
+
+// ErrNotFound is returned when a name has no registration.
+var ErrNotFound = errors.New("registry: name not bound")
+
+// RepositoryKey is the well-known object key of a repository.
+const RepositoryKey = "PARDIS:repository"
+
+// AgentKeyPrefix prefixes activation-agent object keys.
+const AgentKeyPrefix = "PARDIS:agent:"
+
+// Iface returns the repository's IDL interface:
+//
+//	interface repository {
+//	    void   register(in string name, in string ior);
+//	    long   lookup(in string name, out string ior);
+//	    void   unregister(in string name);
+//	    void   list(out sequence<string> names);
+//	    void   register_impl(in string name, in string agent_ior);
+//	    long   lookup_impl(in string name, out string agent_ior);
+//	};
+func Iface() *core.InterfaceDef {
+	str := typecode.TCString
+	return &core.InterfaceDef{
+		Name: "repository",
+		Ops: []core.Operation{
+			{Name: "register", Params: []core.Param{
+				core.NewParam("name", core.In, str),
+				core.NewParam("ior", core.In, str),
+			}},
+			{Name: "lookup", Params: []core.Param{
+				core.NewParam("name", core.In, str),
+				core.NewParam("ior", core.Out, str),
+			}, Result: typecode.TCLong},
+			{Name: "unregister", Params: []core.Param{
+				core.NewParam("name", core.In, str),
+			}},
+			{Name: "list", Params: []core.Param{
+				core.NewParam("names", core.Out, typecode.SequenceOf(str, 0)),
+			}},
+			{Name: "register_impl", Params: []core.Param{
+				core.NewParam("name", core.In, str),
+				core.NewParam("agent_ior", core.In, str),
+			}},
+			{Name: "lookup_impl", Params: []core.Param{
+				core.NewParam("name", core.In, str),
+				core.NewParam("agent_ior", core.Out, str),
+			}, Result: typecode.TCLong},
+		},
+	}
+}
+
+// AgentIface returns an activation agent's IDL interface:
+//
+//	interface activator {
+//	    long activate(in string name);
+//	};
+func AgentIface() *core.InterfaceDef {
+	return &core.InterfaceDef{
+		Name: "activator",
+		Ops: []core.Operation{
+			{Name: "activate", Params: []core.Param{
+				core.NewParam("name", core.In, typecode.TCString),
+			}, Result: typecode.TCLong},
+		},
+	}
+}
+
+// Repository is the servant holding both naming tables. Thread-safe: the
+// repository may also be queried through a LocalTable bypass from other
+// goroutines of the same process.
+type Repository struct {
+	mu    sync.Mutex
+	objs  map[string]string // name -> stringified IOR
+	impls map[string]string // name -> stringified agent IOR
+}
+
+// NewRepository creates empty tables.
+func NewRepository() *Repository {
+	return &Repository{objs: map[string]string{}, impls: map[string]string{}}
+}
+
+// Invoke implements poa.Servant.
+func (r *Repository) Invoke(_ *poa.Context, op string, in []any) (any, []any, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch op {
+	case "register":
+		name, ior := in[0].(string), in[1].(string)
+		if name == "" {
+			return nil, nil, errors.New("empty name")
+		}
+		r.objs[name] = ior
+		return nil, nil, nil
+	case "lookup":
+		ior, ok := r.objs[in[0].(string)]
+		return boolLong(ok), []any{ior}, nil
+	case "unregister":
+		delete(r.objs, in[0].(string))
+		return nil, nil, nil
+	case "list":
+		names := make([]string, 0, len(r.objs))
+		for n := range r.objs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, []any{names}, nil
+	case "register_impl":
+		r.impls[in[0].(string)] = in[1].(string)
+		return nil, nil, nil
+	case "lookup_impl":
+		ior, ok := r.impls[in[0].(string)]
+		return boolLong(ok), []any{ior}, nil
+	}
+	return nil, nil, fmt.Errorf("repository: no operation %s", op)
+}
+
+func boolLong(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BootstrapIOR builds the reference clients use to reach a repository at a
+// well-known transport address.
+func BootstrapIOR(addr string) core.IOR {
+	return core.IOR{
+		Interface:  "repository",
+		Key:        RepositoryKey,
+		ServerSize: 1,
+		Addrs:      []string{addr},
+	}
+}
+
+// Client wraps a binding to a repository with typed accessors.
+type Client struct {
+	b *core.Binding
+}
+
+// Open binds an ORB to the repository at the given transport address.
+func Open(orb *core.ORB, addr string) (*Client, error) {
+	b, err := orb.Bind(BootstrapIOR(addr), Iface())
+	if err != nil {
+		return nil, err
+	}
+	return &Client{b: b}, nil
+}
+
+// Register binds a name to an object reference.
+func (c *Client) Register(name string, ior core.IOR) error {
+	_, err := c.b.Invoke("register", []any{name, ior.String()})
+	return err
+}
+
+// Lookup resolves a name to an object reference.
+func (c *Client) Lookup(name string) (core.IOR, error) {
+	vals, err := c.b.Invoke("lookup", []any{name, nil})
+	if err != nil {
+		return core.IOR{}, err
+	}
+	if vals[0].(int32) == 0 {
+		return core.IOR{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return core.ParseIOR(vals[1].(string))
+}
+
+// Unregister removes a name binding.
+func (c *Client) Unregister(name string) error {
+	_, err := c.b.Invoke("unregister", []any{name})
+	return err
+}
+
+// List returns all bound names, sorted.
+func (c *Client) List() ([]string, error) {
+	vals, err := c.b.Invoke("list", []any{nil})
+	if err != nil {
+		return nil, err
+	}
+	return vals[0].([]string), nil
+}
+
+// RegisterImpl records the activation agent able to start the named
+// (non-persistent) server — the paper's register facility.
+func (c *Client) RegisterImpl(name string, agent core.IOR) error {
+	_, err := c.b.Invoke("register_impl", []any{name, agent.String()})
+	return err
+}
+
+// LookupImpl resolves a name to its activation agent.
+func (c *Client) LookupImpl(name string) (core.IOR, error) {
+	vals, err := c.b.Invoke("lookup_impl", []any{name, nil})
+	if err != nil {
+		return core.IOR{}, err
+	}
+	if vals[0].(int32) == 0 {
+		return core.IOR{}, fmt.Errorf("%w: no implementation for %s", ErrNotFound, name)
+	}
+	return core.ParseIOR(vals[1].(string))
+}
+
+// Resolve looks a name up, and if it is not yet registered but an
+// implementation entry exists, asks the activation agent to start the
+// server and retries — the bind-time activation path. hostFilter, when
+// non-empty, requires the resolved object to live on the given host.
+func (c *Client) Resolve(orb *core.ORB, name, hostFilter string) (core.IOR, error) {
+	ior, err := c.Lookup(name)
+	if errors.Is(err, ErrNotFound) {
+		agentIOR, aerr := c.LookupImpl(name)
+		if aerr != nil {
+			return core.IOR{}, err // original not-found is the real story
+		}
+		ab, berr := orb.Bind(agentIOR, AgentIface())
+		if berr != nil {
+			return core.IOR{}, berr
+		}
+		vals, ierr := ab.Invoke("activate", []any{name})
+		if ierr != nil {
+			return core.IOR{}, fmt.Errorf("registry: activation of %s failed: %w", name, ierr)
+		}
+		if vals[0].(int32) == 0 {
+			return core.IOR{}, fmt.Errorf("registry: agent refused to activate %s", name)
+		}
+		ior, err = c.Lookup(name)
+	}
+	if err != nil {
+		return core.IOR{}, err
+	}
+	if hostFilter != "" && ior.Host != "" && !strings.EqualFold(ior.Host, hostFilter) {
+		return core.IOR{}, fmt.Errorf("registry: %s lives on host %q, want %q", name, ior.Host, hostFilter)
+	}
+	return ior, nil
+}
+
+// Agent is an activation-agent servant: it starts registered server
+// factories on demand. In activating mode the factory runs; in
+// non-activating mode requests are refused — the paper's two agent
+// configurations limiting interference with the server host.
+type Agent struct {
+	mu        sync.Mutex
+	factories map[string]func() error
+	started   map[string]bool
+	// Activating toggles whether the agent will start servers.
+	Activating bool
+}
+
+// NewAgent creates an agent in activating mode.
+func NewAgent() *Agent {
+	return &Agent{factories: map[string]func() error{}, started: map[string]bool{}, Activating: true}
+}
+
+// AddFactory registers a server-start function under a name.
+func (a *Agent) AddFactory(name string, f func() error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.factories[name] = f
+}
+
+// Invoke implements poa.Servant.
+func (a *Agent) Invoke(_ *poa.Context, op string, in []any) (any, []any, error) {
+	if op != "activate" {
+		return nil, nil, fmt.Errorf("activator: no operation %s", op)
+	}
+	name := in[0].(string)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.Activating {
+		return int32(0), nil, nil
+	}
+	f, ok := a.factories[name]
+	if !ok {
+		return int32(0), nil, nil
+	}
+	if a.started[name] {
+		return int32(1), nil, nil // already running
+	}
+	if err := f(); err != nil {
+		return nil, nil, fmt.Errorf("activator: starting %s: %s", name, err)
+	}
+	a.started[name] = true
+	return int32(1), nil, nil
+}

@@ -1,0 +1,148 @@
+// Package rts defines PARDIS' run-time system interface: the minimal
+// message-passing contract through which the ORB extends into the
+// communication domain of a parallel client or server.
+//
+// The paper deliberately restricts this interface to "a very small subset of
+// basic message passing primitives" plus a way to distinguish PARDIS
+// messages from application traffic (reserved tags), so that MPI, Tulip and
+// POOMA's communication layer can all implement it. This package provides
+// the same contract with two substrates:
+//
+//   - chancomm.go — goroutine "computing threads" exchanging real messages
+//     through in-process mailboxes (the MPI-on-shared-memory analog); used
+//     by the runnable examples.
+//   - simcomm.go — the same semantics on the vtime virtual clock with
+//     simnet-modeled transfer costs; used by the experiment harness.
+package rts
+
+import "fmt"
+
+// Tag labels a message class. Tags at or above ReservedBase are reserved
+// for PARDIS itself; application code must stay below it (the paper's
+// reserved-tag requirement).
+type Tag uint32
+
+// ReservedBase is the first PARDIS-internal tag.
+const ReservedBase Tag = 0xF000_0000
+
+// Reserved internal tags.
+const (
+	TagBarrier Tag = ReservedBase + iota
+	TagBcast
+	TagGather
+	TagRequest  // ORB request headers delivered into the server's domain
+	TagArgument // distributed-argument segments
+	TagReply
+	TagDSeq // distributed-sequence internal traffic (redistribution, At)
+)
+
+// AnySource matches any sending rank in Recv/Probe.
+const AnySource = -1
+
+// Message is a received message.
+type Message struct {
+	Src  int
+	Tag  Tag
+	Data []byte
+}
+
+// Comm is the run-time system interface. One Comm value belongs to exactly
+// one computing thread (its Rank) of a parallel program of Size threads.
+// All methods must be called from that thread.
+type Comm interface {
+	// Rank is this computing thread's index in [0, Size).
+	Rank() int
+	// Size is the number of computing threads in the program.
+	Size() int
+	// Send delivers data to thread dst with the given tag. It may block
+	// for the duration of the wire occupancy (single-threaded transport,
+	// as in NexusLite) but not for the receiver.
+	Send(dst int, tag Tag, data []byte)
+	// Recv blocks until a message with the given tag from src (or from
+	// anyone if src == AnySource) is available and returns it. Messages
+	// with equal (src, tag) are delivered in send order.
+	Recv(src int, tag Tag) Message
+	// Probe reports whether Recv(src, tag) would return without blocking.
+	Probe(src int, tag Tag) bool
+	// Barrier blocks until all threads of the program have entered it.
+	Barrier()
+}
+
+// Thread is the execution context handed to SPMD application code: the
+// communication interface plus a cost model for local computation. On the
+// real-time backend Compute is a no-op (the code does real work); on the
+// simulated backend it advances the virtual clock by refSeconds scaled by
+// the host's node speed.
+type Thread interface {
+	Comm
+	// Compute charges refSeconds of reference-machine CPU work.
+	Compute(refSeconds float64)
+	// Sleep idles the thread for the given wall-clock duration — real
+	// time on the real backend, virtual time on the simulated one. Used
+	// by polling loops.
+	Sleep(seconds float64)
+	// Elapsed reports seconds since the start of this parallel program.
+	Elapsed() float64
+	// HostName identifies the machine this thread runs on.
+	HostName() string
+}
+
+// CheckRank panics if dst is not a valid rank for c — misuse of the RTS
+// interface is a programming error, not a recoverable condition.
+func CheckRank(c Comm, dst int) {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("rts: rank %d out of range [0,%d)", dst, c.Size()))
+	}
+}
+
+// Bcast distributes root's data to every thread; each thread passes its own
+// (possibly nil for non-roots) data and receives root's. Collective.
+func Bcast(c Comm, root int, data []byte) []byte {
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, TagBcast, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(root, TagBcast).Data
+}
+
+// Gather collects each thread's data at root; root receives a slice indexed
+// by rank, others receive nil. Collective.
+func Gather(c Comm, root int, data []byte) [][]byte {
+	if c.Rank() != root {
+		c.Send(root, TagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = data
+	// Receive from each rank specifically: per-peer ordering then keeps
+	// back-to-back collectives from interleaving (an AnySource wildcard
+	// here could steal a rank's message meant for the *next* collective).
+	for r := 0; r < c.Size(); r++ {
+		if r != root {
+			out[r] = c.Recv(r, TagGather).Data
+		}
+	}
+	return out
+}
+
+// AllGather gives every thread the slice of all threads' data. Collective.
+func AllGather(c Comm, data []byte) [][]byte {
+	parts := Gather(c, 0, data)
+	if c.Rank() == 0 {
+		for r := 1; r < c.Size(); r++ {
+			for _, p := range parts {
+				c.Send(r, TagBcast, p)
+			}
+		}
+		return parts
+	}
+	out := make([][]byte, c.Size())
+	for i := range out {
+		out[i] = c.Recv(0, TagBcast).Data
+	}
+	return out
+}

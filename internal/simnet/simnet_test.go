@@ -1,0 +1,118 @@
+package simnet
+
+import (
+	"testing"
+
+	"pardis/internal/vtime"
+)
+
+func TestComputeScalesWithSpeed(t *testing.T) {
+	s := vtime.NewSim()
+	slow := NewHost("slow", 1.0, 1, 0, 0)
+	fast := NewHost("fast", 2.0, 1, 0, 0)
+	var tSlow, tFast vtime.Time
+	s.Spawn("slow", func(p *vtime.Proc) {
+		slow.Compute(p, 10)
+		tSlow = p.Now()
+	})
+	s.Spawn("fast", func(p *vtime.Proc) {
+		fast.Compute(p, 10)
+		tFast = p.Now()
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tSlow != vtime.Seconds(10) || tFast != vtime.Seconds(5) {
+		t.Fatalf("slow=%v fast=%v, want 10s and 5s", tSlow, tFast)
+	}
+}
+
+func TestLinkOccupiesSender(t *testing.T) {
+	s := vtime.NewSim()
+	l := NewLink("l", vtime.Seconds(1), 100) // 100 B/s, 1 s latency
+	var senderDone, arrival vtime.Time
+	s.Spawn("tx", func(p *vtime.Proc) {
+		arrival = l.Send(p, 200) // 2 s occupancy
+		senderDone = p.Now()
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if senderDone != vtime.Seconds(2) {
+		t.Fatalf("sender occupied until %v, want 2s", senderDone)
+	}
+	if arrival != vtime.Seconds(3) {
+		t.Fatalf("arrival %v, want 3s (occupancy+latency)", arrival)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	s := vtime.NewSim()
+	l := NewLink("l", 0, 100)
+	var ends []vtime.Time
+	for i := 0; i < 2; i++ {
+		s.Spawn("tx", func(p *vtime.Proc) {
+			l.Send(p, 100) // 1 s each, serialized
+			ends = append(ends, p.Now())
+		})
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends[0] != vtime.Seconds(1) || ends[1] != vtime.Seconds(2) {
+		t.Fatalf("ends = %v, want [1s 2s]", ends)
+	}
+	if l.Busy() != vtime.Seconds(2) {
+		t.Fatalf("busy = %v, want 2s", l.Busy())
+	}
+}
+
+func TestInternalSendParallelNICs(t *testing.T) {
+	s := vtime.NewSim()
+	h := NewHost("h", 1, 4, 0, 100)
+	var ends []vtime.Time
+	for i := 0; i < 2; i++ {
+		src := i
+		s.Spawn("tx", func(p *vtime.Proc) {
+			h.InternalSend(p, src, 100) // distinct NICs: both finish at 1s
+			ends = append(ends, p.Now())
+		})
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends[0] != vtime.Seconds(1) || ends[1] != vtime.Seconds(1) {
+		t.Fatalf("ends = %v, want both 1s (parallel NICs)", ends)
+	}
+}
+
+func TestPaperTestbedShape(t *testing.T) {
+	tb := PaperTestbed()
+	for _, name := range []string{"onyx", "powerchallenge", "sp2", "indy"} {
+		if tb.Host(name) == nil {
+			t.Fatalf("missing host %s", name)
+		}
+	}
+	if tb.Host("powerchallenge").Speed <= tb.Host("onyx").Speed {
+		t.Fatal("Power Challenge must be faster than Onyx (drives Figure 2)")
+	}
+	if tb.Host("powerchallenge").Nodes != 10 || tb.Host("onyx").Nodes != 4 || tb.Host("sp2").Nodes != 8 {
+		t.Fatal("node counts must match the paper's configuration")
+	}
+	atm, eth := tb.Link("atm"), tb.Link("ethernet")
+	if atm.TransferTime(1<<20) >= eth.TransferTime(1<<20) {
+		t.Fatal("ATM must be faster than Ethernet for large transfers")
+	}
+}
+
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	l := NewLink("l", vtime.Milliseconds(1), 1e6)
+	prev := vtime.Time(-1)
+	for size := 0; size <= 1<<20; size += 4096 {
+		tt := l.TransferTime(size)
+		if tt < prev {
+			t.Fatalf("TransferTime not monotone at size %d", size)
+		}
+		prev = tt
+	}
+}

@@ -1,0 +1,279 @@
+package typecode
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pardis/internal/cdr"
+)
+
+func roundTrip(t *testing.T, tc *TypeCode, v any) any {
+	t.Helper()
+	e := cdr.NewEncoder(64)
+	if err := Marshal(e, tc, v); err != nil {
+		t.Fatalf("marshal %v: %v", tc, err)
+	}
+	d := cdr.NewDecoder(e.Bytes())
+	got, err := Unmarshal(d, tc)
+	if err != nil {
+		t.Fatalf("unmarshal %v: %v", tc, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%v: %d bytes left over", tc, d.Remaining())
+	}
+	return got
+}
+
+func TestPrimitiveRoundTrips(t *testing.T) {
+	cases := []struct {
+		tc *TypeCode
+		v  any
+	}{
+		{TCBool, true},
+		{TCOctet, byte(0xFE)},
+		{TCChar, byte('A')},
+		{TCShort, int16(-5)},
+		{TCUShort, uint16(99)},
+		{TCLong, int32(-100000)},
+		{TCULong, uint32(1 << 31)},
+		{TCLongLong, int64(-1 << 40)},
+		{TCULongLong, uint64(1 << 62)},
+		{TCFloat, float32(1.5)},
+		{TCDouble, 2.75},
+		{TCString, "sequence of characters"},
+	}
+	for _, c := range cases {
+		if got := roundTrip(t, c.tc, c.v); got != c.v {
+			t.Errorf("%v: got %v, want %v", c.tc, got, c.v)
+		}
+	}
+}
+
+func TestEnumRoundTripAndRangeCheck(t *testing.T) {
+	status := EnumOf("status", "IDLE", "BUSY", "DONE")
+	if got := roundTrip(t, status, uint32(2)); got != uint32(2) {
+		t.Fatalf("got %v", got)
+	}
+	e := cdr.NewEncoder(8)
+	if err := Marshal(e, status, uint32(3)); err == nil {
+		t.Fatal("want error for out-of-range enum ordinal")
+	}
+}
+
+func TestStructRoundTrip(t *testing.T) {
+	point := StructOf("point", Field{"x", TCDouble}, Field{"y", TCDouble}, Field{"label", TCString})
+	v := &StructVal{TC: point, Fields: []any{1.5, -2.5, "origin-ish"}}
+	got := roundTrip(t, point, v).(*StructVal)
+	if got.Fields[0] != 1.5 || got.Fields[1] != -2.5 || got.Fields[2] != "origin-ish" {
+		t.Fatalf("got %+v", got.Fields)
+	}
+	if x, ok := got.Field("x"); !ok || x != 1.5 {
+		t.Fatal("Field accessor broken")
+	}
+}
+
+func TestNestedDynamicSequences(t *testing.T) {
+	// The paper's matrix: dsequence of dynamically-sized rows
+	// (typedef sequence<double> row; typedef dsequence<row> matrix).
+	row := SequenceOf(TCDouble, 0)
+	matrix := DSequenceOf(row, 0, "BLOCK", "")
+	v := []any{
+		[]float64{1, 2, 3},
+		[]float64{},
+		[]float64{4.5},
+	}
+	got := roundTrip(t, matrix, v).([]any)
+	if len(got) != 3 {
+		t.Fatalf("got %d rows", len(got))
+	}
+	r0 := got[0].([]float64)
+	r2 := got[2].([]float64)
+	if len(r0) != 3 || r0[2] != 3 || len(got[1].([]float64)) != 0 || r2[0] != 4.5 {
+		t.Fatalf("rows corrupted: %v", got)
+	}
+}
+
+func TestSequenceFastPaths(t *testing.T) {
+	if got := roundTrip(t, SequenceOf(TCOctet, 0), []byte{1, 2, 3}).([]byte); len(got) != 3 || got[2] != 3 {
+		t.Fatal("octet sequence")
+	}
+	if got := roundTrip(t, SequenceOf(TCDouble, 0), []float64{9, 8}).([]float64); got[1] != 8 {
+		t.Fatal("double sequence")
+	}
+	if got := roundTrip(t, SequenceOf(TCLong, 0), []int32{-7}).([]int32); got[0] != -7 {
+		t.Fatal("long sequence")
+	}
+	if got := roundTrip(t, SequenceOf(TCString, 0), []string{"a", "", "ccc"}).([]string); got[2] != "ccc" {
+		t.Fatal("string sequence")
+	}
+}
+
+func TestBoundedSequenceEnforced(t *testing.T) {
+	tc := SequenceOf(TCDouble, 2)
+	e := cdr.NewEncoder(64)
+	if err := Marshal(e, tc, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want bound violation on marshal")
+	}
+	// Decoder side: forge an overlong stream.
+	e2 := cdr.NewEncoder(64)
+	if err := Marshal(e2, SequenceOf(TCDouble, 0), []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(cdr.NewDecoder(e2.Bytes()), tc); err == nil {
+		t.Fatal("want bound violation on unmarshal")
+	}
+}
+
+func TestWrongValueTypeRejected(t *testing.T) {
+	e := cdr.NewEncoder(8)
+	if err := Marshal(e, SequenceOf(TCDouble, 0), []int32{1}); err == nil {
+		t.Fatal("want type mismatch error")
+	}
+	if err := Marshal(e, StructOf("s", Field{"a", TCLong}), "not a struct"); err == nil ||
+		!strings.Contains(err.Error(), "StructVal") {
+		t.Fatalf("want StructVal error, got %v", err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := StructOf("s", Field{"a", TCLong}, Field{"b", SequenceOf(TCDouble, 4)})
+	b := StructOf("s", Field{"a", TCLong}, Field{"b", SequenceOf(TCDouble, 4)})
+	c := StructOf("s", Field{"a", TCLong}, Field{"b", SequenceOf(TCDouble, 5)})
+	if !a.Equal(b) {
+		t.Fatal("structurally equal typecodes reported unequal")
+	}
+	if a.Equal(c) {
+		t.Fatal("different bounds reported equal")
+	}
+	if TCLong.Equal(TCULong) {
+		t.Fatal("long == ulong?")
+	}
+}
+
+func TestQuickDoubleSeqRoundTrip(t *testing.T) {
+	tc := SequenceOf(TCDouble, 0)
+	f := func(v []float64) bool {
+		e := cdr.NewEncoder(64)
+		if err := Marshal(e, tc, v); err != nil {
+			return false
+		}
+		got, err := Unmarshal(cdr.NewDecoder(e.Bytes()), tc)
+		if err != nil {
+			return false
+		}
+		gs := got.([]float64)
+		if len(gs) != len(v) {
+			return false
+		}
+		for i := range v {
+			if gs[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStructRoundTrip(t *testing.T) {
+	tc := StructOf("rec", Field{"id", TCLong}, Field{"name", TCString}, Field{"score", TCDouble})
+	f := func(id int32, name string, score float64) bool {
+		e := cdr.NewEncoder(64)
+		if err := Marshal(e, tc, &StructVal{TC: tc, Fields: []any{id, name, score}}); err != nil {
+			return false
+		}
+		got, err := Unmarshal(cdr.NewDecoder(e.Bytes()), tc)
+		if err != nil {
+			return false
+		}
+		sv := got.(*StructVal)
+		return sv.Fields[0] == id && sv.Fields[1] == name && sv.Fields[2] == score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalTruncatedFails(t *testing.T) {
+	tc := StructOf("s", Field{"a", TCDouble}, Field{"b", TCString})
+	e := cdr.NewEncoder(64)
+	if err := Marshal(e, tc, &StructVal{TC: tc, Fields: []any{1.0, "hello"}}); err != nil {
+		t.Fatal(err)
+	}
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Unmarshal(cdr.NewDecoder(full[:cut]), tc); err == nil {
+			t.Fatalf("cut=%d: want error", cut)
+		}
+	}
+}
+
+func TestUnionRoundTrip(t *testing.T) {
+	// union result switch(long) { case 1: double value; case 2,3: string
+	// message; default: long code; };
+	u := UnionOf("result", TCLong,
+		UnionCase{Labels: []int64{1}, Field: Field{"value", TCDouble}},
+		UnionCase{Labels: []int64{2, 3}, Field: Field{"message", TCString}},
+		UnionCase{Default: true, Field: Field{"code", TCLong}},
+	)
+	cases := []struct {
+		disc int64
+		v    any
+	}{
+		{1, 2.5},
+		{2, "warn"},
+		{3, "second label"},
+		{99, int32(-7)}, // default arm
+	}
+	for _, c := range cases {
+		got := roundTrip(t, u, &UnionVal{TC: u, Disc: c.disc, V: c.v}).(*UnionVal)
+		if got.Disc != c.disc || got.V != c.v {
+			t.Fatalf("disc %d: got %+v", c.disc, got)
+		}
+	}
+}
+
+func TestUnionErrors(t *testing.T) {
+	u := UnionOf("u", TCLong, UnionCase{Labels: []int64{1}, Field: Field{"a", TCDouble}})
+	e := cdr.NewEncoder(16)
+	// No arm for discriminant 9 and no default.
+	if err := Marshal(e, u, &UnionVal{TC: u, Disc: 9, V: 1.0}); err == nil {
+		t.Fatal("missing arm accepted")
+	}
+	// Wrong arm value type.
+	if err := Marshal(e, u, &UnionVal{TC: u, Disc: 1, V: "str"}); err == nil {
+		t.Fatal("wrong arm value accepted")
+	}
+	// Wrong container type.
+	if err := Marshal(e, u, "not a union"); err == nil {
+		t.Fatal("non-union value accepted")
+	}
+	// Hostile wire discriminant.
+	e2 := cdr.NewEncoder(16)
+	e2.PutLong(9)
+	if _, err := Unmarshal(cdr.NewDecoder(e2.Bytes()), u); err == nil {
+		t.Fatal("unknown wire discriminant accepted")
+	}
+}
+
+func TestUnionEnumDiscriminant(t *testing.T) {
+	mood := EnumOf("mood", "HAPPY", "GRUMPY")
+	u := UnionOf("m", mood,
+		UnionCase{Labels: []int64{0}, Field: Field{"smile", TCString}},
+		UnionCase{Labels: []int64{1}, Field: Field{"growl", TCOctet}},
+	)
+	got := roundTrip(t, u, &UnionVal{TC: u, Disc: 1, V: byte(0xFF)}).(*UnionVal)
+	if got.Disc != 1 || got.V != byte(0xFF) {
+		t.Fatalf("got %+v", got)
+	}
+	if !u.Equal(u) {
+		t.Fatal("union self-equality")
+	}
+	other := UnionOf("m", mood, UnionCase{Labels: []int64{0}, Field: Field{"smile", TCString}})
+	if u.Equal(other) {
+		t.Fatal("different unions equal")
+	}
+}

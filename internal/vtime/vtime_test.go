@@ -1,0 +1,330 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceOrdering(t *testing.T) {
+	s := NewSim()
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		p.Advance(Seconds(2))
+		order = append(order, "a")
+	})
+	s.Spawn("b", func(p *Proc) {
+		p.Advance(Seconds(1))
+		order = append(order, "b")
+	})
+	final, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order = %v, want [b a]", order)
+	}
+	if final != Seconds(2) {
+		t.Fatalf("final time = %v, want 2s", final)
+	}
+}
+
+func TestTieBreakBySpawnOrder(t *testing.T) {
+	s := NewSim()
+	var order []string
+	for _, n := range []string{"p0", "p1", "p2"} {
+		name := n
+		s.Spawn(name, func(p *Proc) {
+			p.Advance(Seconds(1))
+			order = append(order, name)
+		})
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p0", "p1", "p2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSendRecvAdvancesClock(t *testing.T) {
+	s := NewSim()
+	c := NewChan(s, "c")
+	var got any
+	var recvTime Time
+	s.Spawn("sender", func(p *Proc) {
+		p.Advance(Seconds(1))
+		p.Send(c, 42, Seconds(3)) // arrives at t=4
+	})
+	s.Spawn("receiver", func(p *Proc) {
+		got = p.Recv(c)
+		recvTime = p.Now()
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %v, want 42", got)
+	}
+	if recvTime != Seconds(4) {
+		t.Fatalf("recv at %v, want 4s", recvTime)
+	}
+}
+
+func TestRecvEarliestArrivalWins(t *testing.T) {
+	s := NewSim()
+	c := NewChan(s, "c")
+	var got []any
+	s.Spawn("sender", func(p *Proc) {
+		p.Send(c, "late", Seconds(5))
+		p.Send(c, "early", Seconds(1))
+	})
+	s.Spawn("receiver", func(p *Proc) {
+		got = append(got, p.Recv(c))
+		got = append(got, p.Recv(c))
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "early" || got[1] != "late" {
+		t.Fatalf("got %v, want [early late]", got)
+	}
+}
+
+func TestRecvMatchSkipsNonMatching(t *testing.T) {
+	s := NewSim()
+	c := NewChan(s, "c")
+	var got any
+	s.Spawn("sender", func(p *Proc) {
+		p.Send(c, 1, 0)
+		p.Send(c, 2, 0)
+	})
+	s.Spawn("receiver", func(p *Proc) {
+		got = p.RecvMatch(c, func(v any) bool { return v.(int) == 2 })
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("got %v, want 2", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("queue len = %d, want 1 (non-matching message retained)", c.Len())
+	}
+}
+
+func TestPoll(t *testing.T) {
+	s := NewSim()
+	c := NewChan(s, "c")
+	var early, lateOK, afterOK bool
+	s.Spawn("p", func(p *Proc) {
+		_, early = p.Poll(c, nil) // nothing yet
+		p.Send(c, "x", Seconds(1))
+		_, lateOK = p.Poll(c, nil) // not yet arrived
+		p.Advance(Seconds(2))
+		_, afterOK = p.Poll(c, nil)
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if early || lateOK || !afterOK {
+		t.Fatalf("poll results = %v %v %v, want false false true", early, lateOK, afterOK)
+	}
+}
+
+func TestRecvAnyPicksEarliestAcrossChans(t *testing.T) {
+	s := NewSim()
+	c1 := NewChan(s, "c1")
+	c2 := NewChan(s, "c2")
+	var idx int
+	s.Spawn("sender", func(p *Proc) {
+		p.Send(c1, "a", Seconds(5))
+		p.Send(c2, "b", Seconds(2))
+	})
+	s.Spawn("receiver", func(p *Proc) {
+		_, idx = p.RecvAny([]*Chan{c1, c2}, nil)
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("received from chan %d, want 1", idx)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := NewSim()
+	c := NewChan(s, "c")
+	s.Spawn("stuck", func(p *Proc) { p.Recv(c) })
+	if _, err := s.Run(); err == nil {
+		t.Fatal("want deadlock error, got nil")
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	s := NewSim()
+	s.Spawn("boom", func(p *Proc) { panic("boom") })
+	if _, err := s.Run(); err == nil {
+		t.Fatal("want panic error, got nil")
+	}
+}
+
+func TestSpawnFromRunningProcess(t *testing.T) {
+	s := NewSim()
+	var childTime Time
+	s.Spawn("parent", func(p *Proc) {
+		p.Advance(Seconds(3))
+		p.sim.Spawn("child", func(q *Proc) {
+			childTime = q.Now()
+		})
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != Seconds(3) {
+		t.Fatalf("child started at %v, want 3s", childTime)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := NewSim()
+	r := NewResource("link")
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		s.Spawn("u", func(p *Proc) {
+			start := r.Acquire(p, Seconds(2))
+			p.AdvanceTo(start + Seconds(2))
+			ends = append(ends, p.Now())
+		})
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{Seconds(2), Seconds(4), Seconds(6)}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if r.Busy() != Seconds(6) {
+		t.Fatalf("busy = %v, want 6s", r.Busy())
+	}
+}
+
+func TestTwoReceiversOneMessage(t *testing.T) {
+	s := NewSim()
+	c := NewChan(s, "c")
+	got := 0
+	for i := 0; i < 2; i++ {
+		s.Spawn("rx", func(p *Proc) {
+			if _, ok := p.Poll(c, nil); ok {
+				got++
+				return
+			}
+			p.Recv(c)
+			got++
+		})
+	}
+	s.Spawn("tx", func(p *Proc) {
+		p.Advance(Seconds(1))
+		p.Send(c, 1, 0)
+		p.Send(c, 2, Seconds(1))
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("deliveries = %d, want 2", got)
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// The same program must produce the identical trace every run.
+	run := func() []int {
+		s := NewSim()
+		c := NewChan(s, "c")
+		var trace []int
+		for i := 0; i < 4; i++ {
+			id := i
+			s.Spawn("w", func(p *Proc) {
+				p.Advance(Time(id * 10))
+				p.Send(c, id, Time(100-id*7))
+			})
+		}
+		s.Spawn("rx", func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				trace = append(trace, p.Recv(c).(int))
+			}
+		})
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	base := run()
+	for i := 0; i < 10; i++ {
+		got := run()
+		for j := range base {
+			if got[j] != base[j] {
+				t.Fatalf("run %d: trace %v != base %v", i, got, base)
+			}
+		}
+	}
+}
+
+func TestTimeConversionsProperty(t *testing.T) {
+	close := func(a, b Time) bool {
+		d := a - b
+		return d >= -1 && d <= 1 // float rounding may differ by 1ns
+	}
+	f := func(ms uint16) bool {
+		s := float64(ms) / 1000
+		return close(Seconds(s), Milliseconds(float64(ms))) &&
+			close(Milliseconds(float64(ms)), Microseconds(float64(ms)*1000))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvanceNegativeClamped(t *testing.T) {
+	s := NewSim()
+	var now Time
+	s.Spawn("p", func(p *Proc) {
+		p.Advance(Seconds(1))
+		p.Advance(-5)
+		now = p.Now()
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if now != Seconds(1) {
+		t.Fatalf("now = %v, want 1s", now)
+	}
+}
+
+func TestDaemonDoesNotDeadlockSim(t *testing.T) {
+	s := NewSim()
+	c := NewChan(s, "c")
+	served := 0
+	d := s.Spawn("daemon", func(p *Proc) {
+		for {
+			p.Recv(c)
+			served++
+		}
+	})
+	d.SetDaemon(true)
+	s.Spawn("worker", func(p *Proc) {
+		p.Send(c, 1, 0)
+		p.Advance(Seconds(1))
+		p.Send(c, 2, 0)
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("daemon counted as deadlock: %v", err)
+	}
+	if served != 2 {
+		t.Fatalf("daemon served %d, want 2", served)
+	}
+}

@@ -1,0 +1,120 @@
+// Package pardis is a Go reproduction of PARDIS, the CORBA-based
+// architecture for application-level parallel distributed computation of
+// Keahey and Gannon (SC'97).
+//
+// PARDIS extends the CORBA object model with SPMD objects — objects
+// implemented by the cooperating computing threads of a data-parallel
+// program — and distributed sequences, argument structures spread over
+// those threads' address spaces that the ORB transfers directly, in
+// parallel, between client and server. Non-blocking invocations return
+// futures, letting metaapplications overlap their components.
+//
+// This root package re-exports the user-facing surface; the implementation
+// lives in the internal packages:
+//
+//	internal/core     — the ORB: bindings, invocation, IORs, futures plumbing
+//	internal/poa      — the server-side adapter (ImplIsReady, ProcessRequests)
+//	internal/dseq     — distributed sequences
+//	internal/dist     — distribution templates and transfer schedules
+//	internal/future   — futures
+//	internal/idl      — the extended-IDL compiler front end
+//	internal/idlgen   — the Go stub/skeleton generator
+//	internal/rts      — the minimal run-time-system interface + backends
+//	internal/nexus    — the transport (in-process, TCP, simulated)
+//	internal/registry — object/implementation repositories and activation
+//	internal/pooma    — mini-POOMA fields (package mapping target)
+//	internal/pstl     — mini HPC++ PSTL vectors (package mapping target)
+//	internal/bench    — the paper's evaluation, regenerated
+//
+// See the runnable programs under examples/ — quickstart, and one per
+// scenario of the paper's §4 — and cmd/pardis-idl, cmd/pardis-bench,
+// cmd/pardis-reg, cmd/pardis-demo.
+package pardis
+
+import (
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/future"
+	"pardis/internal/nexus"
+	"pardis/internal/poa"
+	"pardis/internal/rts"
+)
+
+// Client-side surface.
+type (
+	// ORB is a computing thread's client-side Object Request Broker.
+	ORB = core.ORB
+	// Binding connects a proxy to an object implementation.
+	Binding = core.Binding
+	// IOR is an interoperable object reference.
+	IOR = core.IOR
+	// InterfaceDef is the runtime operation table of an IDL interface.
+	InterfaceDef = core.InterfaceDef
+	// Operation describes one IDL operation.
+	Operation = core.Operation
+	// Param describes one operation parameter.
+	Param = core.Param
+	// Router demultiplexes an endpoint between client and server roles.
+	Router = core.Router
+	// LocalTable enables the co-located direct-call shortcut.
+	LocalTable = core.LocalTable
+)
+
+// Server-side surface.
+type (
+	// POA is the server-side object adapter.
+	POA = poa.POA
+	// Servant is an object implementation.
+	Servant = poa.Servant
+	// ServantFunc adapts a function to Servant.
+	ServantFunc = poa.ServantFunc
+	// ServantContext is passed to servant invocations.
+	ServantContext = poa.Context
+)
+
+// Data surface.
+type (
+	// Cell is the shared resolution state of a non-blocking invocation.
+	Cell = future.Cell
+	// Distributed is the ORB's untyped view of a distributed sequence.
+	Distributed = dseq.Distributed
+	// Template is a distribution recipe.
+	Template = dist.Template
+	// Layout is a template applied to a length and thread count.
+	Layout = dist.Layout
+	// Thread is a computing thread's run-time-system context.
+	Thread = rts.Thread
+	// Endpoint is a transport port.
+	Endpoint = nexus.Endpoint
+)
+
+// NewORB creates the client-side ORB state for one computing thread; comm
+// is nil for single (non-SPMD) clients.
+func NewORB(r *Router, comm rts.Comm, table *LocalTable) *ORB {
+	return core.NewORB(r, comm, table)
+}
+
+// NewRouter wraps a transport endpoint for use by an ORB and/or a POA.
+func NewRouter(ep Endpoint) *Router { return core.NewRouter(ep) }
+
+// NewPOA creates a server-side adapter for one computing thread.
+func NewPOA(th Thread, r *Router, table *LocalTable) *POA { return poa.New(th, r, table) }
+
+// NewInproc creates an in-process transport fabric.
+func NewInproc() *nexus.Inproc { return nexus.NewInproc() }
+
+// NewTCPEndpoint creates a TCP transport endpoint ("" picks a free
+// loopback port).
+func NewTCPEndpoint(listen string) (Endpoint, error) { return nexus.NewTCPEndpoint(listen) }
+
+// NewChanGroup creates the real-time run-time-system state for a parallel
+// program of n computing threads.
+func NewChanGroup(host string, n int) *rts.ChanGroup { return rts.NewChanGroup(host, n) }
+
+// Block, Cyclic, Collapsed and Proportions build distribution templates.
+func Block() Template                         { return dist.BlockTemplate() }
+func Cyclic() Template                        { return dist.CyclicTemplate() }
+func Collapsed(root int) Template             { return dist.CollapsedOn(root) }
+func Proportions(weights ...float64) Template { return dist.Proportions(weights...) }
+func ParseIOR(s string) (IOR, error)          { return core.ParseIOR(s) }
