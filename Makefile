@@ -1,0 +1,32 @@
+# Developer entry points. `make ci` is what the CI script runs; the bench
+# targets reproduce the paper figures and the Go micro-benchmarks behind the
+# zero-copy data path.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-figures ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Allocation-sensitive micro-benchmarks of the bulk data path.
+bench:
+	$(GO) test -run - -bench 'CDRDoubles|ORBRoundTrip|DSeqRedistribute' -benchmem -benchtime=20x .
+
+# Paper-figure reproduction, as a machine-readable JSON summary.
+bench-figures:
+	$(GO) run ./cmd/pardis-bench -quick -json
+
+ci:
+	./ci.sh

@@ -4,14 +4,17 @@
 //
 // Usage:
 //
-//	pardis-bench [-fig 2|4|5|ablations|all] [-quick]
+//	pardis-bench [-fig 2|4|5|ablations|all] [-quick] [-json]
 //
-// -quick trims the sweeps for a fast smoke run. Results are deterministic:
-// the experiments run the full PARDIS stack on a virtual clock over the
-// modeled 1997 machines (see DESIGN.md §4 for the substitutions).
+// -quick trims the sweeps for a fast smoke run. -json replaces the tables
+// with one JSON document summarizing every experiment point, for CI
+// artifacts and regression diffing. Results are deterministic: the
+// experiments run the full PARDIS stack on a virtual clock over the modeled
+// 1997 machines (see DESIGN.md §4 for the substitutions).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,96 +22,140 @@ import (
 	"pardis/internal/bench"
 )
 
+// summary is the -json document: one optional section per experiment.
+type summary struct {
+	Figure2   []bench.Fig2Point `json:"figure2,omitempty"`
+	Figure4   []bench.Fig4Point `json:"figure4,omitempty"`
+	Figure5   []bench.Fig5Point `json:"figure5,omitempty"`
+	Ablations []ablationSection `json:"ablations,omitempty"`
+}
+
+type ablationSection struct {
+	Name   string                `json:"name"`
+	Points []bench.AblationPoint `json:"points"`
+}
+
 func main() {
 	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, all")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
+	asJSON := flag.Bool("json", false, "emit a JSON summary instead of tables")
 	flag.Parse()
 
+	var out summary
 	switch *fig {
 	case "2":
-		figure2(*quick)
+		out.Figure2 = figure2(*quick, *asJSON)
 	case "4":
-		figure4(*quick)
+		out.Figure4 = figure4(*quick, *asJSON)
 	case "5":
-		figure5(*quick)
+		out.Figure5 = figure5(*quick, *asJSON)
 	case "ablations":
-		ablations(*quick)
+		out.Ablations = ablations(*quick, *asJSON)
 	case "all":
-		figure2(*quick)
-		figure4(*quick)
-		figure5(*quick)
-		ablations(*quick)
+		out.Figure2 = figure2(*quick, *asJSON)
+		out.Figure4 = figure4(*quick, *asJSON)
+		out.Figure5 = figure5(*quick, *asJSON)
+		out.Ablations = ablations(*quick, *asJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "pardis-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "pardis-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func figure2(quick bool) {
+func figure2(quick, silent bool) []bench.Fig2Point {
 	sizes := bench.Fig2Sizes
 	if quick {
 		sizes = []int{200, 600, 1200}
 	}
+	pts := bench.Figure2(sizes)
+	if silent {
+		return pts
+	}
 	fmt.Println("== Figure 2: distributed vs local performance (seconds) ==")
 	fmt.Println("problem_size  direct(HOST1)  iterative(HOST2)  different_servers  same_server(HOST1)")
-	for _, p := range bench.Figure2(sizes) {
+	for _, p := range pts {
 		fmt.Printf("%12d  %13.2f  %16.2f  %17.2f  %18.2f\n",
 			p.N, p.Direct, p.Iterative, p.Distributed, p.SameServer)
 	}
 	fmt.Println()
+	return pts
 }
 
-func figure4(quick bool) {
+func figure4(quick, silent bool) []bench.Fig4Point {
 	procs := bench.Fig4Procs
 	if quick {
 		procs = []int{1, 2, 3, 4, 8}
 	}
+	pts := bench.Figure4(procs)
+	if silent {
+		return pts
+	}
 	fmt.Println("== Figure 4: centralized vs distributed single objects (seconds) ==")
 	fmt.Println("server_procs  centralized  distributed  difference")
-	for _, p := range bench.Figure4(procs) {
+	for _, p := range pts {
 		fmt.Printf("%12d  %11.2f  %11.2f  %10.2f\n",
 			p.Procs, p.Centralized, p.Distributed, p.Difference)
 	}
 	fmt.Println()
+	return pts
 }
 
-func figure5(quick bool) {
+func figure5(quick, silent bool) []bench.Fig5Point {
 	procs := []int{1, 2, 3, 4, 5, 6, 7, 8}
 	if quick {
 		procs = bench.Fig5Procs
 	}
+	pts := bench.Figure5(procs)
+	if silent {
+		return pts
+	}
 	fmt.Println("== Figure 5: pipelined metaapplication (seconds) ==")
 	fmt.Println("procs  overall  diffusion(SGI PC)  gradient(SP2)")
-	for _, p := range bench.Figure5(procs) {
+	for _, p := range pts {
 		fmt.Printf("%5d  %7.2f  %17.2f  %13.2f\n",
 			p.Procs, p.Overall, p.Diffusion, p.Gradient)
 	}
 	fmt.Println()
+	return pts
 }
 
-func ablations(quick bool) {
+func ablations(quick, silent bool) []ablationSection {
 	nT, nL, nB := 1_000_000, 500_000, 600
 	if quick {
 		nT, nL, nB = 200_000, 100_000, 300
 	}
+	sections := []ablationSection{
+		{fmt.Sprintf("parallel vs funneled argument transfer (%d doubles, 4x4 threads)", nT),
+			bench.AblationParallelTransfer(nT)},
+		{fmt.Sprintf("co-located vs remote invocation (%d doubles)", nL),
+			bench.AblationLocalShortcut(nL)},
+		{fmt.Sprintf("non-blocking overlap vs blocking (solvers, n=%d)", nB),
+			bench.AblationNonBlocking(nB)},
+		{"oneway vs two-way non-blocking pipeline (p=4)",
+			bench.AblationOneway(4)},
+		{"single-threaded vs communication-thread transport (p=8, the paper's §6 proposal)",
+			bench.AblationCommThreads(8)},
+		{"redistribution templates (1M doubles, 8 threads)",
+			bench.AblationRedistribution(1_000_000)},
+	}
+	if silent {
+		return sections
+	}
 	fmt.Println("== Ablations ==")
-	show := func(title string, pts []bench.AblationPoint) {
-		fmt.Println(title)
-		for _, p := range pts {
+	for _, s := range sections {
+		fmt.Println(s.Name + ":")
+		for _, p := range s.Points {
 			fmt.Printf("  %-24s %10.4f s\n", p.Label, p.Seconds)
 		}
 	}
-	show(fmt.Sprintf("parallel vs funneled argument transfer (%d doubles, 4x4 threads):", nT),
-		bench.AblationParallelTransfer(nT))
-	show(fmt.Sprintf("co-located vs remote invocation (%d doubles):", nL),
-		bench.AblationLocalShortcut(nL))
-	show(fmt.Sprintf("non-blocking overlap vs blocking (solvers, n=%d):", nB),
-		bench.AblationNonBlocking(nB))
-	show("oneway vs two-way non-blocking pipeline (p=4):",
-		bench.AblationOneway(4))
-	show("single-threaded vs communication-thread transport (p=8, the paper's §6 proposal):",
-		bench.AblationCommThreads(8))
-	show("redistribution templates (1M doubles, 8 threads):",
-		bench.AblationRedistribution(1_000_000))
 	fmt.Println()
+	return sections
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrTruncated is reported when a decoder runs out of bytes.
@@ -29,6 +30,38 @@ type Encoder struct {
 // NewEncoder returns an encoder with capacity preallocated.
 func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// --- Encoder reuse -----------------------------------------------------------
+
+// maxPooledCap bounds the buffer size retained by the encoder pool so one
+// oversized message cannot pin a large allocation forever.
+const maxPooledCap = 1 << 20 // 1 MiB
+
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a reset encoder from the package pool with at least the
+// given capacity. Release it with Release when the encoded bytes are no
+// longer referenced; the transfer APIs that accept the bytes without
+// retaining them (nexus SendV, synchronous TCP sends) make that point the
+// return of the send call.
+func GetEncoder(capacity int) *Encoder {
+	e := encPool.Get().(*Encoder)
+	if cap(e.buf) < capacity {
+		e.buf = make([]byte, 0, capacity)
+	} else {
+		e.buf = e.buf[:0]
+	}
+	return e
+}
+
+// Release returns the encoder to the pool. The caller must not use the
+// encoder, or any slice obtained from Bytes, after Release.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledCap {
+		e.buf = nil
+	}
+	encPool.Put(e)
 }
 
 // Bytes returns the encoded stream. The slice aliases the encoder's buffer.
@@ -115,26 +148,71 @@ func (e *Encoder) PutOctets(b []byte) {
 // with a matching GetRaw.
 func (e *Encoder) PutRaw(b []byte) { e.buf = append(e.buf, b...) }
 
+// AlignedAppend aligns the stream to align and returns a writable n-byte
+// window appended to it — the raw view bulk encoders fill in place. The
+// window is valid until the next mutation of the encoder.
+func (e *Encoder) AlignedAppend(align, n int) []byte {
+	e.align(align)
+	off := len(e.buf)
+	if free := cap(e.buf) - off; free >= n {
+		e.buf = e.buf[:off+n]
+	} else {
+		e.buf = append(e.buf, make([]byte, n)...)
+	}
+	return e.buf[off : off+n]
+}
+
 // PutDoubles encodes a length-prefixed sequence of doubles using a bulk
 // copy (the hot path for distributed-sequence argument segments).
 func (e *Encoder) PutDoubles(v []float64) {
 	e.PutSeqLen(len(v))
-	e.align(8)
-	off := len(e.buf)
-	e.buf = append(e.buf, make([]byte, 8*len(v))...)
+	e.PutDoublesRaw(v)
+}
+
+// PutDoublesRaw bulk-encodes doubles with no count prefix (run lengths
+// travel out of band, e.g. in a transfer schedule). An empty slice writes
+// nothing — not even alignment padding — matching the per-element encoding.
+func (e *Encoder) PutDoublesRaw(v []float64) {
+	if len(v) == 0 {
+		return
+	}
+	b := e.AlignedAppend(8, 8*len(v))
 	for i, x := range v {
-		binary.BigEndian.PutUint64(e.buf[off+8*i:], math.Float64bits(x))
+		binary.BigEndian.PutUint64(b[8*i:], math.Float64bits(x))
 	}
 }
 
 // PutLongs encodes a length-prefixed sequence of 32-bit integers.
 func (e *Encoder) PutLongs(v []int32) {
 	e.PutSeqLen(len(v))
-	e.align(4)
-	off := len(e.buf)
-	e.buf = append(e.buf, make([]byte, 4*len(v))...)
+	e.PutLongsRaw(v)
+}
+
+// PutLongsRaw bulk-encodes 32-bit integers with no count prefix.
+func (e *Encoder) PutLongsRaw(v []int32) {
+	if len(v) == 0 {
+		return
+	}
+	b := e.AlignedAppend(4, 4*len(v))
 	for i, x := range v {
-		binary.BigEndian.PutUint32(e.buf[off+4*i:], uint32(x))
+		binary.BigEndian.PutUint32(b[4*i:], uint32(x))
+	}
+}
+
+// PutFloats encodes a length-prefixed sequence of 32-bit floats.
+func (e *Encoder) PutFloats(v []float32) {
+	e.PutSeqLen(len(v))
+	e.PutFloatsRaw(v)
+}
+
+// PutFloatsRaw bulk-encodes 32-bit floats with no count prefix.
+func (e *Encoder) PutFloatsRaw(v []float32) {
+	if len(v) == 0 {
+		return
+	}
+	b := e.AlignedAppend(4, 4*len(v))
+	for i, x := range v {
+		binary.BigEndian.PutUint32(b[4*i:], math.Float32bits(x))
 	}
 }
 
@@ -142,13 +220,90 @@ func (e *Encoder) PutLongs(v []int32) {
 // the first failure every Get returns a zero value and Err reports the
 // cause.
 type Decoder struct {
-	buf []byte
-	pos int
-	err error
+	buf    []byte
+	pos    int
+	err    error
+	borrow bool
 }
 
 // NewDecoder reads from buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset rewinds the decoder onto a new buffer, clearing position, sticky
+// error, and borrow mode — the decode-side analog of Encoder.Reset for
+// loops that must not allocate per message.
+func (d *Decoder) Reset(buf []byte) { *d = Decoder{buf: buf} }
+
+var decPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// GetDecoder returns a pooled decoder positioned at the start of buf. Pair
+// with Release once decoding is done.
+func GetDecoder(buf []byte) *Decoder {
+	d := decPool.Get().(*Decoder)
+	d.Reset(buf)
+	return d
+}
+
+// Release recycles the decoder. Decoded values that alias the stream remain
+// valid: the pool recycles only the decoder state, never the buffer.
+func (d *Decoder) Release() {
+	d.Reset(nil)
+	decPool.Put(d)
+}
+
+// maxInternedLen bounds which strings enter the intern table, and
+// maxInternedStrings bounds the table itself, so adversarial or
+// high-cardinality traffic cannot pin unbounded memory.
+const (
+	maxInternedLen     = 128
+	maxInternedStrings = 4096
+)
+
+var (
+	internMu sync.RWMutex
+	interned = map[string]string{}
+)
+
+// GetStringInterned decodes a CDR string through a process-wide intern
+// table. Protocol fields that repeat on every message — operation names,
+// object keys, binding ids, reply addresses — decode to the same string
+// allocation each time instead of one fresh copy per message.
+func (d *Decoder) GetStringInterned() string {
+	n := d.GetULong()
+	if n == 0 {
+		return ""
+	}
+	b := d.take(int(n), "string")
+	if b == nil {
+		return ""
+	}
+	b = b[:n-1] // drop terminating NUL
+	if len(b) > maxInternedLen {
+		return string(b)
+	}
+	internMu.RLock()
+	s, ok := interned[string(b)] // map lookup by []byte key: no conversion alloc
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if len(interned) < maxInternedStrings {
+		interned[s] = s
+	}
+	internMu.Unlock()
+	return s
+}
+
+// SetBorrow declares that decoded aggregates may alias the wire buffer
+// instead of copying, because the caller guarantees the buffer outlives
+// (and is not mutated under) every decoded value. Codecs consult Borrowed
+// to pick the zero-copy path.
+func (d *Decoder) SetBorrow(b bool) { d.borrow = b }
+
+// Borrowed reports whether zero-copy (aliasing) decoding was permitted.
+func (d *Decoder) Borrowed() bool { return d.borrow }
 
 // Err returns the first decoding error, if any.
 func (d *Decoder) Err() error { return d.err }
@@ -283,32 +438,95 @@ func (d *Decoder) GetOctets() []byte {
 // GetRaw reads n raw bytes (no alignment). The result aliases the buffer.
 func (d *Decoder) GetRaw(n int) []byte { return d.take(n, "raw") }
 
+// AlignedView aligns the stream to align and returns the next n raw bytes
+// without copying. The result aliases the wire buffer.
+func (d *Decoder) AlignedView(align, n int) []byte {
+	d.align(align)
+	return d.take(n, "aligned view")
+}
+
 // GetDoubles decodes a length-prefixed sequence of doubles.
 func (d *Decoder) GetDoubles() []float64 {
 	n := d.GetSeqLen(8)
-	d.align(8)
-	b := d.take(8*n, "double sequence")
-	if b == nil {
+	if n == 0 {
 		return nil
 	}
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	if !d.GetDoublesInto(out) {
+		return nil
 	}
 	return out
+}
+
+// GetDoublesInto bulk-decodes len(dst) doubles (no count prefix) into dst,
+// reporting success. On a truncated stream dst is untouched and the sticky
+// error is set.
+func (d *Decoder) GetDoublesInto(dst []float64) bool {
+	if len(dst) == 0 {
+		return d.err == nil
+	}
+	b := d.AlignedView(8, 8*len(dst))
+	if b == nil {
+		return false
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return true
 }
 
 // GetLongs decodes a length-prefixed sequence of 32-bit integers.
 func (d *Decoder) GetLongs() []int32 {
 	n := d.GetSeqLen(4)
-	d.align(4)
-	b := d.take(4*n, "long sequence")
-	if b == nil {
+	if n == 0 {
 		return nil
 	}
 	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(binary.BigEndian.Uint32(b[4*i:]))
+	if !d.GetLongsInto(out) {
+		return nil
 	}
 	return out
+}
+
+// GetLongsInto bulk-decodes len(dst) 32-bit integers (no count prefix).
+func (d *Decoder) GetLongsInto(dst []int32) bool {
+	if len(dst) == 0 {
+		return d.err == nil
+	}
+	b := d.AlignedView(4, 4*len(dst))
+	if b == nil {
+		return false
+	}
+	for i := range dst {
+		dst[i] = int32(binary.BigEndian.Uint32(b[4*i:]))
+	}
+	return true
+}
+
+// GetFloats decodes a length-prefixed sequence of 32-bit floats.
+func (d *Decoder) GetFloats() []float32 {
+	n := d.GetSeqLen(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	if !d.GetFloatsInto(out) {
+		return nil
+	}
+	return out
+}
+
+// GetFloatsInto bulk-decodes len(dst) 32-bit floats (no count prefix).
+func (d *Decoder) GetFloatsInto(dst []float32) bool {
+	if len(dst) == 0 {
+		return d.err == nil
+	}
+	b := d.AlignedView(4, 4*len(dst))
+	if b == nil {
+		return false
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.BigEndian.Uint32(b[4*i:]))
+	}
+	return true
 }

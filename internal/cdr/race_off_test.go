@@ -1,0 +1,5 @@
+//go:build !race
+
+package cdr
+
+const raceEnabled = false

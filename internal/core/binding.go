@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"pardis/internal/cdr"
 	"pardis/internal/dist"
 	"pardis/internal/nexus"
 	"pardis/internal/pgiop"
@@ -138,10 +137,7 @@ func (b *Binding) Shutdown(reason string) error {
 	return b.orb.r.Send(nexus.Addr(b.ior.Addrs[0]), pgiop.EncodeShutdown(&pgiop.Shutdown{Reason: reason}))
 }
 
-// newBodyEncoder creates the encoder used for inline argument bodies.
-// Bodies are nested octet sequences inside frames; alignment is relative to
-// the body's own origin on both sides.
-func newBodyEncoder() *cdr.Encoder { return cdr.NewEncoder(256) }
-
-// newBodyDecoder decodes an inline argument body.
-func newBodyDecoder(b []byte) *cdr.Decoder { return cdr.NewDecoder(b) }
+// Inline argument bodies are nested octet sequences inside frames;
+// alignment is relative to the body's own origin on both sides, so bodies
+// are encoded and decoded with their own (pooled) encoder/decoder rather
+// than the frame's.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"pardis/internal/cdr"
 	"pardis/internal/dist"
 	"pardis/internal/dseq"
 	"pardis/internal/future"
@@ -31,6 +32,13 @@ type ORB struct {
 	pending  map[uint32]*pendingReq
 	nextReq  uint32
 	nextBind int
+
+	// pumpFn is the one pump closure shared by every cell this ORB mints
+	// (a per-invocation closure would allocate).
+	pumpFn func(block bool)
+	// sendIov is the scratch buffer list for two-buffer vectored sends.
+	// Safe as a field because ORB methods run on the owning thread only.
+	sendIov [2][]byte
 }
 
 // NewORB creates the ORB state for one computing thread. r is the thread's
@@ -39,7 +47,18 @@ type ORB struct {
 // table is the process-local object table enabling the co-located
 // direct-call shortcut (may be nil).
 func NewORB(r *Router, comm rts.Comm, table *LocalTable) *ORB {
-	return &ORB{r: r, comm: comm, local: table, pending: map[uint32]*pendingReq{}}
+	o := &ORB{r: r, comm: comm, local: table, pending: map[uint32]*pendingReq{}}
+	o.pumpFn = func(block bool) { o.pump(block) }
+	return o
+}
+
+// sendV2 sends hdr+body as one vectored frame through the reusable scratch
+// buffer list, so the variadic argument slice is not allocated per call.
+func (o *ORB) sendV2(to nexus.Addr, hdr, body []byte) error {
+	o.sendIov[0], o.sendIov[1] = hdr, body
+	err := o.r.SendV(to, o.sendIov[:]...)
+	o.sendIov[0], o.sendIov[1] = nil, nil
+	return err
 }
 
 // Router returns the thread's frame router.
@@ -130,10 +149,6 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 		binding: b.id,
 		seqNo:   b.seq,
 		server0: b.ior.Addrs[0],
-		holders: map[int]dseq.Distributed{},
-		tmpls:   map[int]dist.Template{},
-		need:    map[int]int{},
-		got:     map[int]int{},
 	}
 
 	req := &pgiop.Request{
@@ -148,8 +163,11 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 	}
 	b.seq++
 
-	// Marshal inline (non-distributed) in/inout arguments.
-	enc := newBodyEncoder()
+	// Marshal inline (non-distributed) in/inout arguments into a pooled
+	// encoder: req.Body aliases its buffer, which stays valid through the
+	// vectored send below and is recycled when InvokeNB returns.
+	enc := cdr.GetEncoder(256)
+	defer enc.Release()
 	type distIn struct {
 		param  int
 		holder dseq.Distributed
@@ -180,6 +198,14 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 			}
 			tmpl := b.outDist(op, i, prm)
 			req.DistOuts = append(req.DistOuts, pgiop.DistOutSpec{Param: int32(i), Tmpl: tmpl})
+			if p.holders == nil {
+				// Most invocations have no distributed out arguments;
+				// allocate the tracking maps only when one appears.
+				p.holders = map[int]dseq.Distributed{}
+				p.tmpls = map[int]dist.Template{}
+				p.need = map[int]int{}
+				p.got = map[int]int{}
+			}
 			p.holders[i] = holder
 			p.tmpls[i] = tmpl
 		case prm.Mode == In || prm.Mode == InOut:
@@ -198,8 +224,14 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 	}
 	o.mu.Unlock()
 
-	// Header goes to server thread 0 (the collectivity point).
-	if err := o.r.Send(nexus.Addr(b.ior.Addrs[0]), pgiop.EncodeRequest(req)); err != nil {
+	// Header goes to server thread 0 (the collectivity point). The request
+	// header and the marshaled body travel as one vectored frame — the body
+	// is never copied into a framing buffer.
+	hdr := cdr.GetEncoder(128)
+	pgiop.AppendRequest(hdr, req)
+	err := o.sendV2(nexus.Addr(b.ior.Addrs[0]), hdr.Bytes(), req.Body)
+	hdr.Release()
+	if err != nil {
 		o.dropPending(req.ReqID)
 		return nil, fmt.Errorf("core: %s: %w", op, err)
 	}
@@ -218,7 +250,7 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 		cell.Resolve(nil, nil)
 		return cell, nil
 	}
-	cell.SetPump(func(block bool) { o.pump(block) })
+	cell.SetPump(o.pumpFn)
 	return cell, nil
 }
 
@@ -263,7 +295,9 @@ func (o *ORB) dropPending(id uint32) {
 func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dseq.Distributed, server dist.Layout) error {
 	sched := dist.NewSchedule(holder.DLayout(), server)
 	for _, m := range sched.MovesFrom(o.rank()) {
-		enc := newBodyEncoder()
+		// Pooled payload and header encoders; the vectored send frames them
+		// without a concatenating copy, and neither is retained after it.
+		enc := cdr.GetEncoder(256)
 		holder.EncodeRuns(enc, m.Runs)
 		as := &pgiop.ArgStream{
 			BindingID: req.BindingID,
@@ -273,7 +307,12 @@ func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dse
 			Runs:      wireRuns(m.Runs),
 			Payload:   enc.Bytes(),
 		}
-		if err := o.r.Send(nexus.Addr(b.ior.Addrs[m.To]), pgiop.EncodeArgStream(as)); err != nil {
+		hdr := cdr.GetEncoder(128)
+		pgiop.AppendArgStream(hdr, as)
+		err := o.sendV2(nexus.Addr(b.ior.Addrs[m.To]), hdr.Bytes(), as.Payload)
+		hdr.Release()
+		enc.Release()
+		if err != nil {
 			return fmt.Errorf("core: argument %d segment to thread %d: %w", param, m.To, err)
 		}
 	}
@@ -388,7 +427,10 @@ func (o *ORB) applySegment(p *pendingReq, a *pgiop.ArgStream) {
 		p.fail(o, a.ReqID, err)
 		return
 	}
-	if err := holder.DecodeRuns(newBodyDecoder(a.Payload), runs); err != nil {
+	dec := cdr.GetDecoder(a.Payload)
+	err = holder.DecodeRuns(dec, runs)
+	dec.Release()
+	if err != nil {
 		p.fail(o, a.ReqID, fmt.Errorf("core: corrupt out segment for parameter %d: %w", param, err))
 		return
 	}
@@ -430,8 +472,11 @@ func (o *ORB) maybeComplete(reqID uint32, p *pendingReq) {
 		}
 	}
 	// Decode the inline results: return value then non-distributed
-	// out/inout parameters, in declaration order.
-	dec := newBodyDecoder(p.reply.Body)
+	// out/inout parameters, in declaration order. The reply frame belongs
+	// to this invocation, so decoded values may alias it (zero-copy).
+	dec := cdr.GetDecoder(p.reply.Body)
+	dec.SetBorrow(true)
+	defer dec.Release()
 	vals := make([]any, 0, resultCount(p.op))
 	if p.op.Result != nil {
 		v, err := typecode.Unmarshal(dec, p.op.Result)

@@ -19,6 +19,14 @@ type Msg struct {
 	LocReply *pgiop.LocateReply
 	Cancel   *pgiop.CancelRequest
 	Shutdown *pgiop.Shutdown
+
+	// Inline storage for the two hot payload types: DecodeMsg points Req
+	// and Reply here, folding message + payload into one allocation. Msg
+	// must therefore never be copied by value once decoded (the pointers
+	// would alias the original). Consumers that retain m.Req or m.Reply
+	// keep the whole Msg alive, which is fine — they share a lifetime.
+	reqVal   pgiop.Request
+	replyVal pgiop.Reply
 }
 
 // DecodeMsg parses any protocol frame.
@@ -30,9 +38,13 @@ func DecodeMsg(fr nexus.Frame) (*Msg, error) {
 	m := &Msg{From: fr.From, Type: t}
 	switch t {
 	case pgiop.MsgRequest:
-		m.Req, err = pgiop.DecodeRequest(fr.Data)
+		if err = pgiop.DecodeRequestInto(&m.reqVal, fr.Data); err == nil {
+			m.Req = &m.reqVal
+		}
 	case pgiop.MsgReply:
-		m.Reply, err = pgiop.DecodeReply(fr.Data)
+		if err = pgiop.DecodeReplyInto(&m.replyVal, fr.Data); err == nil {
+			m.Reply = &m.replyVal
+		}
 	case pgiop.MsgArgStream:
 		m.Arg, err = pgiop.DecodeArgStream(fr.Data)
 	case pgiop.MsgLocateRequest:
@@ -87,6 +99,11 @@ func (r *Router) Addr() nexus.Addr { return r.ep.Addr() }
 // Send forwards a frame to the underlying endpoint.
 func (r *Router) Send(to nexus.Addr, frame []byte) error { return r.ep.Send(to, frame) }
 
+// SendV forwards a vectored frame to the underlying endpoint. Like
+// nexus.Endpoint.SendV, the transport does not retain bufs after it returns,
+// so pooled header encoders may be released immediately.
+func (r *Router) SendV(to nexus.Addr, bufs ...[]byte) error { return r.ep.SendV(to, bufs...) }
+
 // Close closes the underlying endpoint.
 func (r *Router) Close() error { return r.ep.Close() }
 
@@ -109,9 +126,13 @@ func (r *Router) recv(block, wantClient bool) (*Msg, bool, error) {
 		if wantClient {
 			q = &r.clientQ
 		}
-		if len(*q) > 0 {
+		if n := len(*q); n > 0 {
+			// Shift rather than reslice so the backing array keeps its
+			// capacity for reuse (queues here are at most a few entries).
 			m := (*q)[0]
-			*q = (*q)[1:]
+			copy(*q, (*q)[1:])
+			(*q)[n-1] = nil
+			*q = (*q)[:n-1]
 			return m, true, nil
 		}
 		var fr nexus.Frame

@@ -11,21 +11,14 @@ import (
 func EncodeTemplate(e *cdr.Encoder, t Template) {
 	e.PutOctet(byte(t.Kind))
 	e.PutLong(int32(t.Root))
-	e.PutSeqLen(len(t.Weights))
-	for _, w := range t.Weights {
-		e.PutDouble(w)
-	}
+	e.PutDoubles(t.Weights) // bulk: byte-identical to a per-element loop
 }
 
 // DecodeTemplate reads a template written by EncodeTemplate.
 func DecodeTemplate(d *cdr.Decoder) (Template, error) {
 	k := Kind(d.GetOctet())
 	root := int(d.GetLong())
-	n := d.GetSeqLen(8)
-	var weights []float64
-	for i := 0; i < n; i++ {
-		weights = append(weights, d.GetDouble())
-	}
+	weights := d.GetDoubles()
 	if err := d.Err(); err != nil {
 		return Template{}, err
 	}
@@ -78,6 +71,8 @@ func DecodeLayout(d *cdr.Decoder) (Layout, error) {
 		return Layout{}, fmt.Errorf("dist: layout has %d ranges for %d threads", n, l.P)
 	}
 	total := 0
+	l.starts = make([]int, 0, n)
+	l.counts = make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		l.starts = append(l.starts, int(d.GetLong()))
 		c := int(d.GetLong())

@@ -1,0 +1,44 @@
+package dseq
+
+import (
+	"fmt"
+	"testing"
+
+	"pardis/internal/cdr"
+	"pardis/internal/dist"
+	"pardis/internal/rts"
+)
+
+// TestEncodeDecodeRunsAllocFree pins the segment-transfer hot path: with a
+// warm encoder and decoder, shipping runs out of one distributed sequence
+// and into another allocates nothing on either side.
+func TestEncodeDecodeRunsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	runSPMD(1, func(th rts.Thread) {
+		src := New[float64](th, 4096, dist.BlockTemplate(), Float64Codec{})
+		dst := New[float64](th, 4096, dist.BlockTemplate(), Float64Codec{})
+		fill(src)
+		runs := []dist.Run{{Global: 0, Len: 4096, SrcOff: 0, DstOff: 0}}
+		e := cdr.GetEncoder(8 * 4096)
+		defer e.Release()
+		d := cdr.NewDecoder(nil)
+		allocs := testing.AllocsPerRun(50, func() {
+			e.Reset()
+			src.EncodeRuns(e, runs)
+			d.Reset(e.Bytes())
+			if err := dst.DecodeRuns(d, runs); err != nil {
+				panic(err)
+			}
+		})
+		if allocs != 0 {
+			panic(fmt.Sprintf("run transfer: %v allocs/run, want 0", allocs))
+		}
+		for i, v := range dst.Local() {
+			if v != float64(i) {
+				panic(fmt.Sprintf("element %d corrupted: %v", i, v))
+			}
+		}
+	})
+}

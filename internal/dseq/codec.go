@@ -15,8 +15,12 @@ type Codec[T any] interface {
 	// Encode appends v's elements (no count prefix; run lengths travel in
 	// the schedule).
 	Encode(e *cdr.Encoder, v []T)
-	// Decode reads exactly n elements.
+	// Decode reads exactly n elements. When the decoder permits borrowing
+	// (cdr.Decoder.Borrowed), the result may alias the wire buffer.
 	Decode(d *cdr.Decoder, n int) ([]T, error)
+	// DecodeInto reads exactly len(dst) elements directly into dst — the
+	// zero-allocation receive path for segment transfers.
+	DecodeInto(d *cdr.Decoder, dst []T) error
 	// TypeCode describes the element type.
 	TypeCode() *typecode.TypeCode
 }
@@ -24,20 +28,20 @@ type Codec[T any] interface {
 // Float64Codec encodes IDL double elements.
 type Float64Codec struct{}
 
-// Encode implements Codec.
-func (Float64Codec) Encode(e *cdr.Encoder, v []float64) {
-	for _, x := range v {
-		e.PutDouble(x)
-	}
-}
+// Encode implements Codec with a single bulk append.
+func (Float64Codec) Encode(e *cdr.Encoder, v []float64) { e.PutDoublesRaw(v) }
 
 // Decode implements Codec.
 func (Float64Codec) Decode(d *cdr.Decoder, n int) ([]float64, error) {
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = d.GetDouble()
-	}
+	d.GetDoublesInto(out)
 	return out, d.Err()
+}
+
+// DecodeInto implements Codec.
+func (Float64Codec) DecodeInto(d *cdr.Decoder, dst []float64) error {
+	d.GetDoublesInto(dst)
+	return d.Err()
 }
 
 // TypeCode implements Codec.
@@ -46,24 +50,46 @@ func (Float64Codec) TypeCode() *typecode.TypeCode { return typecode.TCDouble }
 // Int32Codec encodes IDL long elements.
 type Int32Codec struct{}
 
-// Encode implements Codec.
-func (Int32Codec) Encode(e *cdr.Encoder, v []int32) {
-	for _, x := range v {
-		e.PutLong(x)
-	}
-}
+// Encode implements Codec with a single bulk append.
+func (Int32Codec) Encode(e *cdr.Encoder, v []int32) { e.PutLongsRaw(v) }
 
 // Decode implements Codec.
 func (Int32Codec) Decode(d *cdr.Decoder, n int) ([]int32, error) {
 	out := make([]int32, n)
-	for i := range out {
-		out[i] = d.GetLong()
-	}
+	d.GetLongsInto(out)
 	return out, d.Err()
+}
+
+// DecodeInto implements Codec.
+func (Int32Codec) DecodeInto(d *cdr.Decoder, dst []int32) error {
+	d.GetLongsInto(dst)
+	return d.Err()
 }
 
 // TypeCode implements Codec.
 func (Int32Codec) TypeCode() *typecode.TypeCode { return typecode.TCLong }
+
+// Float32Codec encodes IDL float elements.
+type Float32Codec struct{}
+
+// Encode implements Codec with a single bulk append.
+func (Float32Codec) Encode(e *cdr.Encoder, v []float32) { e.PutFloatsRaw(v) }
+
+// Decode implements Codec.
+func (Float32Codec) Decode(d *cdr.Decoder, n int) ([]float32, error) {
+	out := make([]float32, n)
+	d.GetFloatsInto(out)
+	return out, d.Err()
+}
+
+// DecodeInto implements Codec.
+func (Float32Codec) DecodeInto(d *cdr.Decoder, dst []float32) error {
+	d.GetFloatsInto(dst)
+	return d.Err()
+}
+
+// TypeCode implements Codec.
+func (Float32Codec) TypeCode() *typecode.TypeCode { return typecode.TCFloat }
 
 // OctetCodec encodes IDL octet elements.
 type OctetCodec struct{}
@@ -71,15 +97,29 @@ type OctetCodec struct{}
 // Encode implements Codec.
 func (OctetCodec) Encode(e *cdr.Encoder, v []byte) { e.PutRaw(v) }
 
-// Decode implements Codec.
+// Decode implements Codec. With borrowing permitted the result aliases the
+// wire buffer (true zero-copy).
 func (OctetCodec) Decode(d *cdr.Decoder, n int) ([]byte, error) {
 	b := d.GetRaw(n)
 	if b == nil {
 		return nil, d.Err()
 	}
+	if d.Borrowed() {
+		return b, nil
+	}
 	out := make([]byte, n)
 	copy(out, b)
 	return out, nil
+}
+
+// DecodeInto implements Codec.
+func (OctetCodec) DecodeInto(d *cdr.Decoder, dst []byte) error {
+	b := d.GetRaw(len(dst))
+	if b == nil {
+		return d.Err()
+	}
+	copy(dst, b)
+	return nil
 }
 
 // TypeCode implements Codec.
@@ -98,10 +138,15 @@ func (StringCodec) Encode(e *cdr.Encoder, v []string) {
 // Decode implements Codec.
 func (StringCodec) Decode(d *cdr.Decoder, n int) ([]string, error) {
 	out := make([]string, n)
-	for i := range out {
-		out[i] = d.GetString()
+	return out, StringCodec{}.DecodeInto(d, out)
+}
+
+// DecodeInto implements Codec.
+func (StringCodec) DecodeInto(d *cdr.Decoder, dst []string) error {
+	for i := range dst {
+		dst[i] = d.GetString()
 	}
-	return out, d.Err()
+	return d.Err()
 }
 
 // TypeCode implements Codec.
@@ -128,14 +173,19 @@ func (c AnyCodec) Encode(e *cdr.Encoder, v []any) {
 // Decode implements Codec.
 func (c AnyCodec) Decode(d *cdr.Decoder, n int) ([]any, error) {
 	out := make([]any, n)
-	for i := range out {
+	return out, c.DecodeInto(d, out)
+}
+
+// DecodeInto implements Codec.
+func (c AnyCodec) DecodeInto(d *cdr.Decoder, dst []any) error {
+	for i := range dst {
 		v, err := typecode.Unmarshal(d, c.TC)
 		if err != nil {
-			return nil, fmt.Errorf("dseq: element %d: %w", i, err)
+			return fmt.Errorf("dseq: element %d: %w", i, err)
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out, nil
+	return nil
 }
 
 // TypeCode implements Codec.

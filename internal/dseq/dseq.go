@@ -262,11 +262,9 @@ func exchange[T any](comm rts.Comm, codec Codec[T], src, dst dist.Layout, in []T
 		msg := comm.Recv(m.From, rts.TagDSeq)
 		d := cdr.NewDecoder(msg.Data)
 		for _, r := range m.Runs {
-			elems, err := codec.Decode(d, r.Len)
-			if err != nil {
+			if err := codec.DecodeInto(d, out[r.DstOff:r.DstOff+r.Len]); err != nil {
 				panic(fmt.Sprintf("dseq: corrupt redistribution segment from %d: %v", m.From, err))
 			}
-			copy(out[r.DstOff:r.DstOff+r.Len], elems)
 		}
 	}
 	return out
@@ -323,14 +321,13 @@ func (s *DSeq[T]) EncodeRuns(e *cdr.Encoder, runs []dist.Run) {
 	}
 }
 
-// DecodeRuns implements Distributed.
+// DecodeRuns implements Distributed. Elements are decoded straight into
+// local storage — no intermediate slice per run.
 func (s *DSeq[T]) DecodeRuns(d *cdr.Decoder, runs []dist.Run) error {
 	for _, r := range runs {
-		elems, err := s.codec.Decode(d, r.Len)
-		if err != nil {
+		if err := s.codec.DecodeInto(d, s.local[r.DstOff:r.DstOff+r.Len]); err != nil {
 			return err
 		}
-		copy(s.local[r.DstOff:r.DstOff+r.Len], elems)
 	}
 	return nil
 }

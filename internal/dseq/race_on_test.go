@@ -1,0 +1,5 @@
+//go:build race
+
+package dseq
+
+const raceEnabled = true

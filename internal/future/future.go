@@ -18,7 +18,7 @@ import (
 // at the same instant.
 type Cell struct {
 	mu       sync.Mutex
-	cond     *sync.Cond
+	cond     sync.Cond
 	resolved bool
 	err      error
 	vals     []any
@@ -35,7 +35,7 @@ type Cell struct {
 // NewCell returns an unresolved cell.
 func NewCell() *Cell {
 	c := &Cell{}
-	c.cond = sync.NewCond(&c.mu)
+	c.cond.L = &c.mu
 	return c
 }
 

@@ -57,6 +57,13 @@ type asyncSimEP struct {
 	owner  *vtime.Proc
 }
 
+// SendV implements Endpoint: the companion process retains the frame, so
+// the vectored path concatenates into the frame allocation up front and the
+// caller's buffers are free for reuse on return.
+func (e *asyncSimEP) SendV(to Addr, bufs ...[]byte) error {
+	return e.Send(to, concat(bufs))
+}
+
 // Send hands the frame to the communication process; the computing thread
 // pays only a small handoff cost.
 func (e *asyncSimEP) Send(to Addr, data []byte) error {

@@ -51,6 +51,11 @@ type Endpoint interface {
 	// Send delivers a frame to the endpoint at to. It may block for the
 	// frame's wire occupancy but never waits for the receiver.
 	Send(to Addr, data []byte) error
+	// SendV delivers the concatenation of bufs as one frame — the vectored
+	// (zero-copy) path for header+payload framing. The fabric does not
+	// retain bufs after SendV returns, so callers may reuse pooled buffers
+	// immediately; receivers see a single contiguous frame.
+	SendV(to Addr, bufs ...[]byte) error
 	// Recv blocks until a frame arrives.
 	Recv() (Frame, error)
 	// Poll returns a frame if one is pending.
@@ -110,21 +115,40 @@ type inprocEP struct {
 	fabric *Inproc
 	addr   Addr
 
-	mu     sync.Mutex
-	cond   *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Consumed from qhead and rewound when empty so the backing array is
+	// reused across pushes (see the tcp endpoint's queue for rationale).
 	queue  []Frame
+	qhead  int
 	closed bool
 }
 
 func (e *inprocEP) Addr() Addr { return e.addr }
 
+// pop removes the frame at qhead; caller must hold e.mu and have checked
+// the queue is non-empty.
+func (e *inprocEP) pop() Frame {
+	fr := e.queue[e.qhead]
+	e.queue[e.qhead] = Frame{}
+	e.qhead++
+	if e.qhead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	}
+	return fr
+}
+
 func (e *inprocEP) Send(to Addr, data []byte) error {
+	return e.SendV(to, data)
+}
+
+func (e *inprocEP) SendV(to Addr, bufs ...[]byte) error {
 	dst, err := e.fabric.lookup(to)
 	if err != nil {
 		return err
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	cp := concat(bufs)
 	dst.mu.Lock()
 	defer dst.mu.Unlock()
 	if dst.closed {
@@ -135,32 +159,44 @@ func (e *inprocEP) Send(to Addr, data []byte) error {
 	return nil
 }
 
+// concat joins buffers into one freshly-allocated frame — the slice-concat
+// SendV semantics of the in-process and simulated fabrics, which must copy
+// anyway because the receiver keeps the frame.
+func concat(bufs [][]byte) []byte {
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	cp := make([]byte, n)
+	off := 0
+	for _, b := range bufs {
+		off += copy(cp[off:], b)
+	}
+	return cp
+}
+
 func (e *inprocEP) Recv() (Frame, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for len(e.queue) == 0 && !e.closed {
+	for e.qhead == len(e.queue) && !e.closed {
 		e.cond.Wait()
 	}
-	if len(e.queue) == 0 {
+	if e.qhead == len(e.queue) {
 		return Frame{}, ErrClosed
 	}
-	fr := e.queue[0]
-	e.queue = e.queue[1:]
-	return fr, nil
+	return e.pop(), nil
 }
 
 func (e *inprocEP) Poll() (Frame, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed && len(e.queue) == 0 {
+	if e.closed && e.qhead == len(e.queue) {
 		return Frame{}, false, ErrClosed
 	}
-	if len(e.queue) == 0 {
+	if e.qhead == len(e.queue) {
 		return Frame{}, false, nil
 	}
-	fr := e.queue[0]
-	e.queue = e.queue[1:]
-	return fr, true, nil
+	return e.pop(), true, nil
 }
 
 func (e *inprocEP) Close() error {

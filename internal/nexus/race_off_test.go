@@ -1,0 +1,5 @@
+//go:build !race
+
+package nexus
+
+const raceEnabled = false

@@ -80,6 +80,13 @@ type simEP struct {
 
 func (e *simEP) Addr() Addr { return e.addr }
 
+// SendV implements Endpoint with slice-concat semantics: the fabric copies
+// anyway (the receiver keeps the frame), so vectored sends concatenate into
+// the frame allocation and nothing retains the caller's buffers.
+func (e *simEP) SendV(to Addr, bufs ...[]byte) error {
+	return e.Send(to, concat(bufs))
+}
+
 func (e *simEP) Send(to Addr, data []byte) error {
 	if e.closed {
 		return ErrClosed

@@ -38,15 +38,29 @@ func NewTCPEndpoint(listen string) (Endpoint, error) {
 type tcpConn struct {
 	c  net.Conn
 	wm sync.Mutex // serializes frame writes
+
+	// Write-side scratch, guarded by wm: the length-prefix buffer, the
+	// assembled buffer list, and the net.Buffers header handed to writev.
+	// Reusing them keeps a framed send allocation-free no matter how many
+	// payload buffers it carries. iov is a field (not a local) because
+	// WriteTo's pointer receiver would force a local header to escape.
+	hdr   [4]byte
+	wbufs [][]byte
+	iov   net.Buffers
 }
 
 type tcpEP struct {
 	ln   net.Listener
 	addr Addr
 
-	mu     sync.Mutex
-	cond   *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Inbound frames form a queue consumed from qhead; when it empties the
+	// slice is rewound to its start so the backing array is reused instead
+	// of reallocated on every push (pop-by-reslice defeats append's
+	// amortization: the tail capacity is gone once the base pointer moves).
 	queue  []Frame
+	qhead  int
 	conns  map[Addr]*tcpConn
 	closed bool
 }
@@ -68,8 +82,9 @@ func (e *tcpEP) acceptLoop() {
 // registers the connection as the route back to that address.
 func (e *tcpEP) readLoop(c net.Conn, peer Addr) {
 	defer c.Close()
+	var hdr [4]byte // reused across frames; escapes once per connection
 	for {
-		data, err := readFrame(c)
+		data, err := readFrame(c, &hdr)
 		if err != nil {
 			if peer != "" {
 				e.mu.Lock()
@@ -100,8 +115,7 @@ func (e *tcpEP) readLoop(c net.Conn, peer Addr) {
 	}
 }
 
-func readFrame(c net.Conn) ([]byte, error) {
-	var hdr [4]byte
+func readFrame(c net.Conn, hdr *[4]byte) ([]byte, error) {
 	if _, err := io.ReadFull(c, hdr[:]); err != nil {
 		return nil, err
 	}
@@ -117,23 +131,43 @@ func readFrame(c net.Conn) ([]byte, error) {
 }
 
 func writeFrame(tc *tcpConn, data []byte) error {
+	return writeFrameV(tc, data)
+}
+
+// writeFrameV writes length prefix + payload buffers as one vectored write
+// (a single writev syscall) without concatenating the payload.
+func writeFrameV(tc *tcpConn, bufs ...[]byte) error {
 	tc.wm.Lock()
 	defer tc.wm.Unlock()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := tc.c.Write(hdr[:]); err != nil {
-		return err
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
 	}
-	_, err := tc.c.Write(data)
+	binary.BigEndian.PutUint32(tc.hdr[:], uint32(n))
+	tc.wbufs = append(tc.wbufs[:0], tc.hdr[:])
+	for _, b := range bufs {
+		if len(b) > 0 {
+			tc.wbufs = append(tc.wbufs, b)
+		}
+	}
+	// WriteTo consumes (advances and nils) the header it is invoked on, so
+	// hand it a throwaway copy of the scratch header: tc.wbufs keeps its
+	// capacity, and the nil'd backing entries drop payload references.
+	tc.iov = net.Buffers(tc.wbufs)
+	_, err := tc.iov.WriteTo(tc.c)
 	return err
 }
 
 func (e *tcpEP) Send(to Addr, data []byte) error {
+	return e.SendV(to, data)
+}
+
+func (e *tcpEP) SendV(to Addr, bufs ...[]byte) error {
 	tc, err := e.connTo(to)
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(tc, data); err != nil {
+	if err := writeFrameV(tc, bufs...); err != nil {
 		// Connection died; drop it so a retry re-dials.
 		e.mu.Lock()
 		if cur, ok := e.conns[to]; ok && cur == tc {
@@ -185,32 +219,41 @@ func (e *tcpEP) connTo(to Addr) (*tcpConn, error) {
 	return tc, nil
 }
 
+// pop removes the frame at qhead; caller must hold e.mu and have checked
+// the queue is non-empty.
+func (e *tcpEP) pop() Frame {
+	fr := e.queue[e.qhead]
+	e.queue[e.qhead] = Frame{} // drop the frame reference promptly
+	e.qhead++
+	if e.qhead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	}
+	return fr
+}
+
 func (e *tcpEP) Recv() (Frame, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for len(e.queue) == 0 && !e.closed {
+	for e.qhead == len(e.queue) && !e.closed {
 		e.cond.Wait()
 	}
-	if len(e.queue) == 0 {
+	if e.qhead == len(e.queue) {
 		return Frame{}, ErrClosed
 	}
-	fr := e.queue[0]
-	e.queue = e.queue[1:]
-	return fr, nil
+	return e.pop(), nil
 }
 
 func (e *tcpEP) Poll() (Frame, bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed && len(e.queue) == 0 {
+	if e.closed && e.qhead == len(e.queue) {
 		return Frame{}, false, ErrClosed
 	}
-	if len(e.queue) == 0 {
+	if e.qhead == len(e.queue) {
 		return Frame{}, false, nil
 	}
-	fr := e.queue[0]
-	e.queue = e.queue[1:]
-	return fr, true, nil
+	return e.pop(), true, nil
 }
 
 func (e *tcpEP) Close() error {

@@ -175,10 +175,12 @@ func PeekType(frame []byte) (MsgType, error) {
 	return t, nil
 }
 
-// body returns a decoder positioned after the 4-byte header. It decodes
-// over the whole frame so alignment phase matches the encoder's.
+// body returns a pooled decoder positioned after the 4-byte header. It
+// decodes over the whole frame so alignment phase matches the encoder's.
+// Each Decode* function releases it before returning; decoded values alias
+// the frame, never the decoder, so the release is always safe.
 func body(frame []byte) *cdr.Decoder {
-	d := cdr.NewDecoder(frame)
+	d := cdr.GetDecoder(frame)
 	for i := 0; i < 4; i++ {
 		d.GetOctet()
 	}
@@ -196,9 +198,11 @@ func expect(frame []byte, want MsgType) (*cdr.Decoder, error) {
 	return body(frame), nil
 }
 
-// EncodeRequest serializes a Request message.
-func EncodeRequest(r *Request) []byte {
-	e := cdr.NewEncoder(128 + len(r.Body))
+// AppendRequest encodes everything of a Request except the Body bytes into
+// e, ending with Body's length prefix. The caller transmits e.Bytes()
+// followed by r.Body as one vectored frame — the concatenation is exactly
+// what EncodeRequest produces, with no payload copy.
+func AppendRequest(e *cdr.Encoder, r *Request) {
 	putHeader(e, MsgRequest)
 	e.PutString(r.BindingID)
 	e.PutULong(r.SeqNo)
@@ -209,7 +213,6 @@ func EncodeRequest(r *Request) []byte {
 	e.PutString(r.ObjectKey)
 	e.PutString(r.Operation)
 	e.PutBool(r.Oneway)
-	e.PutOctets(r.Body)
 	e.PutSeqLen(len(r.DistIns))
 	for _, s := range r.DistIns {
 		e.PutLong(s.Param)
@@ -221,33 +224,58 @@ func EncodeRequest(r *Request) []byte {
 		e.PutLong(s.Param)
 		dist.EncodeTemplate(e, s.Tmpl)
 	}
+	// Body travels last on the wire so vectored sends need not re-encode
+	// it; only its length prefix belongs to the header.
+	e.PutSeqLen(len(r.Body))
+}
+
+// EncodeRequest serializes a Request message into one buffer.
+func EncodeRequest(r *Request) []byte {
+	e := cdr.NewEncoder(128 + len(r.Body))
+	AppendRequest(e, r)
+	e.PutRaw(r.Body)
 	return e.Bytes()
 }
 
-// DecodeRequest parses a Request message.
+// DecodeRequest parses a Request message. Body aliases the frame; the frame
+// is owned by the decoded message from here on.
 func DecodeRequest(frame []byte) (*Request, error) {
-	d, err := expect(frame, MsgRequest)
-	if err != nil {
+	r := new(Request)
+	if err := DecodeRequestInto(r, frame); err != nil {
 		return nil, err
 	}
-	r := &Request{
-		BindingID:  d.GetString(),
+	return r, nil
+}
+
+// DecodeRequestInto parses a Request message into r, overwriting it. It
+// lets a caller that already owns Request storage (e.g. embedded in a
+// larger message struct) decode without a separate allocation.
+func DecodeRequestInto(r *Request, frame []byte) error {
+	d, err := expect(frame, MsgRequest)
+	if err != nil {
+		return err
+	}
+	defer d.Release()
+	// The identifying fields repeat on every message of a binding's
+	// lifetime; interning collapses them to one allocation per distinct
+	// value instead of four per request.
+	*r = Request{
+		BindingID:  d.GetStringInterned(),
 		SeqNo:      d.GetULong(),
 		ReqID:      d.GetULong(),
 		ClientRank: d.GetLong(),
 		ClientSize: d.GetLong(),
-		ReplyAddr:  d.GetString(),
-		ObjectKey:  d.GetString(),
-		Operation:  d.GetString(),
+		ReplyAddr:  d.GetStringInterned(),
+		ObjectKey:  d.GetStringInterned(),
+		Operation:  d.GetStringInterned(),
 		Oneway:     d.GetBool(),
 	}
-	r.Body = cloneBytes(d.GetOctets())
 	nIn := d.GetSeqLen(4)
 	for i := 0; i < nIn; i++ {
 		s := DistInSpec{Param: d.GetLong(), N: d.GetLong()}
 		l, err := dist.DecodeLayout(d)
 		if err != nil {
-			return nil, fmt.Errorf("%w: dist-in %d: %v", ErrBadMessage, i, err)
+			return fmt.Errorf("%w: dist-in %d: %v", ErrBadMessage, i, err)
 		}
 		s.Layout = l
 		r.DistIns = append(r.DistIns, s)
@@ -257,65 +285,86 @@ func DecodeRequest(frame []byte) (*Request, error) {
 		s := DistOutSpec{Param: d.GetLong()}
 		t, err := dist.DecodeTemplate(d)
 		if err != nil {
-			return nil, fmt.Errorf("%w: dist-out %d: %v", ErrBadMessage, i, err)
+			return fmt.Errorf("%w: dist-out %d: %v", ErrBadMessage, i, err)
 		}
 		s.Tmpl = t
 		r.DistOuts = append(r.DistOuts, s)
 	}
+	r.Body = d.GetOctets()
 	if err := d.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
-	return r, nil
+	return nil
 }
 
-// EncodeReply serializes a Reply message.
-func EncodeReply(r *Reply) []byte {
-	e := cdr.NewEncoder(64 + len(r.Body))
+// AppendReply encodes everything of a Reply except the Body bytes, ending
+// with Body's length prefix (vectored-send counterpart of EncodeReply).
+func AppendReply(e *cdr.Encoder, r *Reply) {
 	putHeader(e, MsgReply)
 	e.PutULong(r.ReqID)
 	e.PutOctet(r.Status)
 	e.PutString(r.Error)
-	e.PutOctets(r.Body)
 	e.PutSeqLen(len(r.OutLens))
 	for _, o := range r.OutLens {
 		e.PutLong(o.Param)
 		e.PutLong(o.N)
 		dist.EncodeLayout(e, o.Layout)
 	}
+	e.PutSeqLen(len(r.Body))
+}
+
+// EncodeReply serializes a Reply message into one buffer.
+func EncodeReply(r *Reply) []byte {
+	e := cdr.NewEncoder(64 + len(r.Body))
+	AppendReply(e, r)
+	e.PutRaw(r.Body)
 	return e.Bytes()
 }
 
-// DecodeReply parses a Reply message.
+// DecodeReply parses a Reply message. Body aliases the frame.
 func DecodeReply(frame []byte) (*Reply, error) {
-	d, err := expect(frame, MsgReply)
-	if err != nil {
+	r := new(Reply)
+	if err := DecodeReplyInto(r, frame); err != nil {
 		return nil, err
 	}
-	r := &Reply{
+	return r, nil
+}
+
+// DecodeReplyInto parses a Reply message into r, overwriting it (the
+// allocation-free counterpart of DecodeReply). Body aliases the frame.
+func DecodeReplyInto(r *Reply, frame []byte) error {
+	d, err := expect(frame, MsgReply)
+	if err != nil {
+		return err
+	}
+	defer d.Release()
+	*r = Reply{
 		ReqID:  d.GetULong(),
 		Status: d.GetOctet(),
 		Error:  d.GetString(),
 	}
-	r.Body = cloneBytes(d.GetOctets())
 	n := d.GetSeqLen(4)
 	for i := 0; i < n; i++ {
 		o := OutLen{Param: d.GetLong(), N: d.GetLong()}
 		l, err := dist.DecodeLayout(d)
 		if err != nil {
-			return nil, fmt.Errorf("%w: out-len %d: %v", ErrBadMessage, i, err)
+			return fmt.Errorf("%w: out-len %d: %v", ErrBadMessage, i, err)
 		}
 		o.Layout = l
 		r.OutLens = append(r.OutLens, o)
 	}
+	r.Body = d.GetOctets()
 	if err := d.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+		return fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
-	return r, nil
+	return nil
 }
 
-// EncodeArgStream serializes an ArgStream message.
-func EncodeArgStream(a *ArgStream) []byte {
-	e := cdr.NewEncoder(64 + len(a.Payload))
+// AppendArgStream encodes everything of an ArgStream except the Payload
+// bytes, ending with Payload's length prefix. Sending e.Bytes() followed by
+// a.Payload as one vectored frame matches EncodeArgStream byte for byte —
+// the segment hot path never copies its payload into a framing buffer.
+func AppendArgStream(e *cdr.Encoder, a *ArgStream) {
 	putHeader(e, MsgArgStream)
 	e.PutString(a.BindingID)
 	e.PutULong(a.SeqNo)
@@ -328,28 +377,40 @@ func EncodeArgStream(a *ArgStream) []byte {
 		e.PutLong(r.Len)
 		e.PutLong(r.DstOff)
 	}
-	e.PutOctets(a.Payload)
+	e.PutSeqLen(len(a.Payload))
+}
+
+// EncodeArgStream serializes an ArgStream message into one buffer.
+func EncodeArgStream(a *ArgStream) []byte {
+	e := cdr.NewEncoder(64 + len(a.Payload))
+	AppendArgStream(e, a)
+	e.PutRaw(a.Payload)
 	return e.Bytes()
 }
 
-// DecodeArgStream parses an ArgStream message.
+// DecodeArgStream parses an ArgStream message. Payload aliases the frame;
+// the frame is owned by the decoded message from here on.
 func DecodeArgStream(frame []byte) (*ArgStream, error) {
 	d, err := expect(frame, MsgArgStream)
 	if err != nil {
 		return nil, err
 	}
+	defer d.Release()
 	a := &ArgStream{
-		BindingID: d.GetString(),
+		BindingID: d.GetStringInterned(),
 		SeqNo:     d.GetULong(),
 		ReqID:     d.GetULong(),
 		Param:     d.GetLong(),
 		Dir:       d.GetOctet(),
 	}
 	n := d.GetSeqLen(4)
+	if n > 0 {
+		a.Runs = make([]Run, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		a.Runs = append(a.Runs, Run{Global: d.GetLong(), Len: d.GetLong(), DstOff: d.GetLong()})
 	}
-	a.Payload = cloneBytes(d.GetOctets())
+	a.Payload = d.GetOctets()
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
@@ -371,7 +432,8 @@ func DecodeLocateRequest(frame []byte) (*LocateRequest, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &LocateRequest{ReqID: d.GetULong(), ObjectKey: d.GetString()}
+	defer d.Release()
+	l := &LocateRequest{ReqID: d.GetULong(), ObjectKey: d.GetStringInterned()}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
@@ -393,6 +455,7 @@ func DecodeLocateReply(frame []byte) (*LocateReply, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer d.Release()
 	l := &LocateReply{ReqID: d.GetULong(), Found: d.GetBool()}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
@@ -415,7 +478,8 @@ func DecodeCancelRequest(frame []byte) (*CancelRequest, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &CancelRequest{BindingID: d.GetString(), SeqNo: d.GetULong()}
+	defer d.Release()
+	c := &CancelRequest{BindingID: d.GetStringInterned(), SeqNo: d.GetULong()}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
@@ -436,18 +500,10 @@ func DecodeShutdown(frame []byte) (*Shutdown, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer d.Release()
 	s := &Shutdown{Reason: d.GetString()}
 	if err := d.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
 	return s, nil
-}
-
-func cloneBytes(b []byte) []byte {
-	if b == nil {
-		return nil
-	}
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
 }

@@ -34,7 +34,7 @@ func (p *POA) collectivePhase() int {
 			}
 			payloads = append(payloads, encodeDecision(g))
 		}
-		p.ready = nil
+		p.ready = p.ready[:0]
 		if p.pendingShutdown {
 			payloads = append(payloads, []byte{decShutdown})
 		}
@@ -129,8 +129,13 @@ func (p *POA) dispatchSingle(req *pgiop.Request) {
 		}
 		return
 	}
-	ctx := &Context{Thread: p.th, POA: p, Oneway: req.Oneway}
-	ret, outs, serr := e.servant.Invoke(ctx, op.Name, inVals)
+	// The reusable context is saved/restored so nested dispatch (a servant
+	// calling ProcessRequests mid-computation) cannot corrupt the outer
+	// invocation's view; servants must not retain ctx past Invoke.
+	saved := p.ctx
+	p.ctx = Context{Thread: p.th, POA: p, Oneway: req.Oneway}
+	ret, outs, serr := e.servant.Invoke(&p.ctx, op.Name, inVals)
+	p.ctx = saved
 	if req.Oneway {
 		return
 	}
@@ -138,20 +143,32 @@ func (p *POA) dispatchSingle(req *pgiop.Request) {
 		p.sendException(req.ReplyAddr, req.ReqID, serr.Error())
 		return
 	}
-	body, _, err := p.encodeResults(op, ret, outs, nil, nil, req)
+	// The reply body lives in a pooled encoder until the vectored send
+	// below returns; the transport does not retain it.
+	benc := cdr.GetEncoder(256)
+	defer benc.Release()
+	body, _, err := p.encodeResults(benc, op, ret, outs, nil, nil, req)
 	if err != nil {
 		p.sendException(req.ReplyAddr, req.ReqID, err.Error())
 		return
 	}
 	reply := &pgiop.Reply{ReqID: req.ReqID, Status: pgiop.StatusOK, Body: body}
-	_ = p.r.Send(nexus.Addr(req.ReplyAddr), pgiop.EncodeReply(reply))
+	hdr := cdr.GetEncoder(128)
+	pgiop.AppendReply(hdr, reply)
+	_ = p.sendV2(nexus.Addr(req.ReplyAddr), hdr.Bytes(), reply.Body)
+	hdr.Release()
 }
 
 // decodeInline unmarshals the non-distributed in/inout arguments of a
 // request body into the servant argument slots.
 func (p *POA) decodeInline(op *core.Operation, body []byte) ([]any, error) {
 	inVals := make([]any, len(op.Params))
-	dec := cdr.NewDecoder(body)
+	// The request frame belongs to this dispatch, so decoded arguments may
+	// alias it (zero-copy) — the servant sees stable storage for the whole
+	// invocation.
+	dec := cdr.GetDecoder(body)
+	dec.SetBorrow(true)
+	defer dec.Release()
 	for i := range op.Params {
 		prm := &op.Params[i]
 		if prm.Distributed() || prm.Mode == core.Out {
@@ -208,8 +225,10 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo) {
 		}
 		inVals[i] = holder
 	}
-	ctx := &Context{Thread: p.th, POA: p, Oneway: req.Oneway}
-	ret, outs, serr := e.servant.Invoke(ctx, op.Name, inVals)
+	saved := p.ctx
+	p.ctx = Context{Thread: p.th, POA: p, Oneway: req.Oneway}
+	ret, outs, serr := e.servant.Invoke(&p.ctx, op.Name, inVals)
+	p.ctx = saved
 	if req.Oneway {
 		return
 	}
@@ -217,16 +236,22 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo) {
 		fail(serr.Error())
 		return
 	}
-	body, outLens, err := p.encodeResults(op, ret, outs, clients, req.DistOuts, req)
+	benc := cdr.GetEncoder(256)
+	defer benc.Release()
+	body, outLens, err := p.encodeResults(benc, op, ret, outs, clients, req.DistOuts, req)
 	if err != nil {
 		fail(err.Error())
 		return
 	}
 	if rank == 0 {
+		hdr := cdr.GetEncoder(128)
 		for _, c := range clients {
 			reply := &pgiop.Reply{ReqID: c.ReqID, Status: pgiop.StatusOK, Body: body, OutLens: outLens}
-			_ = p.r.Send(nexus.Addr(c.Addr), pgiop.EncodeReply(reply))
+			hdr.Reset()
+			pgiop.AppendReply(hdr, reply)
+			_ = p.sendV2(nexus.Addr(c.Addr), hdr.Bytes(), reply.Body)
 		}
+		hdr.Release()
 	}
 }
 
@@ -268,16 +293,20 @@ func applySegment(holder dseq.Distributed, a *pgiop.ArgStream) (int, error) {
 		runs = append(runs, dist.Run{Global: int(r.Global), Len: int(r.Len), DstOff: int(r.DstOff)})
 		n += int(r.Len)
 	}
-	if err := holder.DecodeRuns(cdr.NewDecoder(a.Payload), runs); err != nil {
+	d := cdr.GetDecoder(a.Payload)
+	err := holder.DecodeRuns(d, runs)
+	d.Release()
+	if err != nil {
 		return 0, fmt.Errorf("corrupt segment payload: %v", err)
 	}
 	return n, nil
 }
 
 // encodeResults marshals the inline reply body (return value + non-
-// distributed outs) and, for SPMD dispatch, ships distributed out segments
-// directly to the client threads.
-func (p *POA) encodeResults(op *core.Operation, ret any, outs []any,
+// distributed outs) into enc — owned by the caller, which must keep it
+// alive until the reply has been sent — and, for SPMD dispatch, ships
+// distributed out segments directly to the client threads.
+func (p *POA) encodeResults(enc *cdr.Encoder, op *core.Operation, ret any, outs []any,
 	clients []clientInfo, distOuts []pgiop.DistOutSpec, req *pgiop.Request) ([]byte, []pgiop.OutLen, error) {
 
 	want := 0
@@ -289,7 +318,6 @@ func (p *POA) encodeResults(op *core.Operation, ret any, outs []any,
 	if len(outs) != want {
 		return nil, nil, fmt.Errorf("servant returned %d out values for %d out parameters", len(outs), want)
 	}
-	enc := cdr.NewEncoder(256)
 	if op.Result != nil {
 		if err := typecode.Marshal(enc, op.Result, ret); err != nil {
 			return nil, nil, fmt.Errorf("return value: %v", err)
@@ -323,7 +351,9 @@ func (p *POA) encodeResults(op *core.Operation, ret any, outs []any,
 		clientLayout := tmpl.Layout(holder.GlobalLen(), int(req.ClientSize))
 		sched := dist.NewSchedule(holder.DLayout(), clientLayout)
 		for _, mv := range sched.MovesFrom(p.th.Rank()) {
-			pay := cdr.NewEncoder(mv.Elements() * 8)
+			// Pooled payload + header, framed by one vectored send; the
+			// transport retains neither buffer.
+			pay := cdr.GetEncoder(mv.Elements() * 8)
 			holder.EncodeRuns(pay, mv.Runs)
 			as := &pgiop.ArgStream{
 				BindingID: req.BindingID,
@@ -334,7 +364,12 @@ func (p *POA) encodeResults(op *core.Operation, ret any, outs []any,
 				Runs:      wireRuns(mv.Runs),
 				Payload:   pay.Bytes(),
 			}
-			if err := p.r.Send(nexus.Addr(clients[mv.To].Addr), pgiop.EncodeArgStream(as)); err != nil {
+			hdr := cdr.GetEncoder(128)
+			pgiop.AppendArgStream(hdr, as)
+			err := p.sendV2(nexus.Addr(clients[mv.To].Addr), hdr.Bytes(), as.Payload)
+			hdr.Release()
+			pay.Release()
+			if err != nil {
 				return nil, nil, fmt.Errorf("out segment to client %d: %v", mv.To, err)
 			}
 		}

@@ -106,6 +106,15 @@ type POA struct {
 	shutdown        bool
 	pendingShutdown bool
 
+	// ctx is the reusable invocation context handed to servants: it is
+	// valid only for the duration of one Invoke call (saved and restored
+	// around nested dispatch from ProcessRequests), so servants must not
+	// retain it. sendIov is the scratch buffer list for two-buffer
+	// vectored sends; both are safe as fields because POA methods run on
+	// the owning thread only.
+	ctx     Context
+	sendIov [2][]byte
+
 	// PollInterval is the idle wait inside ImplIsReady, seconds.
 	PollInterval float64
 }
@@ -252,8 +261,14 @@ func (p *POA) ProcessRequests() int {
 	p.drain()
 	// Single-object requests are served by their owning thread alone.
 	for len(p.localQ) > 0 {
+		// Shift rather than reslice so the backing array keeps its capacity
+		// for reuse across dispatch rounds (the queue is at most a few
+		// entries deep).
 		req := p.localQ[0]
-		p.localQ = p.localQ[1:]
+		n := len(p.localQ)
+		copy(p.localQ, p.localQ[1:])
+		p.localQ[n-1] = nil
+		p.localQ = p.localQ[:n-1]
 		p.dispatchSingle(req)
 		count++
 		p.drain()
@@ -328,6 +343,15 @@ func (p *POA) routeRequest(req *pgiop.Request) {
 	if len(g.reqs) == int(req.ClientSize) {
 		p.ready = append(p.ready, k)
 	}
+}
+
+// sendV2 sends hdr+body as one vectored frame through the reusable scratch
+// buffer list, so the variadic argument slice is not allocated per reply.
+func (p *POA) sendV2(to nexus.Addr, hdr, body []byte) error {
+	p.sendIov[0], p.sendIov[1] = hdr, body
+	err := p.r.SendV(to, p.sendIov[:]...)
+	p.sendIov[0], p.sendIov[1] = nil, nil
+	return err
 }
 
 func (p *POA) sendException(addr string, reqID uint32, msg string) {

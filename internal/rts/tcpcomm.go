@@ -1,6 +1,7 @@
 package rts
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -62,13 +63,27 @@ func JoinTCP(hostName string, rank, size int, coordAddr string, timeout time.Dur
 	t := &TCPThread{host: hostName, rank: rank, size: size, start: time.Now(), ep: ep}
 	deadline := time.Now().Add(timeout)
 
+	// A failed bootstrap must release the endpoint (and with it any
+	// receiver goroutine parked in recvDeadline).
+	fail := func(err error) (*TCPThread, error) {
+		ep.Close()
+		return nil, err
+	}
+
 	if rank == 0 {
 		table := make([]string, size)
 		table[0] = string(ep.Addr())
 		for joined := 1; joined < size; {
-			fr, err := ep.Recv()
+			// The deadline bounds the blocking receive itself: a rank
+			// that never joins may otherwise leave no traffic at all, and
+			// a deadline checked only after a successful Recv would hang
+			// bootstrap forever.
+			fr, err := recvDeadline(ep, deadline)
 			if err != nil {
-				return nil, fmt.Errorf("rts: bootstrap: %w", err)
+				if errors.Is(err, errRecvTimeout) {
+					return fail(fmt.Errorf("rts: bootstrap timed out with %d/%d ranks", joined, size))
+				}
+				return fail(fmt.Errorf("rts: bootstrap: %w", err))
 			}
 			d := cdr.NewDecoder(fr.Data)
 			if d.GetOctet() != tcpMsgJoin {
@@ -77,15 +92,12 @@ func JoinTCP(hostName string, rank, size int, coordAddr string, timeout time.Dur
 			r := int(d.GetLong())
 			addr := d.GetString()
 			if d.Err() != nil || r <= 0 || r >= size {
-				return nil, fmt.Errorf("rts: bootstrap: bad join from %s", fr.From)
+				return fail(fmt.Errorf("rts: bootstrap: bad join from %s", fr.From))
 			}
 			if table[r] == "" {
 				joined++
 			}
 			table[r] = addr
-			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("rts: bootstrap timed out with %d/%d ranks", joined, size)
-			}
 		}
 		e := cdr.NewEncoder(64)
 		e.PutOctet(tcpMsgTable)
@@ -95,7 +107,7 @@ func JoinTCP(hostName string, rank, size int, coordAddr string, timeout time.Dur
 		}
 		for r := 1; r < size; r++ {
 			if err := ep.Send(nexus.Addr(table[r]), e.Bytes()); err != nil {
-				return nil, fmt.Errorf("rts: bootstrap: table to rank %d: %w", r, err)
+				return fail(fmt.Errorf("rts: bootstrap: table to rank %d: %w", r, err))
 			}
 		}
 		t.table = table
@@ -115,14 +127,17 @@ func JoinTCP(hostName string, rank, size int, coordAddr string, timeout time.Dur
 			break
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("rts: bootstrap: cannot reach coordinator: %w", sendErr)
+			return fail(fmt.Errorf("rts: bootstrap: cannot reach coordinator: %w", sendErr))
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
 	for {
-		fr, err := ep.Recv()
+		fr, err := recvDeadline(ep, deadline)
 		if err != nil {
-			return nil, fmt.Errorf("rts: bootstrap: %w", err)
+			if errors.Is(err, errRecvTimeout) {
+				return fail(fmt.Errorf("rts: bootstrap timed out waiting for rank table"))
+			}
+			return fail(fmt.Errorf("rts: bootstrap: %w", err))
 		}
 		d := cdr.NewDecoder(fr.Data)
 		if d.GetOctet() != tcpMsgTable {
@@ -131,20 +146,49 @@ func JoinTCP(hostName string, rank, size int, coordAddr string, timeout time.Dur
 		}
 		n := d.GetSeqLen(4)
 		if n != size {
-			return nil, fmt.Errorf("rts: bootstrap: table of %d for size %d", n, size)
+			return fail(fmt.Errorf("rts: bootstrap: table of %d for size %d", n, size))
 		}
 		t.table = make([]string, size)
 		for i := range t.table {
 			t.table[i] = d.GetString()
 		}
 		if err := d.Err(); err != nil {
-			return nil, fmt.Errorf("rts: bootstrap: %w", err)
+			return fail(fmt.Errorf("rts: bootstrap: %w", err))
 		}
 		return t, nil
 	}
 }
 
+// errRecvTimeout distinguishes a bootstrap deadline from transport failure.
+var errRecvTimeout = errors.New("rts: receive deadline exceeded")
+
+// recvDeadline blocks for one frame or the deadline, whichever comes first.
+// On timeout the caller abandons bootstrap and closes the endpoint, which
+// unblocks (and retires) the receiver goroutine parked here.
+func recvDeadline(ep nexus.Endpoint, deadline time.Time) (nexus.Frame, error) {
+	type result struct {
+		fr  nexus.Frame
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		fr, err := ep.Recv()
+		ch <- result{fr, err}
+	}()
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.fr, r.err
+	case <-timer.C:
+		return nexus.Frame{}, errRecvTimeout
+	}
+}
+
 // stash decodes and queues a data frame that arrived before it was wanted.
+// The queued Message's Data aliases the frame: the transport allocated the
+// frame exclusively for this receive, so handing it on (rather than copying
+// into fresh scratch) transfers ownership to the consumer for free.
 func (t *TCPThread) stash(frame []byte) {
 	d := cdr.NewDecoder(frame)
 	if d.GetOctet() != tcpMsgData {
@@ -156,10 +200,8 @@ func (t *TCPThread) stash(frame []byte) {
 	if d.Err() != nil {
 		return
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	t.mu.Lock()
-	t.pending = append(t.pending, Message{Src: src, Tag: tag, Data: cp})
+	t.pending = append(t.pending, Message{Src: src, Tag: tag, Data: data})
 	t.mu.Unlock()
 }
 
@@ -189,15 +231,19 @@ func (t *TCPThread) Elapsed() float64 { return time.Since(t.start).Seconds() }
 // protocols, and each receive loop owns its own port.
 func (t *TCPThread) Endpoint() nexus.Endpoint { return t.ep }
 
-// Send implements Comm.
+// Send implements Comm. The payload is never copied into the frame: a small
+// pooled header (type, rank, tag, length prefix) and the caller's payload go
+// out as one vectored send.
 func (t *TCPThread) Send(dst int, tag Tag, data []byte) {
 	CheckRank(t, dst)
-	e := cdr.NewEncoder(32 + len(data))
+	e := cdr.GetEncoder(16)
 	e.PutOctet(tcpMsgData)
 	e.PutLong(int32(t.rank))
 	e.PutULong(uint32(tag))
-	e.PutOctets(data)
-	if err := t.ep.Send(nexus.Addr(t.table[dst]), e.Bytes()); err != nil {
+	e.PutSeqLen(len(data)) // header ends with the PutOctets length prefix
+	err := t.ep.SendV(nexus.Addr(t.table[dst]), e.Bytes(), data)
+	e.Release()
+	if err != nil {
 		// The RTS contract has no error path for sends (matching MPI's
 		// reliable-delivery model); a dead peer is fatal to the program.
 		panic(fmt.Sprintf("rts: send to rank %d: %v", dst, err))

@@ -118,3 +118,17 @@ func TestJoinTCPValidation(t *testing.T) {
 		t.Fatal("unreachable coordinator accepted")
 	}
 }
+
+func TestJoinTCPRank0Timeout(t *testing.T) {
+	// Rank 0 waits for a rank that never joins: with no traffic at all the
+	// deadline must still fire (a deadline checked only after a successful
+	// receive would hang bootstrap forever).
+	start := time.Now()
+	_, err := JoinTCP("h", 0, 2, "127.0.0.1:0", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("bootstrap succeeded with a missing rank")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline not enforced on blocking receive: took %v", elapsed)
+	}
+}

@@ -339,6 +339,11 @@ func unmarshalSeq(d *cdr.Decoder, tc *TypeCode) (any, error) {
 	switch tc.Elem.Kind {
 	case Octet, Char:
 		b := d.GetOctets()
+		if d.Borrowed() {
+			// The caller guarantees the wire buffer outlives the decoded
+			// value; hand out the aliasing view (true zero-copy).
+			return checkBound(d, tc, b, len(b))
+		}
 		// Copy: decoder results alias the network buffer, which the
 		// transport may reuse.
 		out := make([]byte, len(b))
