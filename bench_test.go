@@ -194,6 +194,48 @@ func BenchmarkDSeqRedistribute(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduleCache measures building a block->cyclic transfer plan
+// against hitting the schedule cache with the same shape.
+func BenchmarkScheduleCache(b *testing.B) {
+	src := dist.BlockTemplate().Layout(250_000, 8)
+	dst := dist.CyclicTemplate().Layout(250_000, 8)
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dist.NewSchedule(src, dst)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		cache := dist.NewScheduleCache(16)
+		cache.Get(src, dst)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache.Get(src, dst)
+		}
+	})
+}
+
+// BenchmarkSegmentFanout measures the wall-clock invocation time of the
+// 1-client/8-server transfer shape, serial versus the 4-worker fan-out.
+func BenchmarkSegmentFanout(b *testing.B) {
+	var pts []bench.TransferPoint
+	for i := 0; i < b.N; i++ {
+		pts = bench.TransferFanout(250_000, 5)
+	}
+	b.ReportMetric(pts[0].Seconds, "sec_serial")
+	b.ReportMetric(pts[1].Seconds, "sec_4workers")
+}
+
+// BenchmarkSingleDispatchPipelined measures many-client throughput on one
+// single object with and without the POA dispatch pool.
+func BenchmarkSingleDispatchPipelined(b *testing.B) {
+	var pts []bench.TransferPoint
+	for i := 0; i < b.N; i++ {
+		pts = bench.TransferSingleDispatch(8, 50)
+	}
+	b.ReportMetric(pts[0].PerSec, "ops_serial")
+	b.ReportMetric(pts[1].PerSec, "ops_4workers")
+}
+
 // orbPair wires a single-object echo server and a client over a fabric.
 func orbPair(b *testing.B, clientEP, serverEP nexus.Endpoint) (*core.Binding, func()) {
 	b.Helper()

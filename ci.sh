@@ -9,5 +9,11 @@ go test ./...
 go test -race ./...
 
 # Smoke-run the paper-figure harness and keep its JSON summary as a CI
-# artifact for regression diffing.
+# artifact for regression diffing. The default figure set includes the
+# transfer-engine experiments (schedule cache, segment fan-out, pipelined
+# dispatch throughput), so their points land in the same summary.
 go run ./cmd/pardis-bench -quick -json > bench-summary.json
+
+# One-shot pass over the transfer-engine micro-benchmarks so a broken
+# concurrent path fails CI even when the unit tests are green.
+go test -run NONE -bench 'ScheduleCache|SegmentFanout|SingleDispatchPipelined' -benchtime 1x .

@@ -28,6 +28,12 @@ type summary struct {
 	Figure4   []bench.Fig4Point `json:"figure4,omitempty"`
 	Figure5   []bench.Fig5Point `json:"figure5,omitempty"`
 	Ablations []ablationSection `json:"ablations,omitempty"`
+	Transfer  []transferSection `json:"transfer,omitempty"`
+}
+
+type transferSection struct {
+	Name   string                `json:"name"`
+	Points []bench.TransferPoint `json:"points"`
 }
 
 type ablationSection struct {
@@ -36,7 +42,7 @@ type ablationSection struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, all")
+	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, all")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of tables")
 	flag.Parse()
@@ -51,11 +57,14 @@ func main() {
 		out.Figure5 = figure5(*quick, *asJSON)
 	case "ablations":
 		out.Ablations = ablations(*quick, *asJSON)
+	case "transfer":
+		out.Transfer = transfer(*quick, *asJSON)
 	case "all":
 		out.Figure2 = figure2(*quick, *asJSON)
 		out.Figure4 = figure4(*quick, *asJSON)
 		out.Figure5 = figure5(*quick, *asJSON)
 		out.Ablations = ablations(*quick, *asJSON)
+		out.Transfer = transfer(*quick, *asJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "pardis-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -125,6 +134,41 @@ func figure5(quick, silent bool) []bench.Fig5Point {
 	}
 	fmt.Println()
 	return pts
+}
+
+// transfer runs the parallel-segment-transfer-engine experiments. Unlike
+// the figures these measure wall-clock time on real goroutines (the
+// concurrency being measured does not exist on the virtual-time testbed),
+// so numbers vary with host load; compare configurations within one run.
+func transfer(quick, silent bool) []transferSection {
+	n, redisIters, fanIters, clients, calls := 1_000_000, 10, 20, 8, 200
+	if quick {
+		n, redisIters, fanIters, clients, calls = 200_000, 3, 5, 4, 50
+	}
+	sections := []transferSection{
+		{fmt.Sprintf("schedule cache (block<->cyclic, %d doubles, 8 threads)", n),
+			bench.TransferScheduleCache(n, 8, redisIters)},
+		{fmt.Sprintf("segment fan-out (%d doubles, 1 client x 8 server threads)", n),
+			bench.TransferFanout(n, fanIters)},
+		{fmt.Sprintf("single-object dispatch (%d clients x %d calls)", clients, calls),
+			bench.TransferSingleDispatch(clients, calls)},
+	}
+	if silent {
+		return sections
+	}
+	fmt.Println("== Transfer engine (wall clock) ==")
+	for _, s := range sections {
+		fmt.Println(s.Name + ":")
+		for _, p := range s.Points {
+			if p.PerSec != 0 {
+				fmt.Printf("  %-22s %12.6f s  %14.1f /s\n", p.Label, p.Seconds, p.PerSec)
+			} else {
+				fmt.Printf("  %-22s %12.6f s\n", p.Label, p.Seconds)
+			}
+		}
+	}
+	fmt.Println()
+	return sections
 }
 
 func ablations(quick, silent bool) []ablationSection {

@@ -39,6 +39,16 @@ type ORB struct {
 	// sendIov is the scratch buffer list for two-buffer vectored sends.
 	// Safe as a field because ORB methods run on the owning thread only.
 	sendIov [2][]byte
+	// runScratch is reused across segment validations (one per incoming
+	// out-argument segment); same owning-thread discipline as sendIov.
+	runScratch []dist.Run
+
+	// TransferWorkers is the fan-out width for distributed-argument
+	// segment sends: when > 1 (and the fabric's sends are safe for
+	// concurrent use — see Router.ConcurrentSendSafe), the per-destination
+	// moves of one argument are encoded and sent by up to this many
+	// goroutines. 0 or 1 keeps the serial single-threaded path.
+	TransferWorkers int
 }
 
 // NewORB creates the ORB state for one computing thread. r is the thread's
@@ -291,17 +301,30 @@ func (o *ORB) dropPending(id uint32) {
 }
 
 // sendSegments ships one distributed in-argument's local elements to the
-// owning server threads.
+// owning server threads. The exchange schedule comes from the process-wide
+// cache (repeated invocations with the same shapes skip construction), and
+// the per-destination moves fan out across TransferWorkers goroutines when
+// the fabric permits concurrent sends.
 func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dseq.Distributed, server dist.Layout) error {
-	sched := dist.NewSchedule(holder.DLayout(), server)
-	for _, m := range sched.MovesFrom(o.rank()) {
+	sched := dist.Cached(holder.DLayout(), server)
+	moves := sched.From(o.rank())
+	workers := o.TransferWorkers
+	if workers > 1 && !o.r.ConcurrentSendSafe() {
+		workers = 1
+	}
+	// Only the two stream-key scalars are captured, not req itself: the
+	// closure outlives the frame (worker goroutines), and capturing req
+	// would force every InvokeNB's request header to the heap — including
+	// invocations with no distributed arguments at all.
+	bindingID, seqNo := req.BindingID, req.SeqNo
+	return FanOutMoves(workers, moves, func(m *dist.Move, iov *[2][]byte) error {
 		// Pooled payload and header encoders; the vectored send frames them
 		// without a concatenating copy, and neither is retained after it.
-		enc := cdr.GetEncoder(256)
+		enc := cdr.GetEncoder(m.Elements() * 8)
 		holder.EncodeRuns(enc, m.Runs)
 		as := &pgiop.ArgStream{
-			BindingID: req.BindingID,
-			SeqNo:     req.SeqNo,
+			BindingID: bindingID,
+			SeqNo:     seqNo,
 			Param:     int32(param),
 			Dir:       pgiop.DirIn,
 			Runs:      wireRuns(m.Runs),
@@ -309,14 +332,16 @@ func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dse
 		}
 		hdr := cdr.GetEncoder(128)
 		pgiop.AppendArgStream(hdr, as)
-		err := o.sendV2(nexus.Addr(b.ior.Addrs[m.To]), hdr.Bytes(), as.Payload)
+		iov[0], iov[1] = hdr.Bytes(), as.Payload
+		err := o.r.SendV(nexus.Addr(b.ior.Addrs[m.To]), iov[:]...)
+		iov[0], iov[1] = nil, nil
 		hdr.Release()
 		enc.Release()
 		if err != nil {
 			return fmt.Errorf("core: argument %d segment to thread %d: %w", param, m.To, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 func wireRuns(runs []dist.Run) []pgiop.Run {
@@ -422,27 +447,31 @@ func (o *ORB) applySegment(p *pendingReq, a *pgiop.ArgStream) {
 	if holder == nil {
 		return
 	}
-	runs, n, err := checkRuns(a.Runs, holder)
+	runs, n, err := checkRuns(a.Runs, holder, o.runScratch[:0])
 	if err != nil {
 		p.fail(o, a.ReqID, err)
+		return
+	}
+	// Validate the run total against the remaining need before decoding,
+	// so an oversized segment never writes past-share elements.
+	if p.got[param]+n > p.need[param] {
+		p.fail(o, a.ReqID, fmt.Errorf("core: parameter %d received %d of %d elements", param, p.got[param]+n, p.need[param]))
 		return
 	}
 	dec := cdr.GetDecoder(a.Payload)
 	err = holder.DecodeRuns(dec, runs)
 	dec.Release()
+	o.runScratch = runs[:0]
 	if err != nil {
 		p.fail(o, a.ReqID, fmt.Errorf("core: corrupt out segment for parameter %d: %w", param, err))
 		return
 	}
 	p.got[param] += n
-	if p.got[param] > p.need[param] {
-		p.fail(o, a.ReqID, fmt.Errorf("core: parameter %d received %d of %d elements", param, p.got[param], p.need[param]))
-	}
 }
 
-// checkRuns validates wire runs against the holder's local storage size.
-func checkRuns(wr []pgiop.Run, holder dseq.Distributed) ([]dist.Run, int, error) {
-	var runs []dist.Run
+// checkRuns validates wire runs against the holder's local storage size,
+// appending the converted runs to the caller's scratch slice.
+func checkRuns(wr []pgiop.Run, holder dseq.Distributed, runs []dist.Run) ([]dist.Run, int, error) {
 	n := 0
 	localLen := holder.LocalLen()
 	for _, r := range wr {

@@ -107,6 +107,15 @@ func (r *Router) SendV(to nexus.Addr, bufs ...[]byte) error { return r.ep.SendV(
 // Close closes the underlying endpoint.
 func (r *Router) Close() error { return r.ep.Close() }
 
+// ConcurrentSendSafe reports whether the underlying fabric permits Send and
+// SendV from multiple goroutines concurrently — the capability gate for the
+// parallel segment fan-out and the POA dispatch pool (see
+// nexus.ConcurrentSender). Receives remain owner-thread-only either way.
+func (r *Router) ConcurrentSendSafe() bool {
+	cs, ok := r.ep.(nexus.ConcurrentSender)
+	return ok && cs.ConcurrentSendSafe()
+}
+
 // RecvClient returns the next client-bound message; with block=false it
 // returns ok=false when none is pending. Server-bound messages encountered
 // while waiting are queued for RecvServer.

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pardis/internal/dist"
+)
+
+// iovPool recycles the two-buffer scratch lists used for vectored
+// header+payload sends, keeping both the serial and the parallel fan-out
+// paths allocation-free at steady state.
+var iovPool = sync.Pool{New: func() any { return new([2][]byte) }}
+
+// FanOutMoves is the parallel segment transfer engine's worker pool: it
+// runs send for every move from at most workers goroutines. The ORB's send
+// path and the POA's result path both funnel their per-destination moves
+// through it; distinct destinations are independent frame streams, so the
+// per-(binding, seqno, param) ordering each receiver relies on is untouched
+// by reordering sends *across* destinations. Each send call receives a
+// private iov scratch for its vectored send, so pooled buffers never cross
+// goroutines. The first error wins: remaining moves are skipped (in-flight
+// sends on other workers still finish).
+//
+// With workers <= 1, or a single move, everything runs on the calling
+// goroutine — the single-threaded transport discipline fabrics like Sim
+// require. Callers gate workers on Router.ConcurrentSendSafe.
+func FanOutMoves(workers int, moves []dist.Move, send func(m *dist.Move, iov *[2][]byte) error) error {
+	if len(moves) == 0 {
+		return nil
+	}
+	if workers > len(moves) {
+		workers = len(moves)
+	}
+	if workers <= 1 {
+		iov := iovPool.Get().(*[2][]byte)
+		defer iovPool.Put(iov)
+		for i := range moves {
+			if err := send(&moves[i], iov); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		errOnce sync.Once
+		first   error
+		wg      sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			iov := iovPool.Get().(*[2][]byte)
+			defer iovPool.Put(iov)
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(moves) {
+					return
+				}
+				if err := send(&moves[i], iov); err != nil {
+					errOnce.Do(func() { first = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// CachedSchedule is a Schedule plus per-rank move indexes, shared between
+// invocations through a ScheduleCache. A cached schedule is immutable:
+// callers must treat Moves and the slices returned by From/To as read-only.
+type CachedSchedule struct {
+	Schedule
+	from [][]Move
+	to   [][]Move
+}
+
+func newCachedSchedule(src, dst Layout) *CachedSchedule {
+	cs := &CachedSchedule{Schedule: NewSchedule(src, dst)}
+	cs.from = make([][]Move, src.P)
+	cs.to = make([][]Move, dst.P)
+	for _, m := range cs.Moves {
+		cs.from[m.From] = append(cs.from[m.From], m)
+		cs.to[m.To] = append(cs.to[m.To], m)
+	}
+	return cs
+}
+
+// From returns the moves whose source is the given thread. Unlike
+// Schedule.MovesFrom it is precomputed and does not allocate.
+func (c *CachedSchedule) From(rank int) []Move { return c.from[rank] }
+
+// To returns the moves whose destination is the given thread, precomputed.
+func (c *CachedSchedule) To(rank int) []Move { return c.to[rank] }
+
+// runCount is the total number of runs across all moves — the memory weight
+// of a cached schedule (a block-to-cyclic plan has O(N) runs).
+func (s Schedule) runCount() int {
+	n := 0
+	for _, m := range s.Moves {
+		n += len(m.Runs)
+	}
+	return n
+}
+
+// scheduleKey identifies a (source layout, destination layout) pair: global
+// length, both thread counts and kinds, the collapsed roots, and — for
+// weighted layouts, whose shape is not implied by (kind, n, p) — a hash of
+// the per-thread ranges. Hash collisions are resolved by Layout.Equal at
+// lookup time, so a collision costs a rebuild, never a wrong schedule.
+type scheduleKey struct {
+	n                int
+	srcP, dstP       int
+	srcKind, dstKind Kind
+	srcRoot, dstRoot int
+	srcW, dstW       uint64
+}
+
+var cacheSeed = maphash.MakeSeed()
+
+func layoutSig(l Layout) (root int, w uint64) {
+	switch l.Kind {
+	case Collapsed:
+		return l.Root, 0
+	case Weighted:
+		var h maphash.Hash
+		h.SetSeed(cacheSeed)
+		for _, c := range l.counts {
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(uint64(c) >> (8 * i))
+			}
+			h.Write(b[:])
+		}
+		return 0, h.Sum64()
+	}
+	// Block and Cyclic ranges are fully determined by (kind, n, p).
+	return 0, 0
+}
+
+func keyOf(src, dst Layout) scheduleKey {
+	k := scheduleKey{
+		n:    src.N,
+		srcP: src.P, dstP: dst.P,
+		srcKind: src.Kind, dstKind: dst.Kind,
+	}
+	k.srcRoot, k.srcW = layoutSig(src)
+	k.dstRoot, k.dstW = layoutSig(dst)
+	return k
+}
+
+type cacheEntry struct {
+	src, dst Layout
+	sched    *CachedSchedule
+	runs     int
+	used     uint64 // LRU clock stamp
+}
+
+// ScheduleCache memoizes transfer schedules for repeated layout pairs — the
+// common SPMD loop invokes the same operation with identically-shaped
+// arguments, and without the cache every invocation pays the O(N) schedule
+// construction. Eviction is bounded two ways: by entry count and by total
+// cached runs (a cyclic plan can hold O(N) runs), evicting least-recently
+// used entries first. Safe for concurrent use.
+type ScheduleCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxRuns    int
+	runs       int
+	clock      uint64
+	entries    map[scheduleKey]*cacheEntry
+
+	hits, misses uint64
+}
+
+// defaultMaxRuns bounds the total runs retained by a cache so schedules with
+// element-granularity moves cannot pin unbounded memory (~4M runs ≈ 128 MiB).
+const defaultMaxRuns = 4 << 20
+
+// NewScheduleCache creates a cache bounded to maxEntries schedules (and the
+// package default total-run budget).
+func NewScheduleCache(maxEntries int) *ScheduleCache {
+	if maxEntries <= 0 {
+		maxEntries = 1
+	}
+	return &ScheduleCache{
+		maxEntries: maxEntries,
+		maxRuns:    defaultMaxRuns,
+		entries:    map[scheduleKey]*cacheEntry{},
+	}
+}
+
+// Get returns the schedule from src to dst, building and caching it on a
+// miss. The returned schedule is shared: callers must not modify it.
+func (c *ScheduleCache) Get(src, dst Layout) *CachedSchedule {
+	k := keyOf(src, dst)
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok && e.src.Equal(src) && e.dst.Equal(dst) {
+		c.hits++
+		c.clock++
+		e.used = c.clock
+		s := e.sched
+		c.mu.Unlock()
+		return s
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Build outside the lock: construction is O(N) and must not serialize
+	// concurrent transfer workers on unrelated shapes.
+	cs := newCachedSchedule(src, dst)
+
+	c.mu.Lock()
+	c.clock++
+	e := &cacheEntry{src: src, dst: dst, sched: cs, runs: cs.runCount(), used: c.clock}
+	if old, ok := c.entries[k]; ok {
+		c.runs -= old.runs // colliding or raced entry is replaced
+	}
+	c.entries[k] = e
+	c.runs += e.runs
+	for (len(c.entries) > c.maxEntries || c.runs > c.maxRuns) && len(c.entries) > 1 {
+		var lruK scheduleKey
+		var lru *cacheEntry
+		for ek, ee := range c.entries {
+			if ee != e && (lru == nil || ee.used < lru.used) {
+				lruK, lru = ek, ee
+			}
+		}
+		if lru == nil {
+			break
+		}
+		delete(c.entries, lruK)
+		c.runs -= lru.runs
+	}
+	c.mu.Unlock()
+	return cs
+}
+
+// CacheStats reports schedule-cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+	Runs         int // total runs held by cached schedules
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ScheduleCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Runs: c.runs}
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *ScheduleCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[scheduleKey]*cacheEntry{}
+	c.runs, c.hits, c.misses = 0, 0, 0
+}
+
+// DefaultCache is the process-wide schedule cache behind Cached — shared by
+// the ORB send path, the POA result path and dseq redistribution.
+var DefaultCache = NewScheduleCache(256)
+
+// Cached computes or retrieves the schedule from src to dst through
+// DefaultCache. The result is shared and must be treated as read-only.
+func Cached(src, dst Layout) *CachedSchedule { return DefaultCache.Get(src, dst) }

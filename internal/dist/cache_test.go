@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// sameSchedule asserts the cached schedule matches a fresh construction.
+func sameSchedule(t *testing.T, src, dst Layout, cs *CachedSchedule) {
+	t.Helper()
+	want := NewSchedule(src, dst)
+	if !reflect.DeepEqual(want.Moves, cs.Moves) {
+		t.Fatalf("cached schedule differs from fresh one for %v -> %v", src, dst)
+	}
+	for r := 0; r < src.P; r++ {
+		if !reflect.DeepEqual(want.MovesFrom(r), cs.From(r)) && !(len(want.MovesFrom(r)) == 0 && len(cs.From(r)) == 0) {
+			t.Fatalf("From(%d) differs", r)
+		}
+	}
+	for r := 0; r < dst.P; r++ {
+		if !reflect.DeepEqual(want.MovesTo(r), cs.To(r)) && !(len(want.MovesTo(r)) == 0 && len(cs.To(r)) == 0) {
+			t.Fatalf("To(%d) differs", r)
+		}
+	}
+}
+
+func TestScheduleCacheHitMiss(t *testing.T) {
+	c := NewScheduleCache(8)
+	src := BlockTemplate().Layout(1000, 4)
+	dst := CyclicTemplate().Layout(1000, 4)
+	s1 := c.Get(src, dst)
+	sameSchedule(t, src, dst, s1)
+	s2 := c.Get(src, dst)
+	if s1 != s2 {
+		t.Fatal("repeated Get did not return the shared schedule")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	// A different length is a different key.
+	c.Get(BlockTemplate().Layout(999, 4), CyclicTemplate().Layout(999, 4))
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats after second shape = %+v", st)
+	}
+}
+
+func TestScheduleCacheWeightedNoFalseHit(t *testing.T) {
+	// Two weighted layouts with identical (n, p) but different proportions
+	// must not share a schedule.
+	c := NewScheduleCache(8)
+	dst := BlockTemplate().Layout(100, 2)
+	a := Proportions(1, 3).Layout(100, 2)
+	b := Proportions(3, 1).Layout(100, 2)
+	sa := c.Get(a, dst)
+	sb := c.Get(b, dst)
+	sameSchedule(t, a, dst, sa)
+	sameSchedule(t, b, dst, sb)
+	if st := c.Stats(); st.Hits != 0 {
+		t.Fatalf("distinct weighted layouts produced a cache hit: %+v", st)
+	}
+}
+
+func TestScheduleCacheEntryEviction(t *testing.T) {
+	c := NewScheduleCache(3)
+	dst := CyclicTemplate()
+	for n := 10; n < 20; n++ {
+		c.Get(BlockTemplate().Layout(n, 2), dst.Layout(n, 2))
+	}
+	if st := c.Stats(); st.Entries > 3 {
+		t.Fatalf("cache grew to %d entries with max 3", st.Entries)
+	}
+	// Entries survive eviction pressure as long as they are hot: the most
+	// recent shape must still be cached.
+	before := c.Stats().Hits
+	c.Get(BlockTemplate().Layout(19, 2), dst.Layout(19, 2))
+	if c.Stats().Hits != before+1 {
+		t.Fatal("most recently inserted shape was evicted")
+	}
+}
+
+func TestScheduleCacheRunBudgetEviction(t *testing.T) {
+	c := NewScheduleCache(64)
+	c.maxRuns = 5000
+	// Block -> cyclic over 2 threads produces ~n runs each.
+	for n := 2000; n <= 8000; n += 2000 {
+		c.Get(BlockTemplate().Layout(n, 2), CyclicTemplate().Layout(n, 2))
+	}
+	st := c.Stats()
+	if st.Runs > 8000+5000 { // latest entry may alone exceed the budget
+		t.Fatalf("run budget not enforced: %+v", st)
+	}
+	if st.Entries >= 4 {
+		t.Fatalf("no entry evicted under run pressure: %+v", st)
+	}
+}
+
+func TestScheduleCacheConcurrent(t *testing.T) {
+	c := NewScheduleCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n := 100 + 10*(i%4)
+				src := BlockTemplate().Layout(n, 4)
+				dst := CyclicTemplate().Layout(n, 4)
+				cs := c.Get(src, dst)
+				if got := cs.runCount(); got == 0 {
+					panic(fmt.Sprintf("goroutine %d: empty schedule", g))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits+st.Misses != 8*50 {
+		t.Fatalf("lost lookups: %+v", st)
+	}
+}
+
+func TestCachedCollapsedRootsDistinct(t *testing.T) {
+	c := NewScheduleCache(8)
+	src := BlockTemplate().Layout(40, 4)
+	s0 := c.Get(src, CollapsedOn(0).Layout(40, 4))
+	s1 := c.Get(src, CollapsedOn(1).Layout(40, 4))
+	if s0 == s1 {
+		t.Fatal("collapsed layouts with different roots shared a schedule")
+	}
+	if s0.Moves[0].To != 0 || s1.Moves[0].To != 1 {
+		t.Fatalf("wrong destinations: %d, %d", s0.Moves[0].To, s1.Moves[0].To)
+	}
+}

@@ -230,22 +230,21 @@ func Scatter[T any](comm rts.Comm, root int, full []T, n int, tmpl dist.Template
 // so the symmetric pattern cannot deadlock.
 func exchange[T any](comm rts.Comm, codec Codec[T], src, dst dist.Layout, in []T) []T {
 	rank := commRank(comm)
-	sched := dist.NewSchedule(src, dst)
+	// Redistributions of one shape recur (every iteration of a program's
+	// main loop, typically), so the transfer plan comes from the shared
+	// schedule cache; the per-rank indexes avoid rescanning sched.Moves.
+	sched := dist.Cached(src, dst)
 	out := make([]T, dst.Count(rank))
-	// Local copies.
-	for _, m := range sched.Moves {
-		if m.From == rank && m.To == rank {
+	// Local copies and sends, in schedule order (one message per
+	// destination thread).
+	for _, m := range sched.From(rank) {
+		if m.To == rank {
 			for _, r := range m.Runs {
 				copy(out[r.DstOff:r.DstOff+r.Len], in[r.SrcOff:r.SrcOff+r.Len])
 			}
+			continue
 		}
-	}
-	if comm == nil {
-		return out
-	}
-	// Sends, in schedule order (one message per destination thread).
-	for _, m := range sched.Moves {
-		if m.From != rank || m.To == rank {
+		if comm == nil {
 			continue
 		}
 		e := cdr.NewEncoder(m.Elements() * 8)
@@ -254,9 +253,12 @@ func exchange[T any](comm rts.Comm, codec Codec[T], src, dst dist.Layout, in []T
 		}
 		comm.Send(m.To, rts.TagDSeq, e.Bytes())
 	}
+	if comm == nil {
+		return out
+	}
 	// Receives, in schedule order (per-peer FIFO matches them up).
-	for _, m := range sched.Moves {
-		if m.To != rank || m.From == rank {
+	for _, m := range sched.To(rank) {
+		if m.From == rank {
 			continue
 		}
 		msg := comm.Recv(m.From, rts.TagDSeq)

@@ -65,6 +65,17 @@ type Endpoint interface {
 	Close() error
 }
 
+// ConcurrentSender is an optional Endpoint capability: fabrics whose Send
+// and SendV may be called from multiple goroutines concurrently implement it
+// returning true. The Inproc and TCP fabrics qualify (their send paths are
+// mutex-protected); the Sim fabric does not — a simulated send occupies the
+// owning virtual thread for the frame's wire time, so it must stay on that
+// thread. The parallel segment fan-out of the ORB/POA transfer engine
+// consults this capability and falls back to serial sends when absent.
+type ConcurrentSender interface {
+	ConcurrentSendSafe() bool
+}
+
 // --- In-process fabric -------------------------------------------------------
 
 // Inproc is an in-process fabric: a namespace of endpoints connected by
@@ -125,6 +136,10 @@ type inprocEP struct {
 }
 
 func (e *inprocEP) Addr() Addr { return e.addr }
+
+// ConcurrentSendSafe implements ConcurrentSender: the in-process fabric
+// serializes deliveries on the destination's mutex.
+func (e *inprocEP) ConcurrentSendSafe() bool { return true }
 
 // pop removes the frame at qhead; caller must hold e.mu and have checked
 // the queue is non-empty.

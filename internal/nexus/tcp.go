@@ -67,6 +67,10 @@ type tcpEP struct {
 
 func (e *tcpEP) Addr() Addr { return e.addr }
 
+// ConcurrentSendSafe implements ConcurrentSender: frame writes are
+// serialized per connection by tcpConn.wm, and the connection table by e.mu.
+func (e *tcpEP) ConcurrentSendSafe() bool { return true }
+
 func (e *tcpEP) acceptLoop() {
 	for {
 		c, err := e.ln.Accept()

@@ -38,15 +38,20 @@ func (p *POA) collectivePhase() int {
 		if p.pendingShutdown {
 			payloads = append(payloads, []byte{decShutdown})
 		}
-		cnt := cdr.NewEncoder(4)
+		// The count is built in a pooled encoder but broadcast as a copy:
+		// the chan backend hands buffers to receivers by reference, so a
+		// pooled buffer could be recycled under a slow reader.
+		cnt := cdr.GetEncoder(4)
 		cnt.PutULong(uint32(len(payloads)))
-		rts.Bcast(p.th, 0, cnt.Bytes())
+		rts.Bcast(p.th, 0, append([]byte(nil), cnt.Bytes()...))
+		cnt.Release()
 		for _, d := range payloads {
 			rts.Bcast(p.th, 0, d)
 		}
 	} else {
-		d := cdr.NewDecoder(rts.Bcast(p.th, 0, nil))
+		d := cdr.GetDecoder(rts.Bcast(p.th, 0, nil))
 		n := int(d.GetULong())
+		d.Release()
 		for i := 0; i < n; i++ {
 			payloads = append(payloads, rts.Bcast(p.th, 0, nil))
 		}
@@ -75,7 +80,7 @@ func encodeDecision(g *gather) []byte {
 	}
 	sort.Slice(clients, func(a, b int) bool { return clients[a].Rank < clients[b].Rank })
 	req := g.reqs[0]
-	e := cdr.NewEncoder(256)
+	e := cdr.GetEncoder(256)
 	e.PutOctet(decDispatch)
 	e.PutOctets(pgiop.EncodeRequest(req))
 	e.PutSeqLen(len(clients))
@@ -84,11 +89,19 @@ func encodeDecision(g *gather) []byte {
 		e.PutULong(c.ReqID)
 		e.PutString(c.Addr)
 	}
-	return e.Bytes()
+	// Copied out rather than returned from the pooled buffer: the decision
+	// is broadcast through mailboxes that retain it by reference, and the
+	// decoded request on every thread aliases it for a whole dispatch.
+	pay := append([]byte(nil), e.Bytes()...)
+	e.Release()
+	return pay
 }
 
 func decodeDecision(pay []byte) (*pgiop.Request, []clientInfo, byte, error) {
-	d := cdr.NewDecoder(pay)
+	// Pooled decoder: decoded values alias pay, never the decoder, so
+	// releasing it is safe while the request is still in flight.
+	d := cdr.GetDecoder(pay)
+	defer d.Release()
 	kind := d.GetOctet()
 	if kind == decShutdown {
 		return nil, nil, kind, d.Err()
@@ -105,16 +118,14 @@ func decodeDecision(pay []byte) (*pgiop.Request, []clientInfo, byte, error) {
 	return req, clients, kind, d.Err()
 }
 
-// dispatchSingle services a request for a single object owned by this
-// thread.
-func (p *POA) dispatchSingle(req *pgiop.Request) {
-	e := p.objects[req.ObjectKey]
-	if e == nil {
-		if !req.Oneway {
-			p.sendException(req.ReplyAddr, req.ReqID, fmt.Sprintf("no object %q", req.ObjectKey))
-		}
-		return
-	}
+// serveSingle services a request for a single object owned by this thread.
+// The entry was resolved at routing time; iov is the caller's vectored-send
+// scratch (the POA's own for inline dispatch, worker-private under the
+// dispatch pool). In pooled mode the servant gets a private context with
+// POA unset — single objects never touch the adapter's collective or
+// segment state (RegisterSingle rejects distributed arguments), so workers
+// share nothing with the owning thread but the concurrency-safe fabric.
+func (p *POA) serveSingle(e *entry, req *pgiop.Request, iov *[2][]byte, pooled bool) {
 	op, ok := e.iface.Op(req.Operation)
 	if !ok {
 		if !req.Oneway {
@@ -129,13 +140,24 @@ func (p *POA) dispatchSingle(req *pgiop.Request) {
 		}
 		return
 	}
-	// The reusable context is saved/restored so nested dispatch (a servant
-	// calling ProcessRequests mid-computation) cannot corrupt the outer
-	// invocation's view; servants must not retain ctx past Invoke.
-	saved := p.ctx
-	p.ctx = Context{Thread: p.th, POA: p, Oneway: req.Oneway}
-	ret, outs, serr := e.servant.Invoke(&p.ctx, op.Name, inVals)
-	p.ctx = saved
+	var (
+		ret  any
+		outs []any
+		serr error
+	)
+	if pooled {
+		ctx := Context{Thread: p.th, Oneway: req.Oneway}
+		ret, outs, serr = e.servant.Invoke(&ctx, op.Name, inVals)
+	} else {
+		// The reusable context is saved/restored so nested dispatch (a
+		// servant calling ProcessRequests mid-computation) cannot corrupt
+		// the outer invocation's view; servants must not retain ctx past
+		// Invoke.
+		saved := p.ctx
+		p.ctx = Context{Thread: p.th, POA: p, Oneway: req.Oneway}
+		ret, outs, serr = e.servant.Invoke(&p.ctx, op.Name, inVals)
+		p.ctx = saved
+	}
 	if req.Oneway {
 		return
 	}
@@ -155,7 +177,9 @@ func (p *POA) dispatchSingle(req *pgiop.Request) {
 	reply := &pgiop.Reply{ReqID: req.ReqID, Status: pgiop.StatusOK, Body: body}
 	hdr := cdr.GetEncoder(128)
 	pgiop.AppendReply(hdr, reply)
-	_ = p.sendV2(nexus.Addr(req.ReplyAddr), hdr.Bytes(), reply.Body)
+	iov[0], iov[1] = hdr.Bytes(), reply.Body
+	_ = p.r.SendV(nexus.Addr(req.ReplyAddr), iov[:]...)
+	iov[0], iov[1] = nil, nil
 	hdr.Release()
 }
 
@@ -269,22 +293,24 @@ func (p *POA) collectSegments(req *pgiop.Request, param int32, holder dseq.Distr
 		}
 		a := p.segs[k][0]
 		p.segs[k] = p.segs[k][1:]
-		n, err := applySegment(holder, a)
+		n, err := p.applySegment(holder, a, need-got)
 		if err != nil {
-			return err
+			return fmt.Errorf("argument %d: %v", param, err)
 		}
 		got += n
-		if got > need {
-			return fmt.Errorf("argument %d received %d of %d elements", param, got, need)
-		}
 	}
 	delete(p.segs, k)
 	return nil
 }
 
-func applySegment(holder dseq.Distributed, a *pgiop.ArgStream) (int, error) {
+// applySegment validates one incoming segment and decodes it into the
+// holder. The run list is summed and bounds-checked — including against the
+// number of elements still owed, so an overflowing stream is rejected
+// *before* any of its payload is written — and decoded runs reuse the POA's
+// scratch slice across segments.
+func (p *POA) applySegment(holder dseq.Distributed, a *pgiop.ArgStream, remaining int) (int, error) {
 	localLen := holder.LocalLen()
-	var runs []dist.Run
+	runs := p.runScratch[:0]
 	n := 0
 	for _, r := range a.Runs {
 		if r.Len < 0 || r.DstOff < 0 || int(r.DstOff)+int(r.Len) > localLen {
@@ -292,6 +318,10 @@ func applySegment(holder dseq.Distributed, a *pgiop.ArgStream) (int, error) {
 		}
 		runs = append(runs, dist.Run{Global: int(r.Global), Len: int(r.Len), DstOff: int(r.DstOff)})
 		n += int(r.Len)
+	}
+	p.runScratch = runs[:0]
+	if n > remaining {
+		return 0, fmt.Errorf("segment of %d elements exceeds the %d still expected", n, remaining)
 	}
 	d := cdr.GetDecoder(a.Payload)
 	err := holder.DecodeRuns(d, runs)
@@ -349,8 +379,17 @@ func (p *POA) encodeResults(enc *cdr.Encoder, op *core.Operation, ret any, outs 
 			}
 		}
 		clientLayout := tmpl.Layout(holder.GlobalLen(), int(req.ClientSize))
-		sched := dist.NewSchedule(holder.DLayout(), clientLayout)
-		for _, mv := range sched.MovesFrom(p.th.Rank()) {
+		// Same-shape replies reuse the cached transfer schedule, and the
+		// per-destination moves fan out from the worker pool: each client
+		// thread's segment stream is an independent (binding, seqno, param)
+		// key, so reordering sends across destinations is safe.
+		sched := dist.Cached(holder.DLayout(), clientLayout)
+		workers := p.TransferWorkers
+		if workers > 1 && !p.r.ConcurrentSendSafe() {
+			workers = 1
+		}
+		param := i
+		err := core.FanOutMoves(workers, sched.From(p.th.Rank()), func(mv *dist.Move, iov *[2][]byte) error {
 			// Pooled payload + header, framed by one vectored send; the
 			// transport retains neither buffer.
 			pay := cdr.GetEncoder(mv.Elements() * 8)
@@ -359,19 +398,25 @@ func (p *POA) encodeResults(enc *cdr.Encoder, op *core.Operation, ret any, outs 
 				BindingID: req.BindingID,
 				SeqNo:     req.SeqNo,
 				ReqID:     clients[mv.To].ReqID,
-				Param:     int32(i),
+				Param:     int32(param),
 				Dir:       pgiop.DirOut,
 				Runs:      wireRuns(mv.Runs),
 				Payload:   pay.Bytes(),
 			}
 			hdr := cdr.GetEncoder(128)
 			pgiop.AppendArgStream(hdr, as)
-			err := p.sendV2(nexus.Addr(clients[mv.To].Addr), hdr.Bytes(), as.Payload)
+			iov[0], iov[1] = hdr.Bytes(), as.Payload
+			serr := p.r.SendV(nexus.Addr(clients[mv.To].Addr), iov[:]...)
+			iov[0], iov[1] = nil, nil
 			hdr.Release()
 			pay.Release()
-			if err != nil {
-				return nil, nil, fmt.Errorf("out segment to client %d: %v", mv.To, err)
+			if serr != nil {
+				return fmt.Errorf("out segment to client %d: %v", mv.To, serr)
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
 		}
 		outLens = append(outLens, pgiop.OutLen{Param: int32(i), N: int32(holder.GlobalLen()), Layout: holder.DLayout()})
 	}

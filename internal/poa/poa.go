@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"pardis/internal/core"
+	"pardis/internal/dist"
 	"pardis/internal/nexus"
 	"pardis/internal/pgiop"
 	"pardis/internal/rts"
@@ -101,22 +102,34 @@ type POA struct {
 	gathers map[invKey]*gather
 	ready   []invKey
 
-	localQ          []*pgiop.Request // single-object requests for this thread
+	localQ          []localReq // single-object requests for this thread
 	segs            map[segKey][]*pgiop.ArgStream
 	shutdown        bool
 	pendingShutdown bool
+
+	// pool, when non-nil, pipelines single-object dispatch across worker
+	// goroutines (see SetDispatchWorkers). SPMD dispatch never uses it.
+	pool *dispatchPool
 
 	// ctx is the reusable invocation context handed to servants: it is
 	// valid only for the duration of one Invoke call (saved and restored
 	// around nested dispatch from ProcessRequests), so servants must not
 	// retain it. sendIov is the scratch buffer list for two-buffer
-	// vectored sends; both are safe as fields because POA methods run on
-	// the owning thread only.
-	ctx     Context
-	sendIov [2][]byte
+	// vectored sends; runScratch is the decoded-run scratch reused across
+	// incoming segments. All are safe as fields because they are touched
+	// only from the owning thread (pool workers carry private scratch).
+	ctx        Context
+	sendIov    [2][]byte
+	runScratch []dist.Run
 
 	// PollInterval is the idle wait inside ImplIsReady, seconds.
 	PollInterval float64
+
+	// TransferWorkers is the fan-out width for shipping distributed
+	// out-argument segments to client threads (see core.FanOutMoves);
+	// 0 or 1 keeps the serial path. Widths above 1 take effect only on
+	// fabrics whose sends are concurrency-safe (Router.ConcurrentSendSafe).
+	TransferWorkers int
 }
 
 // New creates the adapter for one computing thread. table (optional)
@@ -244,6 +257,9 @@ func (p *POA) ImplIsReady() {
 	for {
 		n := p.ProcessRequests()
 		if p.shutdown {
+			// Drain pooled dispatches so every accepted request is answered
+			// before control returns to the server program.
+			p.stopDispatchPool()
 			return
 		}
 		if n == 0 {
@@ -259,17 +275,23 @@ func (p *POA) ImplIsReady() {
 func (p *POA) ProcessRequests() int {
 	count := 0
 	p.drain()
-	// Single-object requests are served by their owning thread alone.
+	// Single-object requests are served by their owning thread alone —
+	// inline, or handed to the dispatch pool so independent requests
+	// pipeline while this thread keeps polling the transport.
 	for len(p.localQ) > 0 {
 		// Shift rather than reslice so the backing array keeps its capacity
 		// for reuse across dispatch rounds (the queue is at most a few
 		// entries deep).
-		req := p.localQ[0]
+		lr := p.localQ[0]
 		n := len(p.localQ)
 		copy(p.localQ, p.localQ[1:])
-		p.localQ[n-1] = nil
+		p.localQ[n-1] = localReq{}
 		p.localQ = p.localQ[:n-1]
-		p.dispatchSingle(req)
+		if p.pool != nil {
+			p.pool.reqs <- lr
+		} else {
+			p.serveSingle(lr.e, lr.req, &p.sendIov, false)
+		}
 		count++
 		p.drain()
 	}
@@ -329,7 +351,9 @@ func (p *POA) routeRequest(req *pgiop.Request) {
 		return
 	}
 	if !e.spmd {
-		p.localQ = append(p.localQ, req)
+		// Capture the entry now so pool workers never read the object
+		// table concurrently with the owning thread.
+		p.localQ = append(p.localQ, localReq{e: e, req: req})
 		return
 	}
 	// SPMD headers arrive only at thread 0.

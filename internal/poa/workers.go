@@ -1,0 +1,76 @@
+package poa
+
+import (
+	"sync"
+
+	"pardis/internal/pgiop"
+)
+
+// localReq is one single-object request queued for dispatch, with the
+// servant entry resolved at routing time so pool workers never touch the
+// POA's object table concurrently with the owning thread.
+type localReq struct {
+	e   *entry
+	req *pgiop.Request
+}
+
+// dispatchPool pipelines single-object dispatch: ProcessRequests hands
+// requests to the workers and keeps polling the transport, so independent
+// requests from different clients execute concurrently and replies overlap
+// with the next request's receive. SPMD collective dispatch never enters
+// the pool — it stays on the agreement path of the POA thread.
+type dispatchPool struct {
+	reqs chan localReq
+	wg   sync.WaitGroup
+}
+
+func newDispatchPool(p *POA, n int) *dispatchPool {
+	pl := &dispatchPool{reqs: make(chan localReq, 4*n)}
+	pl.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go pl.run(p)
+	}
+	return pl
+}
+
+func (pl *dispatchPool) run(p *POA) {
+	defer pl.wg.Done()
+	// Worker-private send scratch: replies from different workers are
+	// independent vectored sends on a concurrency-safe fabric.
+	var iov [2][]byte
+	for lr := range pl.reqs {
+		p.serveSingle(lr.e, lr.req, &iov, true)
+	}
+}
+
+// SetDispatchWorkers gives the POA an opt-in worker pool of n goroutines
+// for single-object dispatch, so independent requests from different
+// clients execute concurrently while SPMD collective ordering stays on the
+// agreement path (replies are matched by request ID, so out-of-order
+// completion is safe). n <= 0 restores serial dispatch. The call is a no-op
+// on fabrics whose sends are not safe for concurrent use (see
+// Router.ConcurrentSendSafe).
+//
+// Pooled dispatch imposes two rules the serial path does not: servants of
+// single objects must be safe for concurrent invocation, and they cannot
+// poll for further requests mid-computation (Context.POA is nil — the
+// ProcessRequests reentry of the paper's §4.2 is a POA-thread affordance).
+// Call from the POA's owning thread, outside ImplIsReady/ProcessRequests.
+func (p *POA) SetDispatchWorkers(n int) {
+	p.stopDispatchPool()
+	if n <= 0 || !p.r.ConcurrentSendSafe() {
+		return
+	}
+	p.pool = newDispatchPool(p, n)
+}
+
+// stopDispatchPool drains in-flight pooled dispatches and returns the POA
+// to serial single-object dispatch.
+func (p *POA) stopDispatchPool() {
+	if p.pool == nil {
+		return
+	}
+	close(p.pool.reqs)
+	p.pool.wg.Wait()
+	p.pool = nil
+}
