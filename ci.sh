@@ -17,3 +17,7 @@ go run ./cmd/pardis-bench -quick -json > bench-summary.json
 # One-shot pass over the transfer-engine micro-benchmarks so a broken
 # concurrent path fails CI even when the unit tests are green.
 go test -run NONE -bench 'ScheduleCache|SegmentFanout|SingleDispatchPipelined' -benchtime 1x .
+
+# Same for the tree collectives and the single-frame dispatch agreement.
+go test -run NONE -bench 'Bcast|AllGather|Barrier' -benchtime 1x ./internal/rts
+go test -run NONE -bench 'DispatchAgreement' -benchtime 1x ./internal/poa

@@ -24,11 +24,12 @@ import (
 
 // summary is the -json document: one optional section per experiment.
 type summary struct {
-	Figure2   []bench.Fig2Point `json:"figure2,omitempty"`
-	Figure4   []bench.Fig4Point `json:"figure4,omitempty"`
-	Figure5   []bench.Fig5Point `json:"figure5,omitempty"`
-	Ablations []ablationSection `json:"ablations,omitempty"`
-	Transfer  []transferSection `json:"transfer,omitempty"`
+	Figure2     []bench.Fig2Point      `json:"figure2,omitempty"`
+	Figure4     []bench.Fig4Point      `json:"figure4,omitempty"`
+	Figure5     []bench.Fig5Point      `json:"figure5,omitempty"`
+	Ablations   []ablationSection      `json:"ablations,omitempty"`
+	Transfer    []transferSection      `json:"transfer,omitempty"`
+	Collectives []bench.CollectivePoint `json:"collectives,omitempty"`
 }
 
 type transferSection struct {
@@ -42,7 +43,7 @@ type ablationSection struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, all")
+	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, all")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of tables")
 	flag.Parse()
@@ -59,12 +60,15 @@ func main() {
 		out.Ablations = ablations(*quick, *asJSON)
 	case "transfer":
 		out.Transfer = transfer(*quick, *asJSON)
+	case "collectives":
+		out.Collectives = collectives(*quick, *asJSON)
 	case "all":
 		out.Figure2 = figure2(*quick, *asJSON)
 		out.Figure4 = figure4(*quick, *asJSON)
 		out.Figure5 = figure5(*quick, *asJSON)
 		out.Ablations = ablations(*quick, *asJSON)
 		out.Transfer = transfer(*quick, *asJSON)
+		out.Collectives = collectives(*quick, *asJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "pardis-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -169,6 +173,27 @@ func transfer(quick, silent bool) []transferSection {
 	}
 	fmt.Println()
 	return sections
+}
+
+// collectives measures the modeled per-operation latency of the RTS
+// collectives across thread counts on the simulated fabric: deterministic,
+// so the log-depth scaling gate can assert on the numbers directly.
+func collectives(quick, silent bool) []bench.CollectivePoint {
+	ps, payload, iters := bench.CollectiveProcs, 4096, 20
+	if quick {
+		ps, iters = []int{8, 64}, 5
+	}
+	pts := bench.Collectives(ps, payload, iters)
+	if silent {
+		return pts
+	}
+	fmt.Println("== Collectives: modeled latency per operation (seconds) ==")
+	fmt.Println("op         P   payload_B     seconds")
+	for _, p := range pts {
+		fmt.Printf("%-9s %3d  %9d  %10.6f\n", p.Op, p.P, p.Bytes, p.Seconds)
+	}
+	fmt.Println()
+	return pts
 }
 
 func ablations(quick, silent bool) []ablationSection {

@@ -125,24 +125,21 @@ func JacobiSolve(comm rts.Comm, first int, localA [][]float64, localB []float64,
 				localDelta = d
 			}
 		}
-		// Share updates: allgather the new local portions.
+		// Share updates: ring all-gather of the new local portions — the
+		// iterate is the bulk payload of the loop, and the ring forwards
+		// raw blocks without re-framing.
 		delta := localDelta
 		if comm != nil {
-			parts := rts.AllGather(comm, f64bytes(next))
+			parts := rts.AllGatherRing(comm, f64bytes(next))
 			off := 0
 			for _, p := range parts {
 				vals := bytesF64(p)
 				copy(x[off:off+len(vals)], vals)
 				off += len(vals)
 			}
-			// Global max of delta.
-			dparts := rts.AllGather(comm, f64bytes([]float64{localDelta}))
-			delta = 0
-			for _, p := range dparts {
-				if v := bytesF64(p)[0]; v > delta {
-					delta = v
-				}
-			}
+			// Global max of delta: an 8-byte tree all-reduce (max is exact
+			// under any combination order).
+			delta = bytesF64(rts.AllReduce(comm, f64bytes([]float64{localDelta}), maxF64Op))[0]
 		} else {
 			copy(x[first:first+rows], next)
 		}
@@ -167,6 +164,14 @@ func MaxDiff(a, b []float64) float64 {
 		}
 	}
 	return d
+}
+
+// maxF64Op folds two single-double payloads by maximum, in place in acc.
+func maxF64Op(acc, in []byte) []byte {
+	if bytesF64(in)[0] > bytesF64(acc)[0] {
+		copy(acc, in)
+	}
+	return acc
 }
 
 func f64bytes(v []float64) []byte {

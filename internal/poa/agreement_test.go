@@ -1,0 +1,110 @@
+package poa
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pardis/internal/cdr"
+	"pardis/internal/rts"
+)
+
+// countingThread wraps a Thread and counts RTS sends in the reserved tag
+// space — i.e. the messages the agreement protocol itself costs.
+type countingThread struct {
+	rts.Thread
+	sends *int64
+}
+
+func (c *countingThread) Send(dst int, tag rts.Tag, data []byte) {
+	if tag >= rts.ReservedBase {
+		atomic.AddInt64(c.sends, 1)
+	}
+	c.Thread.Send(dst, tag, data)
+}
+
+// TestAgreementSingleBroadcastRound asserts the acceptance criterion
+// directly: one collective phase costs exactly one broadcast round — P-1
+// point-to-point sends over the binomial tree — no matter how many
+// completed invocations it dispatches. The old protocol used 2+K
+// broadcasts (count, per-request decision, shutdown probe), i.e. (2+K)(P-1)
+// sends for the same phase.
+func TestAgreementSingleBroadcastRound(t *testing.T) {
+	const threads, k = 8, 5
+	var sends int64
+	var dispatched [threads]int32
+	g := rts.NewChanGroup("agree", threads)
+	g.Run(func(th rts.Thread) {
+		cth := &countingThread{Thread: th, sends: &sends}
+		p := New(cth, nil, nil)
+		p.objects["agree-1"] = &entry{iface: agreementIface(), servant: ServantFunc(func(ctx *Context, op string, in []any) (any, []any, error) {
+			dispatched[th.Rank()]++
+			return nil, nil, nil
+		}), spmd: true}
+		if th.Rank() == 0 {
+			seedReady(p, k)
+		}
+		th.Barrier() // plain th: barrier traffic is not counted
+		if n := p.collectivePhase(); n != k {
+			t.Errorf("rank %d dispatched %d decisions, want %d", th.Rank(), n, k)
+		}
+	})
+	if sends != threads-1 {
+		t.Errorf("agreement for %d decisions across %d threads used %d reserved-tag sends; want exactly %d (one broadcast round)",
+			k, threads, sends, threads-1)
+	}
+	for r, n := range dispatched {
+		if n != k {
+			t.Errorf("rank %d invoked the servant %d times, want %d", r, n, k)
+		}
+	}
+}
+
+// TestCorruptDecisionFaults: a decision payload that does not decode must
+// not panic the thread — it surfaces through the POA's failure path
+// (Fault non-nil, adapter deactivated) so every sibling stops dispatching
+// instead of diverging on order.
+func TestCorruptDecisionFaults(t *testing.T) {
+	cases := map[string][]byte{
+		// Decision claims decDispatch but the request octets are garbage.
+		"bad request": func() []byte {
+			e := cdr.NewEncoder(32)
+			e.PutULong(1)
+			e.PutOctets([]byte{decDispatch, 0xFF, 0xEE})
+			return e.Bytes()
+		}(),
+		// Frame promises two decisions but carries none.
+		"truncated frame": func() []byte {
+			e := cdr.NewEncoder(8)
+			e.PutULong(2)
+			return e.Bytes()
+		}(),
+	}
+	for name, frame := range cases {
+		frame := frame
+		t.Run(name, func(t *testing.T) {
+			g := rts.NewChanGroup("corrupt", 2)
+			g.Run(func(th rts.Thread) {
+				if th.Rank() == 0 {
+					rts.Bcast(th, 0, frame)
+					return
+				}
+				p := New(th, nil, nil)
+				p.objects["agree-1"] = &entry{iface: agreementIface(), servant: ServantFunc(func(ctx *Context, op string, in []any) (any, []any, error) {
+					return nil, nil, nil
+				}), spmd: true}
+				if n := p.collectivePhase(); n != 0 {
+					t.Errorf("dispatched %d decisions from a corrupt frame", n)
+				}
+				if p.Fault() == nil {
+					t.Error("corrupt decision did not surface through Fault")
+				} else if !strings.Contains(p.Fault().Error(), "corrupt") {
+					t.Errorf("fault %q does not name the corrupt decision", p.Fault())
+				}
+				if !p.shutdown {
+					t.Error("corrupt decision did not deactivate the adapter")
+				}
+			})
+		})
+	}
+}

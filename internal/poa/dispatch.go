@@ -20,48 +20,62 @@ const (
 	decShutdown byte = 2
 )
 
-// collectivePhase runs one round of the dispatch agreement: thread 0
-// broadcasts the invocations whose header sets completed (in arrival
-// order), every thread dispatches them identically.
+// collectivePhase runs one round of the dispatch agreement in a single
+// broadcast: thread 0 encodes the count and every completed invocation's
+// decision (in arrival order, shutdown last) into one length-prefixed
+// frame and broadcasts it once; every thread — thread 0 included — decodes
+// the frame and dispatches identically. One frame instead of 2+K
+// sequential broadcast rounds means agreement latency is one tree depth
+// regardless of how many invocations completed in the phase.
 func (p *POA) collectivePhase() int {
-	var payloads [][]byte
+	var frame []byte
 	if p.th.Rank() == 0 {
+		n := 0
+		for _, k := range p.ready {
+			if p.gathers[k] != nil {
+				n++
+			}
+		}
+		if p.pendingShutdown {
+			n++
+		}
+		e := cdr.GetEncoder(8 + 160*n)
+		e.PutULong(uint32(n))
 		for _, k := range p.ready {
 			g := p.gathers[k]
 			delete(p.gathers, k)
 			if g == nil {
 				continue
 			}
-			payloads = append(payloads, encodeDecision(g))
+			appendDecision(e, g)
 		}
 		p.ready = p.ready[:0]
 		if p.pendingShutdown {
-			payloads = append(payloads, []byte{decShutdown})
+			e.PutOctets(shutdownDecision)
 		}
-		// The count is built in a pooled encoder but broadcast as a copy:
-		// the chan backend hands buffers to receivers by reference, so a
-		// pooled buffer could be recycled under a slow reader.
-		cnt := cdr.GetEncoder(4)
-		cnt.PutULong(uint32(len(payloads)))
-		rts.Bcast(p.th, 0, append([]byte(nil), cnt.Bytes()...))
-		cnt.Release()
-		for _, d := range payloads {
-			rts.Bcast(p.th, 0, d)
-		}
-	} else {
-		d := cdr.GetDecoder(rts.Bcast(p.th, 0, nil))
-		n := int(d.GetULong())
-		d.Release()
-		for i := 0; i < n; i++ {
-			payloads = append(payloads, rts.Bcast(p.th, 0, nil))
-		}
+		// The frame is built in a pooled encoder but broadcast as a copy:
+		// the chan backend hands buffers to receivers by reference, and the
+		// decoded requests on every thread alias the frame for a whole
+		// dispatch, so a pooled buffer could be recycled under a reader.
+		frame = append([]byte(nil), e.Bytes()...)
+		e.Release()
 	}
+	frame = rts.Bcast(p.th, 0, frame)
+	// Decisions alias the frame (GetOctets never copies), which stays alive
+	// as long as any decoded request does — DESIGN.md §7 frame ownership.
+	d := cdr.GetDecoder(frame)
+	n := int(d.GetULong())
 	count := 0
-	for _, pay := range payloads {
+	for i := 0; i < n; i++ {
+		pay := d.GetOctets()
+		if err := d.Err(); err != nil {
+			p.faultCollective(fmt.Errorf("poa: corrupt dispatch frame: %w", err))
+			break
+		}
 		req, clients, kind, err := decodeDecision(pay)
 		if err != nil {
-			// A corrupt internal broadcast is a bug, not recoverable state.
-			panic(fmt.Sprintf("poa: corrupt dispatch decision: %v", err))
+			p.faultCollective(fmt.Errorf("poa: corrupt dispatch decision: %w", err))
+			break
 		}
 		if kind == decShutdown {
 			p.shutdown = true
@@ -70,31 +84,47 @@ func (p *POA) collectivePhase() int {
 		p.dispatchSPMD(req, clients)
 		count++
 	}
+	d.Release()
 	return count
 }
 
-func encodeDecision(g *gather) []byte {
+// shutdownDecision is the one-octet decision payload announcing shutdown.
+var shutdownDecision = []byte{decShutdown}
+
+// faultCollective records an unrecoverable failure of the dispatch
+// agreement itself and deactivates the adapter through the existing
+// shutdown path: a decision frame that does not decode means this thread
+// can no longer agree with its siblings on dispatch order, and continuing
+// would silently break the §2.1 ordering guarantee. ImplIsReady returns
+// after the current phase; the server program observes the cause via
+// Fault.
+func (p *POA) faultCollective(err error) {
+	if p.fault == nil {
+		p.fault = err
+	}
+	p.shutdown = true
+}
+
+// appendDecision encodes one dispatch decision, length-prefixed, into the
+// agreement frame under construction.
+func appendDecision(e *cdr.Encoder, g *gather) {
 	var clients []clientInfo
 	for rank, r := range g.reqs {
 		clients = append(clients, clientInfo{Rank: rank, ReqID: r.ReqID, Addr: r.ReplyAddr})
 	}
 	sort.Slice(clients, func(a, b int) bool { return clients[a].Rank < clients[b].Rank })
 	req := g.reqs[0]
-	e := cdr.GetEncoder(256)
-	e.PutOctet(decDispatch)
-	e.PutOctets(pgiop.EncodeRequest(req))
-	e.PutSeqLen(len(clients))
+	inner := cdr.GetEncoder(256)
+	inner.PutOctet(decDispatch)
+	inner.PutOctets(pgiop.EncodeRequest(req))
+	inner.PutSeqLen(len(clients))
 	for _, c := range clients {
-		e.PutLong(c.Rank)
-		e.PutULong(c.ReqID)
-		e.PutString(c.Addr)
+		inner.PutLong(c.Rank)
+		inner.PutULong(c.ReqID)
+		inner.PutString(c.Addr)
 	}
-	// Copied out rather than returned from the pooled buffer: the decision
-	// is broadcast through mailboxes that retain it by reference, and the
-	// decoded request on every thread aliases it for a whole dispatch.
-	pay := append([]byte(nil), e.Bytes()...)
-	e.Release()
-	return pay
+	e.PutOctets(inner.Bytes())
+	inner.Release()
 }
 
 func decodeDecision(pay []byte) (*pgiop.Request, []clientInfo, byte, error) {

@@ -8,10 +8,12 @@
 //
 // An SPMD invocation is accepted only when every client thread has issued
 // it. All request headers arrive at server thread 0, which gathers them per
-// (binding, sequence number); when a set completes, thread 0 broadcasts a
-// dispatch decision through the server's run-time system, so every
-// computing thread dequeues requests in the identical order — the ordering
-// guarantee of §2.1. Threads then collect their in-argument segments
+// (binding, sequence number); once per polling round thread 0 packs every
+// completed set's dispatch decision into a single agreement frame and
+// broadcasts it once through the server's run-time system (a log-depth
+// tree), so every computing thread dequeues requests in the identical
+// order — the ordering guarantee of §2.1 at one broadcast of latency per
+// phase regardless of how many invocations completed. Threads then collect their in-argument segments
 // (which client threads sent them directly), run the servant collectively,
 // ship out-argument segments directly to the client threads, and thread 0
 // completes the invocation with per-thread replies.
@@ -106,6 +108,7 @@ type POA struct {
 	segs            map[segKey][]*pgiop.ArgStream
 	shutdown        bool
 	pendingShutdown bool
+	fault           error // unrecoverable agreement failure (see faultCollective)
 
 	// pool, when non-nil, pipelines single-object dispatch across worker
 	// goroutines (see SetDispatchWorkers). SPMD dispatch never uses it.
@@ -249,6 +252,12 @@ func (p *POA) directCall(e *entry, op *core.Operation, args []any) ([]any, error
 // Deactivate marks the server for shutdown; ImplIsReady returns after the
 // current collective round.
 func (p *POA) Deactivate() { p.pendingShutdown = true }
+
+// Fault reports the internal failure that deactivated the adapter, if any:
+// non-nil after the dispatch agreement received a frame it could not
+// decode (nil after a clean Deactivate or Shutdown message). Check it when
+// ImplIsReady returns unexpectedly.
+func (p *POA) Fault() error { return p.fault }
 
 // ImplIsReady passes control to PARDIS: the thread polls for requests until
 // the server is deactivated (by Deactivate or a Shutdown message).

@@ -17,9 +17,6 @@ type ChanGroup struct {
 	cond  *sync.Cond
 	boxes [][]Message // mailbox per destination rank
 
-	barrierGen   int
-	barrierCount int
-
 	winOnce sync.Once
 	wins    *winStore
 }
@@ -115,22 +112,9 @@ func (t *chanThread) Probe(src int, tag Tag) bool {
 	return false
 }
 
-func (t *chanThread) Barrier() {
-	g := t.g
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	gen := g.barrierGen
-	g.barrierCount++
-	if g.barrierCount == g.size {
-		g.barrierCount = 0
-		g.barrierGen++
-		g.cond.Broadcast()
-		return
-	}
-	for g.barrierGen == gen {
-		g.cond.Wait()
-	}
-}
+// Barrier implements Comm (dissemination over Send/Recv, shared with the
+// sim and TCP backends).
+func (t *chanThread) Barrier() { runBarrier(t) }
 
 // Window support: the group's shared store, free on an in-process backend.
 

@@ -15,7 +15,11 @@
 //     simnet-modeled transfer costs; used by the experiment harness.
 package rts
 
-import "fmt"
+import (
+	"fmt"
+
+	"pardis/internal/cdr"
+)
 
 // Tag labels a message class. Tags at or above ReservedBase are reserved
 // for PARDIS itself; application code must stay below it (the paper's
@@ -27,7 +31,7 @@ const ReservedBase Tag = 0xF000_0000
 
 // Reserved internal tags.
 const (
-	TagBarrier Tag = ReservedBase + iota
+	TagBarrier Tag = ReservedBase + iota // legacy flat-barrier tag (unused by the tree collectives)
 	TagBcast
 	TagGather
 	TagRequest  // ORB request headers delivered into the server's domain
@@ -35,6 +39,34 @@ const (
 	TagReply
 	TagDSeq // distributed-sequence internal traffic (redistribution, At)
 )
+
+// Per-round collective tags. Every tree collective derives one tag per
+// round from its own block above ReservedBase, so a message can only ever
+// match the Recv of the same round of the same collective kind; together
+// with explicit-rank receives and the per-(src, tag) FIFO delivery
+// guarantee this keeps back-to-back collectives from interleaving — the
+// (src, dst, tag) schedule of a collective is a deterministic function of
+// (rank, root, size), so the i-th send on a channel is always consumed by
+// the i-th Recv for it (see DESIGN.md §9).
+//
+// collRounds bounds the rounds of the logarithmic algorithms (64 covers
+// any conceivable P); the ring all-gather has P-1 rounds but a strict
+// chain dependency between them, so one tag suffices for the whole ring.
+const (
+	collRounds           = 64
+	tagBcastBase     Tag = ReservedBase + 0x100
+	tagGatherBase        = tagBcastBase + collRounds
+	tagAllGatherBase     = tagGatherBase + collRounds
+	tagBarrierBase       = tagAllGatherBase + collRounds
+	tagReduceBase        = tagBarrierBase + collRounds
+	tagRing              = tagReduceBase + collRounds
+)
+
+func bcastTag(round int) Tag     { return tagBcastBase + Tag(round) }
+func gatherTag(round int) Tag    { return tagGatherBase + Tag(round) }
+func allGatherTag(round int) Tag { return tagAllGatherBase + Tag(round) }
+func barrierTag(round int) Tag   { return tagBarrierBase + Tag(round) }
+func reduceTag(round int) Tag    { return tagReduceBase + Tag(round) }
 
 // AnySource matches any sending rank in Recv/Probe.
 const AnySource = -1
@@ -95,54 +127,227 @@ func CheckRank(c Comm, dst int) {
 	}
 }
 
-// Bcast distributes root's data to every thread; each thread passes its own
-// (possibly nil for non-roots) data and receives root's. Collective.
+// Buffer ownership of collective results (the collective extension of the
+// DESIGN.md §7 frame-ownership rules):
+//
+//   - A buffer passed into a collective is frozen at the call: on borrow-mode
+//     backends (chan, sim) it is delivered to peers by reference, so the
+//     caller must not mutate it afterward — copy first if the storage will
+//     be reused.
+//   - The root of Bcast gets its own slice back (identity-preserved); every
+//     other thread gets a frame-aliased slice on borrow-mode backends, or a
+//     receiver-owned frame slice on TCP. Either way the bytes are stable
+//     indefinitely and read-only.
+//   - Gather/AllGather/Reduce results follow the same rule: a thread's own
+//     contribution comes back as the very slice it passed (nil included);
+//     peer blocks alias received frames. Empty and nil blocks are
+//     equivalent on the wire — a peer's nil contribution may surface as an
+//     empty non-nil slice.
+
+// Bcast distributes root's data to every thread along a binomial tree
+// (⌈log₂P⌉ rounds, P-1 messages); each thread passes its own (possibly nil
+// for non-roots) data and receives root's. Collective.
 func Bcast(c Comm, root int, data []byte) []byte {
-	if c.Rank() == root {
-		for r := 0; r < c.Size(); r++ {
-			if r != root {
-				c.Send(r, TagBcast, data)
-			}
-		}
+	CheckRank(c, root)
+	size := c.Size()
+	if size == 1 {
 		return data
 	}
-	return c.Recv(root, TagBcast).Data
-}
-
-// Gather collects each thread's data at root; root receives a slice indexed
-// by rank, others receive nil. Collective.
-func Gather(c Comm, root int, data []byte) [][]byte {
-	if c.Rank() != root {
-		c.Send(root, TagGather, data)
-		return nil
+	rel := (c.Rank() - root + size) % size
+	// Receive from the parent — the node whose relative rank clears my
+	// lowest set bit — in the round numbered by that bit.
+	mask := 1
+	round := 0
+	for mask < size {
+		if rel&mask != 0 {
+			data = c.Recv((rel-mask+root)%size, bcastTag(round)).Data
+			break
+		}
+		mask <<= 1
+		round++
 	}
-	out := make([][]byte, c.Size())
-	out[root] = data
-	// Receive from each rank specifically: per-peer ordering then keeps
-	// back-to-back collectives from interleaving (an AnySource wildcard
-	// here could steal a rank's message meant for the *next* collective).
-	for r := 0; r < c.Size(); r++ {
-		if r != root {
-			out[r] = c.Recv(r, TagGather).Data
+	// Forward to the children, widest subtree first (the mirror of the
+	// receive schedule, so sender and receiver agree on the round tag).
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		round--
+		if rel+mask < size {
+			c.Send((rel+mask+root)%size, bcastTag(round), data)
 		}
 	}
-	return out
+	return data
 }
 
-// AllGather gives every thread the slice of all threads' data. Collective.
-func AllGather(c Comm, data []byte) [][]byte {
-	parts := Gather(c, 0, data)
-	if c.Rank() == 0 {
-		for r := 1; r < c.Size(); r++ {
-			for _, p := range parts {
-				c.Send(r, TagBcast, p)
+// Gather collects each thread's data at root along a binomial tree: every
+// node ships its whole subtree's blocks to its parent as one framed
+// message, so depth is ⌈log₂P⌉ instead of the P-1 serial receives of a
+// flat gather. Root receives a slice indexed by rank, others receive nil.
+// Collective.
+func Gather(c Comm, root int, data []byte) [][]byte {
+	CheckRank(c, root)
+	size := c.Size()
+	if size == 1 {
+		return [][]byte{data}
+	}
+	rel := (c.Rank() - root + size) % size
+	// acc[i] is the block of relative rank rel+i: a binomial subtree covers
+	// a contiguous relative-rank range, so position is implicit in order.
+	acc := make([][]byte, 1, 8)
+	acc[0] = data
+	round := 0
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			// Ship the accumulated subtree to the parent as one frame.
+			n := 4
+			for _, b := range acc {
+				n += 8 + len(b)
+			}
+			e := cdr.NewEncoder(n)
+			e.PutSeqLen(len(acc))
+			for _, b := range acc {
+				e.PutOctets(b)
+			}
+			c.Send((rel-mask+root)%size, gatherTag(round), e.Bytes())
+			return nil
+		}
+		if rel+mask < size {
+			src := (rel + mask + root) % size
+			d := cdr.NewDecoder(c.Recv(src, gatherTag(round)).Data)
+			n := d.GetSeqLen(1)
+			for i := 0; i < n; i++ {
+				acc = append(acc, d.GetOctets())
+			}
+			if err := d.Err(); err != nil {
+				panic(fmt.Sprintf("rts: corrupt gather frame from rank %d: %v", src, err))
 			}
 		}
-		return parts
+		round++
 	}
-	out := make([][]byte, c.Size())
-	for i := range out {
-		out[i] = c.Recv(0, TagBcast).Data
+	// Root: acc is indexed by relative rank; rotate into absolute ranks.
+	out := make([][]byte, size)
+	for i, b := range acc {
+		out[(root+i)%size] = b
 	}
 	return out
+}
+
+// AllGather gives every thread the slice of all threads' data via the
+// Bruck dissemination algorithm: ⌈log₂P⌉ pairwise exchange rounds, each
+// shipping the blocks accumulated so far (tagged with their owner rank, so
+// unequal block sizes and non-power-of-two P need no special casing).
+// Collective.
+func AllGather(c Comm, data []byte) [][]byte {
+	size, rank := c.Size(), c.Rank()
+	out := make([][]byte, size)
+	out[rank] = data
+	round := 0
+	for cnt := 1; cnt < size; round++ {
+		// I hold blocks of ranks rank..rank+cnt-1 (mod size); send the
+		// first m of them back by cnt positions, receive the next m from
+		// cnt positions ahead.
+		m := cnt
+		if size-cnt < m {
+			m = size - cnt
+		}
+		frame := 4
+		for j := 0; j < m; j++ {
+			frame += 12 + len(out[(rank+j)%size])
+		}
+		e := cdr.NewEncoder(frame)
+		e.PutSeqLen(m)
+		for j := 0; j < m; j++ {
+			r := (rank + j) % size
+			e.PutLong(int32(r))
+			e.PutOctets(out[r])
+		}
+		c.Send((rank-cnt+size)%size, allGatherTag(round), e.Bytes())
+		src := (rank + cnt) % size
+		d := cdr.NewDecoder(c.Recv(src, allGatherTag(round)).Data)
+		n := d.GetSeqLen(1)
+		for j := 0; j < n; j++ {
+			r := int(d.GetLong())
+			b := d.GetOctets()
+			if d.Err() != nil || r < 0 || r >= size {
+				panic(fmt.Sprintf("rts: corrupt allgather frame from rank %d: %v", src, d.Err()))
+			}
+			out[r] = b
+		}
+		cnt += m
+	}
+	return out
+}
+
+// AllGatherRing is the bandwidth-optimal all-gather for large payloads:
+// P-1 rounds around a ring, each rank forwarding one raw block to its
+// successor, so no block is ever re-framed and per-rank traffic is exactly
+// the result size. Latency grows with P — prefer AllGather (log-depth) for
+// small control payloads. Collective.
+func AllGatherRing(c Comm, data []byte) [][]byte {
+	size, rank := c.Size(), c.Rank()
+	out := make([][]byte, size)
+	out[rank] = data
+	next, prev := (rank+1)%size, (rank-1+size)%size
+	// Round k forwards the block received in round k-1, so each rank's
+	// sends to its successor are chained: one tag carries the whole ring
+	// without reordering risk.
+	for k := 0; k < size-1; k++ {
+		c.Send(next, tagRing, out[(rank-k+size)%size])
+		out[(rank-k-1+size)%size] = c.Recv(prev, tagRing).Data
+	}
+	return out
+}
+
+// ReduceOp combines two collective payloads: acc is the local accumulator,
+// which the op may modify in place and return (or replace with a fresh
+// slice); in is a peer's contribution, which must be treated as read-only
+// and not retained after the call (it may alias a transport frame). The
+// operation must be associative and commutative — the tree combines
+// contributions in subtree order, not rank order.
+type ReduceOp func(acc, in []byte) []byte
+
+// Reduce folds every thread's data with op along a binomial tree (the
+// mirror of Bcast: ⌈log₂P⌉ rounds, P-1 messages); root receives the fold,
+// others receive nil. Collective.
+func Reduce(c Comm, root int, data []byte, op ReduceOp) []byte {
+	CheckRank(c, root)
+	size := c.Size()
+	if size == 1 {
+		return data
+	}
+	rel := (c.Rank() - root + size) % size
+	acc := data
+	round := 0
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			c.Send((rel-mask+root)%size, reduceTag(round), acc)
+			return nil
+		}
+		if rel+mask < size {
+			acc = op(acc, c.Recv((rel+mask+root)%size, reduceTag(round)).Data)
+		}
+		round++
+	}
+	return acc
+}
+
+// AllReduce folds every thread's data with op and delivers the result to
+// all threads (tree reduce to rank 0, then tree broadcast: 2⌈log₂P⌉
+// rounds). Collective.
+func AllReduce(c Comm, data []byte, op ReduceOp) []byte {
+	return Bcast(c, 0, Reduce(c, 0, data, op))
+}
+
+// runBarrier is the dissemination barrier every backend's Barrier method
+// delegates to: in round k each rank signals the peer 2^k ahead and waits
+// for the peer 2^k behind, so after ⌈log₂P⌉ rounds every rank has
+// transitively heard from every other. Layering it on Send/Recv keeps the
+// three Comm backends' semantics identical and gives the simulated fabric
+// log-depth modeled latency for free.
+func runBarrier(c Comm) {
+	size, rank := c.Size(), c.Rank()
+	round := 0
+	for dist := 1; dist < size; dist <<= 1 {
+		c.Send((rank+dist)%size, barrierTag(round), nil)
+		c.Recv((rank-dist+size)%size, barrierTag(round))
+		round++
+	}
 }

@@ -98,20 +98,10 @@ func (t *SimThread) Probe(src int, tag Tag) bool {
 	return t.p.PeekMatch(t.g.boxes[t.rank], simMatch(src, tag))
 }
 
-func (t *SimThread) Barrier() {
-	// Flat tree: everyone reports to rank 0, rank 0 releases everyone.
-	if t.rank == 0 {
-		for i := 0; i < t.Size()-1; i++ {
-			t.Recv(AnySource, TagBarrier)
-		}
-		for r := 1; r < t.Size(); r++ {
-			t.Send(r, TagBarrier, nil)
-		}
-		return
-	}
-	t.Send(0, TagBarrier, nil)
-	t.Recv(0, TagBarrier)
-}
+// Barrier implements Comm (dissemination over Send/Recv, shared with the
+// chan and TCP backends): ⌈log₂P⌉ rounds of modeled messages, so barrier
+// latency on the virtual clock scales logarithmically with thread count.
+func (t *SimThread) Barrier() { runBarrier(t) }
 
 // Window support on the simulated backend: the shared store is free to
 // reach, but each access charges the host's internal-interconnect cost, so

@@ -290,20 +290,9 @@ func (t *TCPThread) Probe(src int, tag Tag) bool {
 	return false
 }
 
-// Barrier implements Comm (flat tree through rank 0).
-func (t *TCPThread) Barrier() {
-	if t.rank == 0 {
-		for i := 0; i < t.size-1; i++ {
-			t.Recv(AnySource, TagBarrier)
-		}
-		for r := 1; r < t.size; r++ {
-			t.Send(r, TagBarrier, nil)
-		}
-		return
-	}
-	t.Send(0, TagBarrier, nil)
-	t.Recv(0, TagBarrier)
-}
+// Barrier implements Comm (dissemination over Send/Recv, shared with the
+// chan and sim backends).
+func (t *TCPThread) Barrier() { runBarrier(t) }
 
 // Close releases the transport endpoint.
 func (t *TCPThread) Close() error { return t.ep.Close() }
