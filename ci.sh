@@ -21,3 +21,14 @@ go test -run NONE -bench 'ScheduleCache|SegmentFanout|SingleDispatchPipelined' -
 # Same for the tree collectives and the single-frame dispatch agreement.
 go test -run NONE -bench 'Bcast|AllGather|Barrier' -benchtime 1x ./internal/rts
 go test -run NONE -bench 'DispatchAgreement' -benchtime 1x ./internal/poa
+
+# Fault lane: every fault-injection / deadline / recovery test under the
+# race detector (their whole point is timing races between sweeps, retries,
+# late replies, and peer death).
+go test -race -run Fault -count=1 ./internal/nexus ./internal/rts ./internal/poa
+
+# Seeded chaos soak: the dead-rank and lossy-network scenarios repeated
+# under fixed injection seeds. Deterministic schedules, so a failure here
+# reproduces with the same -count and seed corpus; includes the
+# goroutine-leak check after every iteration.
+go test -run FaultChaosSoak -count=20 ./internal/poa

@@ -23,6 +23,9 @@ type Binding struct {
 	localObj *localObject
 
 	outDists map[string]map[int]dist.Template
+
+	deadline float64 // per-invocation deadline, seconds; 0 = unbounded
+	retry    RetryPolicy
 }
 
 // Bind establishes a per-thread binding to the object (the paper's bind():
@@ -102,6 +105,22 @@ func (b *Binding) outDist(op string, param int, prm *Param) dist.Template {
 	}
 	return prm.ClientDist
 }
+
+// SetDeadline bounds every subsequent invocation on this binding: an
+// invocation that has not completed (reply plus all distributed out
+// segments) within seconds resolves its futures with an InvokeError
+// wrapping ErrDeadline, attributing the silent server ranks. The deadline
+// travels in the request header so the server can bound its own blocking
+// waits to the same budget. Zero restores unbounded waiting.
+func (b *Binding) SetDeadline(seconds float64) { b.deadline = seconds }
+
+// Deadline returns the binding's per-invocation deadline (seconds).
+func (b *Binding) Deadline() float64 { return b.deadline }
+
+// SetRetryPolicy arms automatic re-issue of timed-out invocations on this
+// binding. Retries apply only to idempotent, non-oneway, non-collective
+// operations with a deadline set — see RetryPolicy for the rationale.
+func (b *Binding) SetRetryPolicy(rp RetryPolicy) { b.retry = rp }
 
 // Locate asks the server whether it hosts the bound object — the
 // LocateRequest round trip.

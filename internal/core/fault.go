@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ErrDeadline marks an invocation that exhausted its deadline (and any
+// retry budget) without completing. Test with errors.Is; the wrapping
+// InvokeError carries attribution.
+var ErrDeadline = errors.New("core: invocation deadline exceeded")
+
+// InvokeError is the structured failure of a deadlined invocation: which
+// operation, how many attempts were made, what stage was incomplete when
+// the deadline fired, and — when distributed out arguments were in flight —
+// which server ranks had not delivered their shares. A missing reply
+// implicates server thread 0 (the collectivity point); missing segments
+// implicate the specific owning threads, turning a silent hang into a
+// rank-attributed diagnosis.
+type InvokeError struct {
+	Op       string
+	Attempts int
+	// Stage is what the client was still waiting for: "reply" (no reply
+	// frame yet) or "out-segments" (reply arrived, distributed out-argument
+	// elements did not all follow).
+	Stage string
+	// MissingRanks lists server thread ranks whose expected data never
+	// arrived (sorted). For Stage "reply" this is [0]; for "out-segments"
+	// it is computed from the exchange schedule.
+	MissingRanks []int
+	Err          error // ErrDeadline (or a transport error on a final failed resend)
+}
+
+func (e *InvokeError) Error() string {
+	return fmt.Sprintf("core: %s: %v after %d attempt(s), waiting on %s from server ranks %v",
+		e.Op, e.Err, e.Attempts, e.Stage, e.MissingRanks)
+}
+
+func (e *InvokeError) Unwrap() error { return e.Err }
+
+// RetryPolicy governs automatic client-side re-issue of a failed or
+// timed-out invocation. Retries apply only where re-execution is safe and
+// attribution is simple:
+//
+//   - the operation is marked idempotent in the IDL (re-running it is
+//     harmless even if the server executed the lost attempt),
+//   - it is not oneway (a oneway has no reply to time out on),
+//   - it carries no distributed in arguments and the binding is not SPMD
+//     (collective invocations must fail collectively; re-issuing from one
+//     thread of a parallel client would desynchronize the dispatch
+//     agreement),
+//   - a per-invocation deadline is set (the deadline is what detects the
+//     loss being retried).
+//
+// Each retry is a fresh request with a fresh ReqID; replies to a
+// superseded attempt are discarded by ID, never matched to the retry.
+type RetryPolicy struct {
+	// MaxAttempts counts the initial send: 1 means no retries, 3 means up
+	// to two re-issues. 0 is treated as 1.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry, seconds; each
+	// further retry doubles it. Default 10ms.
+	BaseBackoff float64
+	// MaxBackoff caps the exponential growth, seconds. Default 500ms.
+	MaxBackoff float64
+	// JitterSeed seeds the ±25% backoff jitter so tests are reproducible.
+	// The zero seed is a valid (fixed) seed.
+	JitterSeed uint64
+}
+
+func (rp RetryPolicy) attempts() int {
+	if rp.MaxAttempts < 1 {
+		return 1
+	}
+	return rp.MaxAttempts
+}
+
+// backoff computes the delay (seconds) before re-issuing attempt n (the
+// first retry is n=1): exponential growth with multiplicative jitter drawn
+// from rng.
+func (rp RetryPolicy) backoff(n int, rng *rand.Rand) float64 {
+	base := rp.BaseBackoff
+	if base <= 0 {
+		base = 0.010
+	}
+	cap := rp.MaxBackoff
+	if cap <= 0 {
+		cap = 0.500
+	}
+	d := base
+	for i := 1; i < n && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d * (0.75 + 0.5*rng.Float64())
+}
+
+// sortedRanks returns the int keys of set, sorted — stable MissingRanks
+// for error messages and assertions.
+func sortedRanks(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

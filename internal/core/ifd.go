@@ -84,6 +84,12 @@ type Operation struct {
 	Params []Param
 	Result *typecode.TypeCode // nil for void
 	Oneway bool
+	// Idempotent marks the operation safe to execute more than once with
+	// the same arguments (IDL `idempotent` qualifier). Only idempotent
+	// operations are eligible for automatic client-side retry: a retry may
+	// re-execute an operation whose first reply was lost after the servant
+	// already ran.
+	Idempotent bool
 }
 
 // HasDistributed reports whether any parameter is distributed.

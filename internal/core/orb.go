@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
 	"pardis/internal/cdr"
 	"pardis/internal/dist"
@@ -28,8 +30,9 @@ type ORB struct {
 	comm  rts.Comm // nil for a single (non-SPMD) client
 	local *LocalTable
 
-	mu       sync.Mutex // guards pending across resolve/pump reentry
+	mu       sync.Mutex // guards pending/backoff across resolve/pump reentry
 	pending  map[uint32]*pendingReq
+	backoff  []*pendingReq // timed-out retryable requests awaiting re-issue
 	nextReq  uint32
 	nextBind int
 
@@ -95,13 +98,66 @@ type pendingReq struct {
 	reply   *pgiop.Reply
 	binding string
 	seqNo   uint32
-	server0 string // thread-0 address, for cancellation
+	server0 string // thread-0 address, for cancellation and resends
 	// Distributed out-argument state, keyed by parameter index.
 	holders map[int]dseq.Distributed
 	tmpls   map[int]dist.Template
 	need    map[int]int
 	got     map[int]int
 	buf     []*pgiop.ArgStream // segments that arrived before the reply
+
+	// Deadline and retry state (zero when the binding sets no deadline).
+	deadline   float64 // per-attempt budget, seconds; 0 = unbounded
+	deadlineAt float64 // ORB-clock instant the current attempt expires
+	resendAt   float64 // when parked in o.backoff: instant to re-issue
+	attempt    int     // attempts issued so far (first send = 1)
+	policy     RetryPolicy
+	rng        *rand.Rand     // per-request jitter stream (nil unless retryable)
+	req        *pgiop.Request // retained for re-encoding resends (nil unless retryable)
+	serverSize int
+	// gotBy counts out-segment elements by sending server rank, for
+	// attributing a partial transfer to the ranks that went silent.
+	gotBy map[int]int
+}
+
+// retryable reports whether this request may be re-issued (see RetryPolicy).
+func (p *pendingReq) retryable() bool { return p.req != nil }
+
+// claim atomically removes the pending entry for id, returning it — or nil
+// when another path (cancel, timeout sweep, transport failure) already
+// claimed it. Every resolution path claims before resolving, so a cell is
+// resolved exactly once even when a late reply races a timeout or cancel;
+// and because request IDs are never reused, a reply to a superseded attempt
+// finds nothing to claim and is discarded here.
+func (o *ORB) claim(id uint32) *pendingReq {
+	o.mu.Lock()
+	p := o.pending[id]
+	delete(o.pending, id)
+	o.mu.Unlock()
+	return p
+}
+
+// now reads the ORB's clock: the communicator's virtual clock when it has
+// one, wall time otherwise — the same convention as the RTS deadline layer.
+func (o *ORB) now() float64 {
+	if t, ok := o.comm.(interface{ Elapsed() float64 }); ok {
+		return t.Elapsed()
+	}
+	return time.Since(orbEpoch).Seconds()
+}
+
+var orbEpoch = time.Now()
+
+// pumpQuantum is the idle sleep between non-blocking receive polls while
+// deadlines are armed; it bounds how late past its instant a timeout fires.
+const pumpQuantum = 200e-6
+
+func (o *ORB) idle(seconds float64) {
+	if t, ok := o.comm.(interface{ Sleep(float64) }); ok {
+		t.Sleep(seconds)
+		return
+	}
+	time.Sleep(time.Duration(seconds * float64(time.Second)))
 }
 
 // Invoke performs a blocking invocation on a binding: it returns when the
@@ -154,11 +210,14 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 
 	cell := future.NewCell()
 	p := &pendingReq{
-		cell:    cell,
-		op:      opDef,
-		binding: b.id,
-		seqNo:   b.seq,
-		server0: b.ior.Addrs[0],
+		cell:       cell,
+		op:         opDef,
+		binding:    b.id,
+		seqNo:      b.seq,
+		server0:    b.ior.Addrs[0],
+		deadline:   b.deadline,
+		policy:     b.retry,
+		serverSize: b.ior.ServerSize,
 	}
 
 	req := &pgiop.Request{
@@ -170,6 +229,7 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 		ObjectKey:  b.ior.Key,
 		Operation:  op,
 		Oneway:     opDef.Oneway,
+		DeadlineMS: deadlineMS(b.deadline),
 	}
 	b.seq++
 
@@ -226,6 +286,17 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 	}
 	req.Body = enc.Bytes()
 
+	// Retry eligibility (see RetryPolicy): when armed, the request is
+	// retained for re-encoding — with the Body copied out of the pooled
+	// encoder, which is recycled when InvokeNB returns.
+	if b.retry.attempts() > 1 && opDef.Idempotent && !opDef.Oneway &&
+		len(req.DistIns) == 0 && !b.spmd && b.deadline > 0 {
+		kept := *req
+		kept.Body = append([]byte(nil), req.Body...)
+		p.req = &kept
+		p.rng = rand.New(rand.NewSource(int64(b.retry.JitterSeed) + int64(b.seq)))
+	}
+
 	o.mu.Lock()
 	o.nextReq++
 	req.ReqID = o.nextReq
@@ -233,6 +304,10 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 		o.pending[req.ReqID] = p
 	}
 	o.mu.Unlock()
+	p.attempt = 1
+	if p.deadline > 0 && !opDef.Oneway {
+		p.deadlineAt = o.now() + p.deadline
+	}
 
 	// Header goes to server thread 0 (the collectivity point). The request
 	// header and the marshaled body travel as one vectored frame — the body
@@ -242,6 +317,15 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 	err := o.sendV2(nexus.Addr(b.ior.Addrs[0]), hdr.Bytes(), req.Body)
 	hdr.Release()
 	if err != nil {
+		if p.retryable() {
+			// A failed send is the easiest loss to retry: park the request
+			// for backoff instead of failing the invocation.
+			if q := o.claim(req.ReqID); q != nil {
+				o.park(q)
+				cell.SetPump(o.pumpFn)
+				return cell, nil
+			}
+		}
 		o.dropPending(req.ReqID)
 		return nil, fmt.Errorf("core: %s: %w", op, err)
 	}
@@ -264,6 +348,30 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 	return cell, nil
 }
 
+// deadlineMS converts a seconds deadline to the wire's millisecond field.
+func deadlineMS(seconds float64) uint32 {
+	if seconds <= 0 {
+		return 0
+	}
+	ms := seconds * 1000
+	if ms < 1 {
+		return 1
+	}
+	if ms > float64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(ms)
+}
+
+// park schedules a claimed retryable request for re-issue after backoff.
+func (o *ORB) park(p *pendingReq) {
+	p.resendAt = o.now() + p.policy.backoff(p.attempt, p.rng)
+	p.deadlineAt = 0
+	o.mu.Lock()
+	o.backoff = append(o.backoff, p)
+	o.mu.Unlock()
+}
+
 // ErrCancelled resolves futures of invocations withdrawn with Cancel.
 var ErrCancelled = errors.New("core: request cancelled")
 
@@ -283,6 +391,16 @@ func (o *ORB) Cancel(cell *future.Cell) bool {
 	}
 	if p != nil {
 		delete(o.pending, id)
+	} else {
+		// The invocation may be parked awaiting a retry rather than in
+		// flight; withdrawing it then is purely local.
+		for i, pr := range o.backoff {
+			if pr.cell == cell {
+				p = pr
+				o.backoff = append(o.backoff[:i], o.backoff[i+1:]...)
+				break
+			}
+		}
 	}
 	o.mu.Unlock()
 	if p == nil {
@@ -317,6 +435,7 @@ func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dse
 	// would force every InvokeNB's request header to the heap — including
 	// invocations with no distributed arguments at all.
 	bindingID, seqNo := req.BindingID, req.SeqNo
+	sender := int32(o.rank())
 	return FanOutMoves(workers, moves, func(m *dist.Move, iov *[2][]byte) error {
 		// Pooled payload and header encoders; the vectored send frames them
 		// without a concatenating copy, and neither is retained after it.
@@ -327,6 +446,7 @@ func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dse
 			SeqNo:     seqNo,
 			Param:     int32(param),
 			Dir:       pgiop.DirIn,
+			Sender:    sender,
 			Runs:      wireRuns(m.Runs),
 			Payload:   enc.Bytes(),
 		}
@@ -353,17 +473,194 @@ func wireRuns(runs []dist.Run) []pgiop.Run {
 }
 
 // pump processes incoming client-bound messages on the client thread — the
-// progress function behind future resolution.
+// progress function behind future resolution. While any pending invocation
+// has a deadline (or a retry is parked for re-issue), a blocking pump never
+// parks in the transport's blocking receive: it alternates non-blocking
+// polls with the timeout sweep so expiry fires on time.
 func (o *ORB) pump(block bool) {
-	m, ok, err := o.r.RecvClient(block)
+	for {
+		timed := o.hasTimed()
+		if !timed && block {
+			// No deadline armed: the original blocking receive.
+			m, ok, err := o.r.RecvClient(true)
+			if err != nil {
+				o.failAll(err)
+				return
+			}
+			if ok {
+				o.handleMsg(m)
+			}
+			return
+		}
+		m, ok, err := o.r.RecvClient(false)
+		if err != nil {
+			o.failAll(err)
+			return
+		}
+		if ok {
+			o.handleMsg(m)
+			return
+		}
+		progress := false
+		if timed {
+			progress = o.sweep()
+		}
+		if progress || !block {
+			return
+		}
+		o.idle(pumpQuantum)
+	}
+}
+
+// hasTimed reports whether any in-flight request carries a deadline or any
+// retry is parked for re-issue.
+func (o *ORB) hasTimed() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.backoff) > 0 {
+		return true
+	}
+	for _, p := range o.pending {
+		if p.deadlineAt > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sweep fires expired deadlines and due resends, reporting whether it made
+// progress (resolved or re-issued at least one request). Actions are
+// collected under the lock and performed outside it, since resolving a cell
+// or sending a frame must not hold o.mu.
+func (o *ORB) sweep() bool {
+	now := o.now()
+	var expired, due []*pendingReq
+	o.mu.Lock()
+	for id, p := range o.pending {
+		if p.deadlineAt > 0 && now >= p.deadlineAt {
+			// Claim under this same lock hold: a late reply arriving after
+			// the sweep finds no entry and is discarded.
+			delete(o.pending, id)
+			expired = append(expired, p)
+		}
+	}
+	if len(o.backoff) > 0 {
+		kept := o.backoff[:0]
+		for _, p := range o.backoff {
+			if now >= p.resendAt {
+				due = append(due, p)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		o.backoff = kept
+	}
+	o.mu.Unlock()
+
+	for _, p := range expired {
+		if p.retryable() && p.attempt < p.policy.attempts() {
+			o.park(p)
+		} else {
+			p.cell.Resolve(nil, o.deadlineError(p))
+		}
+	}
+	for _, p := range due {
+		o.resend(p)
+	}
+	return len(expired)+len(due) > 0
+}
+
+// resend re-issues a parked retryable request as a fresh attempt with a
+// fresh request ID, so any straggler reply or segment addressed to the old
+// ID can never satisfy the new attempt.
+func (o *ORB) resend(p *pendingReq) {
+	p.reply = nil
+	p.buf = nil
+	p.resendAt = 0
+	for k := range p.got {
+		delete(p.got, k)
+	}
+	for k := range p.gotBy {
+		delete(p.gotBy, k)
+	}
+	o.mu.Lock()
+	o.nextReq++
+	p.req.ReqID = o.nextReq
+	o.pending[p.req.ReqID] = p
+	o.mu.Unlock()
+	p.attempt++
+	p.deadlineAt = o.now() + p.deadline
+
+	hdr := cdr.GetEncoder(128)
+	pgiop.AppendRequest(hdr, p.req)
+	err := o.sendV2(nexus.Addr(p.server0), hdr.Bytes(), p.req.Body)
+	hdr.Release()
 	if err != nil {
-		o.failAll(err)
-		return
+		if q := o.claim(p.req.ReqID); q != nil {
+			if p.attempt < p.policy.attempts() {
+				o.park(q)
+			} else {
+				q.cell.Resolve(nil, &InvokeError{
+					Op: p.op.Name, Attempts: p.attempt, Stage: "reply",
+					MissingRanks: []int{0}, Err: err,
+				})
+			}
+		}
 	}
-	if !ok {
-		return
+}
+
+// deadlineError builds the rank-attributed failure for an expired request.
+// Before the reply, server thread 0 (the collectivity point) is the silent
+// party; after it, the exchange schedule says which server ranks still owed
+// this thread out-argument elements.
+func (o *ORB) deadlineError(p *pendingReq) error {
+	ie := &InvokeError{Op: p.op.Name, Attempts: p.attempt, Err: ErrDeadline}
+	if p.reply == nil {
+		ie.Stage = "reply"
+		ie.MissingRanks = []int{0}
+		return ie
 	}
-	o.handleMsg(m)
+	ie.Stage = "out-segments"
+	// gotBy aggregates received elements by sending rank across all out
+	// parameters, so the expectation is aggregated the same way: the total
+	// each server rank owes this thread over every distributed out
+	// parameter of the reply.
+	expect := map[int]int{}
+	me := o.rank()
+	for param := range p.need {
+		n, ok := replyOutLen(p.reply, param)
+		if !ok {
+			continue
+		}
+		prm := &p.op.Params[param]
+		sched := dist.Cached(prm.ServerDist.Layout(n, p.serverSize), p.tmpls[param].Layout(n, o.size()))
+		for s := 0; s < p.serverSize; s++ {
+			for _, m := range sched.From(s) {
+				if m.To == me {
+					expect[s] += m.Elements()
+				}
+			}
+		}
+	}
+	missing := map[int]bool{}
+	for s, want := range expect {
+		if want > p.gotBy[s] {
+			missing[s] = true
+		}
+	}
+	// An empty set with incomplete counts means a truncated or corrupt
+	// segment rather than a silent rank; MissingRanks is then empty.
+	ie.MissingRanks = sortedRanks(missing)
+	return ie
+}
+
+func replyOutLen(r *pgiop.Reply, param int) (int, bool) {
+	for _, ol := range r.OutLens {
+		if int(ol.Param) == param {
+			return int(ol.N), true
+		}
+	}
+	return 0, false
 }
 
 // failAll resolves every pending invocation with the transport error —
@@ -372,8 +669,13 @@ func (o *ORB) failAll(err error) {
 	o.mu.Lock()
 	ps := o.pending
 	o.pending = map[uint32]*pendingReq{}
+	parked := o.backoff
+	o.backoff = nil
 	o.mu.Unlock()
 	for _, p := range ps {
+		p.cell.Resolve(nil, fmt.Errorf("core: transport failed: %w", err))
+	}
+	for _, p := range parked {
 		p.cell.Resolve(nil, fmt.Errorf("core: transport failed: %w", err))
 	}
 }
@@ -395,7 +697,9 @@ func (o *ORB) handleReply(r *pgiop.Reply) {
 		return // cancelled, duplicate, or unknown
 	}
 	if r.Status != pgiop.StatusOK {
-		o.dropPending(r.ReqID)
+		if o.claim(r.ReqID) == nil {
+			return // timed out or cancelled first
+		}
 		p.cell.Resolve(nil, fmt.Errorf("core: server exception: %s", r.Error))
 		return
 	}
@@ -406,7 +710,9 @@ func (o *ORB) handleReply(r *pgiop.Reply) {
 		param := int(ol.Param)
 		holder := p.holders[param]
 		if holder == nil {
-			o.dropPending(r.ReqID)
+			if o.claim(r.ReqID) == nil {
+				return
+			}
 			p.cell.Resolve(nil, fmt.Errorf("core: reply announces unknown out parameter %d", param))
 			return
 		}
@@ -467,6 +773,10 @@ func (o *ORB) applySegment(p *pendingReq, a *pgiop.ArgStream) {
 		return
 	}
 	p.got[param] += n
+	if p.gotBy == nil {
+		p.gotBy = map[int]int{}
+	}
+	p.gotBy[int(a.Sender)] += n
 }
 
 // checkRuns validates wire runs against the holder's local storage size,
@@ -485,7 +795,9 @@ func checkRuns(wr []pgiop.Run, holder dseq.Distributed, runs []dist.Run) ([]dist
 }
 
 func (p *pendingReq) fail(o *ORB, reqID uint32, err error) {
-	o.dropPending(reqID)
+	if o.claim(reqID) == nil {
+		return // already claimed by cancel, timeout, or a racing resolver
+	}
 	p.cell.Resolve(nil, err)
 }
 
@@ -531,7 +843,9 @@ func (o *ORB) maybeComplete(reqID uint32, p *pendingReq) {
 		}
 		vals = append(vals, v)
 	}
-	o.dropPending(reqID)
+	if o.claim(reqID) == nil {
+		return // a racing cancel or timeout won; discard the late result
+	}
 	p.cell.Resolve(vals, nil)
 }
 

@@ -19,6 +19,7 @@ type Msg struct {
 	LocReply *pgiop.LocateReply
 	Cancel   *pgiop.CancelRequest
 	Shutdown *pgiop.Shutdown
+	Fault    *pgiop.FaultNotice
 
 	// Inline storage for the two hot payload types: DecodeMsg points Req
 	// and Reply here, folding message + payload into one allocation. Msg
@@ -55,6 +56,8 @@ func DecodeMsg(fr nexus.Frame) (*Msg, error) {
 		m.Cancel, err = pgiop.DecodeCancelRequest(fr.Data)
 	case pgiop.MsgShutdown:
 		m.Shutdown, err = pgiop.DecodeShutdown(fr.Data)
+	case pgiop.MsgFault:
+		m.Fault, err = pgiop.DecodeFaultNotice(fr.Data)
 	default:
 		err = fmt.Errorf("%w: unroutable type %d", pgiop.ErrBadMessage, t)
 	}

@@ -11,6 +11,7 @@ package future
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Cell is the shared resolution state of one non-blocking invocation: every
@@ -92,6 +93,55 @@ func (c *Cell) Wait() error {
 		c.cond.Wait()
 	}
 	return c.err
+}
+
+// WaitTimeout blocks until the cell resolves or seconds elapse, reporting
+// whether it resolved. A false return does not cancel the invocation: the
+// cell may still resolve later (use the ORB's cancellation to claim it).
+// On a pump-driven cell the wait polls non-blocking pump rounds so the
+// waiting thread keeps driving request progress without committing to a
+// blocking pump that could overshoot the deadline.
+func (c *Cell) WaitTimeout(seconds float64) bool {
+	if c.Resolved() {
+		return true
+	}
+	deadline := time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	if c.pump != nil {
+		sleep := 50 * time.Microsecond
+		for {
+			if c.Resolved() {
+				return true
+			}
+			if !time.Now().Before(deadline) {
+				return false
+			}
+			time.Sleep(sleep)
+			if sleep < time.Millisecond {
+				sleep *= 2
+			}
+		}
+	}
+	// Condition-variable path: a helper wakes waiters at the deadline so the
+	// wait itself needs no polling.
+	done := make(chan struct{})
+	go func() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case <-done:
+		}
+	}()
+	defer close(done)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.resolved && time.Now().Before(deadline) {
+		c.cond.Wait()
+	}
+	return c.resolved
 }
 
 // Err returns the resolution error; call after Wait or Resolved.
@@ -179,3 +229,7 @@ func (d Done) Resolved() bool { return d.cell.Resolved() }
 
 // Wait blocks until completion and returns the invocation error, if any.
 func (d Done) Wait() error { return d.cell.Wait() }
+
+// WaitTimeout blocks until completion or seconds elapse, reporting whether
+// the invocation completed.
+func (d Done) WaitTimeout(seconds float64) bool { return d.cell.WaitTimeout(seconds) }

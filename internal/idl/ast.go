@@ -24,6 +24,8 @@ type InterfaceDecl struct {
 // OpDecl declares one operation.
 type OpDecl struct {
 	Oneway bool
+	// Idempotent marks the operation safe for automatic client retry.
+	Idempotent bool
 	Ret    Type // BasicType{"void"} for void
 	Name   string
 	Params []ParamDecl

@@ -7,7 +7,7 @@ import "pardis/internal/core"
 func (ii InterfaceInfo) CoreDef() *core.InterfaceDef {
 	def := &core.InterfaceDef{Name: ii.Name}
 	for _, op := range ii.Ops {
-		o := core.Operation{Name: op.Name, Result: op.Ret, Oneway: op.Oneway}
+		o := core.Operation{Name: op.Name, Result: op.Ret, Oneway: op.Oneway, Idempotent: op.Idempotent}
 		for _, prm := range op.Params {
 			var mode core.Mode
 			switch prm.Dir {

@@ -58,6 +58,7 @@ func (t Token) Is(text string) bool {
 var keywords = map[string]bool{
 	"module": true, "interface": true, "typedef": true, "struct": true,
 	"enum": true, "const": true, "exception": true, "oneway": true,
+	"idempotent": true,
 	"in": true, "out": true, "inout": true, "raises": true,
 	"sequence": true, "dsequence": true, "string": true,
 	"void": true, "boolean": true, "char": true, "octet": true,

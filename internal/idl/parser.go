@@ -248,8 +248,19 @@ func (p *Parser) interfaceDecl() (Def, error) {
 
 func (p *Parser) opDecl() (Def, error) {
 	op := &OpDecl{}
-	if p.tok.Is("oneway") {
-		op.Oneway = true
+	// Qualifiers may appear in either order; each at most once.
+	for p.tok.Is("oneway") || p.tok.Is("idempotent") {
+		if p.tok.Is("oneway") {
+			if op.Oneway {
+				return nil, p.fail("duplicate oneway qualifier")
+			}
+			op.Oneway = true
+		} else {
+			if op.Idempotent {
+				return nil, p.fail("duplicate idempotent qualifier")
+			}
+			op.Idempotent = true
+		}
 		if err := p.next(); err != nil {
 			return nil, err
 		}

@@ -48,8 +48,9 @@ type InterfaceInfo struct {
 
 // OpInfo is a resolved operation.
 type OpInfo struct {
-	Name   string
-	Oneway bool
+	Name       string
+	Oneway     bool
+	Idempotent bool
 	Ret    *typecode.TypeCode // nil = void
 	Params []ParamInfo
 	Raises []string
@@ -567,7 +568,7 @@ func (c *checker) interfaceDecl(d *InterfaceDecl) error {
 }
 
 func (c *checker) opDecl(iface string, d *OpDecl) (OpInfo, error) {
-	op := OpInfo{Name: d.Name, Oneway: d.Oneway}
+	op := OpInfo{Name: d.Name, Oneway: d.Oneway, Idempotent: d.Idempotent}
 	if bt, ok := d.Ret.(*BasicType); !ok || bt.Name != "void" {
 		tc, err := c.resolve(d.Ret, false)
 		if err != nil {

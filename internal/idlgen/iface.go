@@ -24,6 +24,9 @@ func (g *gen) iface(out *strings.Builder, ii idl.InterfaceInfo) error {
 		if op.Oneway {
 			p("\t\t\t\tOneway: true,\n")
 		}
+		if op.Idempotent {
+			p("\t\t\t\tIdempotent: true,\n")
+		}
 		if op.Ret != nil {
 			p("\t\t\t\tResult: %s,\n", g.tcExpr(op.Ret))
 		}

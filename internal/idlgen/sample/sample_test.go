@@ -50,6 +50,10 @@ func (g *geometryImpl) Plan(_ *poa.Context, from string) ([]any, error) {
 
 func (g *geometryImpl) GetVersion(_ *poa.Context) (int32, error) { return 7, nil }
 
+func (g *geometryImpl) Probe(_ *poa.Context, n int32) (float64, error) {
+	return float64(n) * 0.5, nil
+}
+
 func (g *geometryImpl) Hint(_ *poa.Context, text string) error {
 	g.hints = append(g.hints, text)
 	return nil

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Addr identifies an endpoint. The scheme prefix names the fabric
@@ -63,6 +64,37 @@ type Endpoint interface {
 	// Close releases the endpoint; concurrent and subsequent receives
 	// fail with ErrClosed.
 	Close() error
+}
+
+// ErrRecvTimeout is returned by RecvTimeout when the deadline passes with
+// no frame delivered. It is distinct from transport failure: the endpoint
+// remains usable.
+var ErrRecvTimeout = errors.New("nexus: receive deadline exceeded")
+
+// RecvTimeout blocks for one frame or until the wall-clock deadline,
+// whichever comes first, by polling the endpoint from the calling thread.
+// Unlike pairing Recv with a watchdog goroutine, no goroutine is ever left
+// parked in Recv past the deadline — the historical source of leaked
+// receivers on abandoned endpoints. Owner-thread-only, like Recv itself.
+func RecvTimeout(ep Endpoint, deadline time.Time) (Frame, error) {
+	sleep := 50 * time.Microsecond
+	for {
+		fr, ok, err := ep.Poll()
+		if err != nil {
+			return Frame{}, err
+		}
+		if ok {
+			return fr, nil
+		}
+		if !time.Now().Before(deadline) {
+			return Frame{}, ErrRecvTimeout
+		}
+		time.Sleep(sleep)
+		// Back off geometrically to 5ms so a long deadline does not spin.
+		if sleep < 5*time.Millisecond {
+			sleep *= 2
+		}
+	}
 }
 
 // ConcurrentSender is an optional Endpoint capability: fabrics whose Send

@@ -7,11 +7,24 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 )
 
 // maxFrame bounds a single frame to keep a corrupt length prefix from
 // allocating unbounded memory.
 const maxFrame = 1 << 28 // 256 MiB
+
+// TCPDialTimeout bounds connection establishment to a peer. Without it a
+// dial to a partitioned host blocks the sending thread for the kernel's
+// SYN-retry budget (minutes), far past any invocation deadline.
+var TCPDialTimeout = 10 * time.Second
+
+// TCPHelloTimeout bounds the wait for the identifying hello frame on an
+// accepted connection. A dialer that connects and then goes silent would
+// otherwise pin a reader goroutine (and its connection) forever — accepted
+// connections are anonymous until the hello names them, so nothing else
+// could ever clean them up.
+var TCPHelloTimeout = 10 * time.Second
 
 // NewTCPEndpoint creates an endpoint listening on the given address
 // (""/":0" picks a free loopback port). Real-network counterpart of the
@@ -29,6 +42,7 @@ func NewTCPEndpoint(listen string) (Endpoint, error) {
 		ln:    ln,
 		addr:  Addr("tcp://" + ln.Addr().String()),
 		conns: map[Addr]*tcpConn{},
+		anon:  map[net.Conn]bool{},
 	}
 	e.cond = sync.NewCond(&e.mu)
 	go e.acceptLoop()
@@ -62,6 +76,10 @@ type tcpEP struct {
 	queue  []Frame
 	qhead  int
 	conns  map[Addr]*tcpConn
+	// anon holds accepted connections that have not yet identified
+	// themselves with a hello frame, so Close can terminate their reader
+	// goroutines too (they are reachable through no other table).
+	anon   map[net.Conn]bool
 	closed bool
 }
 
@@ -77,6 +95,14 @@ func (e *tcpEP) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.anon[c] = true
+		e.mu.Unlock()
 		go e.readLoop(c, "")
 	}
 }
@@ -86,22 +112,31 @@ func (e *tcpEP) acceptLoop() {
 // registers the connection as the route back to that address.
 func (e *tcpEP) readLoop(c net.Conn, peer Addr) {
 	defer c.Close()
+	if peer == "" {
+		// The hello must arrive within its deadline; the deadline is
+		// cleared once the connection has a name and normal traffic may
+		// idle indefinitely.
+		c.SetReadDeadline(time.Now().Add(TCPHelloTimeout))
+	}
 	var hdr [4]byte // reused across frames; escapes once per connection
 	for {
 		data, err := readFrame(c, &hdr)
 		if err != nil {
+			e.mu.Lock()
+			delete(e.anon, c)
 			if peer != "" {
-				e.mu.Lock()
 				if tc, ok := e.conns[peer]; ok && tc.c == c {
 					delete(e.conns, peer)
 				}
-				e.mu.Unlock()
 			}
+			e.mu.Unlock()
 			return
 		}
 		if peer == "" {
 			peer = Addr(data)
+			c.SetReadDeadline(time.Time{})
 			e.mu.Lock()
+			delete(e.anon, c)
 			if _, exists := e.conns[peer]; !exists {
 				e.conns[peer] = &tcpConn{c: c}
 			}
@@ -199,7 +234,7 @@ func (e *tcpEP) connTo(to Addr) (*tcpConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s is not a tcp address", ErrNoRoute, to)
 	}
-	c, err := net.Dial("tcp", hostport)
+	c, err := net.DialTimeout("tcp", hostport, TCPDialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrNoRoute, to, err)
 	}
@@ -269,11 +304,16 @@ func (e *tcpEP) Close() error {
 	e.closed = true
 	conns := e.conns
 	e.conns = map[Addr]*tcpConn{}
+	anon := e.anon
+	e.anon = map[net.Conn]bool{}
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	e.ln.Close()
 	for _, tc := range conns {
 		tc.c.Close()
+	}
+	for c := range anon {
+		c.Close()
 	}
 	return nil
 }

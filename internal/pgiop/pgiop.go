@@ -34,6 +34,7 @@ const (
 	MsgLocateReply
 	MsgCancelRequest
 	MsgShutdown
+	MsgFault
 )
 
 // Version is the protocol version carried in every message.
@@ -88,6 +89,11 @@ type Request struct {
 	ObjectKey  string
 	Operation  string
 	Oneway     bool
+	// DeadlineMS is the client's per-invocation deadline in milliseconds
+	// (0 = none). The server uses it to bound its own blocking waits for
+	// this invocation — most importantly segment collection — so a client
+	// that has given up never leaves the server wedged on its behalf.
+	DeadlineMS uint32
 	Body       []byte // inline (non-distributed) in/inout arguments
 	DistIns    []DistInSpec
 	DistOuts   []DistOutSpec
@@ -126,8 +132,13 @@ type ArgStream struct {
 	ReqID     uint32 // out-direction: the receiving client thread's ReqID
 	Param     int32
 	Dir       byte
-	Runs      []Run
-	Payload   []byte
+	// Sender is the sending computing thread's rank (client rank for
+	// in-direction, server rank for out-direction). Receivers account
+	// arriving elements per sender, which is what lets a deadline failure
+	// name the rank whose share never arrived.
+	Sender int32
+	Runs   []Run
+	Payload []byte
 }
 
 // LocateRequest asks whether a server hosts the object.
@@ -153,6 +164,17 @@ type Shutdown struct {
 	Reason string
 }
 
+// FaultNotice tells a peer computing thread that a rank of the parallel
+// program has been found unresponsive (or otherwise faulted), so the peer
+// can abandon its own collective state instead of discovering the death
+// independently — or never. Rank is the implicated computing-thread rank
+// (-1 when unknown); Phase names the protocol stage that detected it.
+type FaultNotice struct {
+	Rank   int32
+	Phase  string
+	Reason string
+}
+
 func putHeader(e *cdr.Encoder, t MsgType) {
 	e.PutOctet(magic[0])
 	e.PutOctet(magic[1])
@@ -169,7 +191,7 @@ func PeekType(frame []byte) (MsgType, error) {
 		return 0, fmt.Errorf("%w: version %d", ErrBadMessage, frame[2])
 	}
 	t := MsgType(frame[3])
-	if t < MsgRequest || t > MsgShutdown {
+	if t < MsgRequest || t > MsgFault {
 		return 0, fmt.Errorf("%w: type %d", ErrBadMessage, frame[3])
 	}
 	return t, nil
@@ -213,6 +235,7 @@ func AppendRequest(e *cdr.Encoder, r *Request) {
 	e.PutString(r.ObjectKey)
 	e.PutString(r.Operation)
 	e.PutBool(r.Oneway)
+	e.PutULong(r.DeadlineMS)
 	e.PutSeqLen(len(r.DistIns))
 	for _, s := range r.DistIns {
 		e.PutLong(s.Param)
@@ -269,6 +292,7 @@ func DecodeRequestInto(r *Request, frame []byte) error {
 		ObjectKey:  d.GetStringInterned(),
 		Operation:  d.GetStringInterned(),
 		Oneway:     d.GetBool(),
+		DeadlineMS: d.GetULong(),
 	}
 	nIn := d.GetSeqLen(4)
 	for i := 0; i < nIn; i++ {
@@ -371,6 +395,7 @@ func AppendArgStream(e *cdr.Encoder, a *ArgStream) {
 	e.PutULong(a.ReqID)
 	e.PutLong(a.Param)
 	e.PutOctet(a.Dir)
+	e.PutLong(a.Sender)
 	e.PutSeqLen(len(a.Runs))
 	for _, r := range a.Runs {
 		e.PutLong(r.Global)
@@ -402,6 +427,7 @@ func DecodeArgStream(frame []byte) (*ArgStream, error) {
 		ReqID:     d.GetULong(),
 		Param:     d.GetLong(),
 		Dir:       d.GetOctet(),
+		Sender:    d.GetLong(),
 	}
 	n := d.GetSeqLen(4)
 	if n > 0 {
@@ -484,6 +510,30 @@ func DecodeCancelRequest(frame []byte) (*CancelRequest, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
 	}
 	return c, nil
+}
+
+// EncodeFaultNotice serializes a FaultNotice message.
+func EncodeFaultNotice(f *FaultNotice) []byte {
+	e := cdr.NewEncoder(48)
+	putHeader(e, MsgFault)
+	e.PutLong(f.Rank)
+	e.PutString(f.Phase)
+	e.PutString(f.Reason)
+	return e.Bytes()
+}
+
+// DecodeFaultNotice parses a FaultNotice message.
+func DecodeFaultNotice(frame []byte) (*FaultNotice, error) {
+	d, err := expect(frame, MsgFault)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Release()
+	f := &FaultNotice{Rank: d.GetLong(), Phase: d.GetString(), Reason: d.GetString()}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	return f, nil
 }
 
 // EncodeShutdown serializes a Shutdown message.

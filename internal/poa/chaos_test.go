@@ -1,0 +1,269 @@
+package poa_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pardis/internal/core"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/nexus"
+	"pardis/internal/poa"
+	"pardis/internal/rts"
+	"pardis/internal/typecode"
+)
+
+// assertNoGoroutineLeak waits (bounded) for the goroutine count to come
+// back to the baseline measured before the scenario, with a small slack for
+// runtime helpers. A dead-rank recovery that strands receivers or watchdog
+// goroutines fails here — the goleak-style check without the dependency.
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d live, baseline %d (+%d slack)\n%s",
+				runtime.NumGoroutine(), baseline, slack, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// chaosIface: one SPMD operation with a distributed in and a distributed
+// out — the shape whose transfer a dying rank interrupts.
+func chaosIface() *core.InterfaceDef {
+	dv := typecode.DSequenceOf(typecode.TCDouble, 0, "BLOCK", "BLOCK")
+	return &core.InterfaceDef{
+		Name: "chaos",
+		Ops: []core.Operation{{
+			Name: "double",
+			Params: []core.Param{
+				core.NewParam("x", core.In, dv),
+				core.NewParam("y", core.Out, dv),
+			},
+			Result: typecode.TCDouble,
+		}},
+	}
+}
+
+// chaosServant doubles its local elements — except on the victim rank,
+// which kills its own network address and parks forever, mid-transfer:
+// after the collective argument collection, before its out segments ship.
+// No internal collectives, so sibling threads finish their dispatch and the
+// death must be caught by the POA's own agreement liveness, not by the
+// application.
+type chaosServant struct {
+	fi       *nexus.FaultInjector
+	victim   int
+	addrs    []nexus.Addr // per-rank POA endpoint address
+	gate     chan struct{}
+	killed   chan struct{}
+	killedAt time.Time
+	once     sync.Once
+}
+
+func (s *chaosServant) Invoke(ctx *poa.Context, op string, in []any) (any, []any, error) {
+	th := ctx.Thread
+	if op != "double" {
+		return nil, nil, fmt.Errorf("bad op %s", op)
+	}
+	x := dseq.AsFloat64(in[0].(dseq.Distributed))
+	if th.Rank() == s.victim {
+		s.fi.Kill(s.addrs[th.Rank()])
+		s.once.Do(func() {
+			s.killedAt = time.Now()
+			close(s.killed)
+		})
+		<-s.gate // the rank is gone; only the test's teardown frees it
+		return nil, nil, errors.New("unreachable")
+	}
+	y := dseq.NewFromLayout[float64](th, x.DLayout(), dseq.Float64Codec{})
+	for i, v := range x.Local() {
+		y.Local()[i] = 2 * v
+	}
+	return 1.0, []any{y}, nil
+}
+
+// runChaosScenario is the acceptance demo: an S-rank SPMD server loses its
+// victim rank mid-transfer under a C-rank client invocation with a
+// deadline. It returns each client rank's invocation error (nil = resolved
+// clean), each server rank's Fault, and the wall time from the kill to the
+// last survivor's ImplIsReady return.
+func runChaosScenario(t *testing.T, S, C, victim int, N int, agreementDeadline, clientDeadline float64) (clientErrs []error, faults []error, recovery time.Duration) {
+	t.Helper()
+	fab := nexus.NewInproc()
+	fi := nexus.NewFaultInjector(99, nexus.FaultPlan{})
+	servant := &chaosServant{
+		fi: fi, victim: victim,
+		addrs:  make([]nexus.Addr, S),
+		gate:   make(chan struct{}),
+		killed: make(chan struct{}),
+	}
+	faults = make([]error, S)
+	returned := make([]time.Time, S)
+	iorCh := make(chan core.IOR, 1)
+	var swg sync.WaitGroup
+	swg.Add(1)
+	var survivorWG sync.WaitGroup
+	survivorWG.Add(S - 1)
+	go func() {
+		defer swg.Done()
+		rts.NewChanGroup("chaos-srv", S).Run(func(th rts.Thread) {
+			ep := fab.NewEndpoint(fmt.Sprintf("chaos-s%d", th.Rank()))
+			servant.addrs[th.Rank()] = ep.Addr()
+			p := poa.New(th, core.NewRouter(fi.Wrap(ep)), nil)
+			p.PollInterval = 50e-6
+			p.AgreementDeadline = agreementDeadline
+			ior, err := p.RegisterSPMD("chaos-1", chaosIface(), servant)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if th.Rank() == 0 {
+				iorCh <- ior
+			}
+			p.ImplIsReady()
+			if th.Rank() != victim {
+				faults[th.Rank()] = p.Fault()
+				returned[th.Rank()] = time.Now()
+				survivorWG.Done()
+			}
+		})
+	}()
+	ior := <-iorCh
+
+	clientErrs = make([]error, C)
+	rts.NewChanGroup("chaos-cli", C).Run(func(th rts.Thread) {
+		orb := core.NewORB(core.NewRouter(fab.NewEndpoint(fmt.Sprintf("chaos-c%d", th.Rank()))), th, nil)
+		b, err := orb.SPMDBind(ior, chaosIface())
+		if err != nil {
+			clientErrs[th.Rank()] = err
+			return
+		}
+		b.SetDeadline(clientDeadline)
+		x := dseq.New[float64](th, N, dist.BlockTemplate(), dseq.Float64Codec{})
+		for i := range x.Local() {
+			x.Local()[i] = float64(x.DLayout().GlobalIndex(th.Rank(), i))
+		}
+		y := dseq.New[float64](th, 0, dist.BlockTemplate(), dseq.Float64Codec{})
+		_, err = b.Invoke("double", []any{x, y})
+		clientErrs[th.Rank()] = err
+	})
+
+	<-servant.killed
+	killedAt := servant.killedAt
+	sdone := make(chan struct{})
+	go func() { survivorWG.Wait(); close(sdone) }()
+	select {
+	case <-sdone:
+	case <-time.After(20 * time.Second):
+		t.Fatal("deadlock: surviving server ranks never returned from ImplIsReady")
+	}
+	last := killedAt
+	for r, at := range returned {
+		if r != victim && at.After(last) {
+			last = at
+		}
+	}
+	// Free the parked victim so the whole server program joins.
+	close(servant.gate)
+	swg.Wait()
+	return clientErrs, faults, last.Sub(killedAt)
+}
+
+// TestFaultChaosDeadRankMidTransfer is the ISSUE's acceptance scenario: a
+// 4-rank SPMD invocation with rank 2 killed mid-transfer. Every surviving
+// server rank must report a Fault naming rank 2 within ~2× the agreement
+// deadline, the client rank owed data by the corpse must get a
+// rank-attributed InvokeError, nothing may deadlock, and no goroutines may
+// leak.
+func TestFaultChaosDeadRankMidTransfer(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const S, C, victim, N = 4, 2, 2, 64
+	const agreement, clientDeadline = 0.25, 0.5
+
+	clientErrs, faults, recovery := runChaosScenario(t, S, C, victim, N, agreement, clientDeadline)
+
+	// Server side: all survivors hold a structured Fault naming the victim.
+	for r, err := range faults {
+		if r == victim {
+			continue
+		}
+		var f *poa.Fault
+		if !errors.As(err, &f) {
+			t.Fatalf("server rank %d: Fault() = %v, want *poa.Fault", r, err)
+		}
+		if f.Rank != victim {
+			t.Fatalf("server rank %d blamed rank %d, want %d (%v)", r, f.Rank, victim, f)
+		}
+	}
+	// Recovery bound: survivors noticed and returned within 2× the
+	// agreement deadline (plus scheduler slack).
+	if limit := time.Duration((2*agreement + 0.75) * float64(time.Second)); recovery > limit {
+		t.Fatalf("survivors took %v after the kill, want under %v", recovery, limit)
+	}
+
+	// Client side: with BLOCK/BLOCK layouts (N=64, S=4, C=2) the victim's
+	// elements [32,48) all map to client rank 1, which must time out with
+	// the victim attributed; client rank 0's data never touches the victim
+	// and resolves clean.
+	if clientErrs[0] != nil {
+		t.Fatalf("client rank 0 owed nothing by the victim, got %v", clientErrs[0])
+	}
+	var ie *core.InvokeError
+	if !errors.As(clientErrs[1], &ie) {
+		t.Fatalf("client rank 1: %v, want *core.InvokeError", clientErrs[1])
+	}
+	found := false
+	for _, r := range ie.MissingRanks {
+		if r == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("client rank 1: MissingRanks = %v, want to include %d (%v)", ie.MissingRanks, victim, ie)
+	}
+
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestFaultChaosSoak is the seeded soak lane (ci runs it with -count=20):
+// each iteration runs the lossy-network matrix cell for a few pinned seeds
+// plus one dead-rank scenario, and then checks nothing leaked. Fixed seeds
+// keep every iteration's injection schedule reproducible.
+func TestFaultChaosSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	fab := func() epFactory {
+		f := nexus.NewInproc()
+		return func(name string) (nexus.Endpoint, error) { return f.NewEndpoint(name), nil }
+	}
+	for _, seed := range []uint64{11, 29, 47} {
+		runFaultMatrixCell(t, fab(), nexus.FaultPlan{Drop: 0.15, Delay: 0.15, Dup: 0.1, Truncate: 0.1}, seed)
+	}
+	clientErrs, faults, _ := runChaosScenario(t, 3, 1, 1, 48, 0.15, 0.3)
+	for r, err := range faults {
+		if r == 1 {
+			continue
+		}
+		var f *poa.Fault
+		if !errors.As(err, &f) || f.Rank != 1 {
+			t.Fatalf("soak: server rank %d fault = %v, want *poa.Fault{Rank: 1}", r, err)
+		}
+	}
+	var ie *core.InvokeError
+	if !errors.As(clientErrs[0], &ie) {
+		t.Fatalf("soak: client error = %v, want *core.InvokeError", clientErrs[0])
+	}
+	assertNoGoroutineLeak(t, baseline)
+}

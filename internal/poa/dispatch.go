@@ -60,7 +60,24 @@ func (p *POA) collectivePhase() int {
 		frame = append([]byte(nil), e.Bytes()...)
 		e.Release()
 	}
-	frame = rts.Bcast(p.th, 0, frame)
+	if p.AgreementDeadline > 0 {
+		// Liveness round first: the dissemination barrier transitively
+		// waits on every rank, so a dead thread is detected (and blamed)
+		// even where the broadcast tree alone would never wait on it — a
+		// Bcast leaf's silence is invisible to everyone.
+		if err := rts.BarrierDeadline(p.th, p.AgreementDeadline); err != nil {
+			p.faultAbort("agreement", err)
+			return 0
+		}
+		var err error
+		frame, err = rts.BcastDeadline(p.th, 0, frame, p.AgreementDeadline)
+		if err != nil {
+			p.faultAbort("agreement", err)
+			return 0
+		}
+	} else {
+		frame = rts.Bcast(p.th, 0, frame)
+	}
 	// Decisions alias the frame (GetOctets never copies), which stays alive
 	// as long as any decoded request does — DESIGN.md §7 frame ownership.
 	d := cdr.GetDecoder(frame)
@@ -263,7 +280,11 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo) {
 		return
 	}
 	// Receive distributed in arguments: segments were sent directly to
-	// this thread by the client threads owning overlapping elements.
+	// this thread by the client threads owning overlapping elements. With a
+	// deadline in force a failed collection is recorded rather than
+	// returned: the agreement step below must still run so every thread
+	// reaches the same verdict.
+	var collectErr error
 	for _, spec := range req.DistIns {
 		i := int(spec.Param)
 		if i < 0 || i >= len(op.Params) || !op.Params[i].Distributed() {
@@ -273,11 +294,31 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo) {
 		prm := &op.Params[i]
 		serverLayout := prm.ServerDist.Layout(int(spec.N), size)
 		holder := dseq.NewByTC(p.th, serverLayout, prm.Type.Elem)
-		if err := p.collectSegments(req, int32(i), holder, serverLayout.Count(rank)); err != nil {
-			fail(err.Error())
-			return
+		if err := p.collectSegments(req, spec, holder, serverLayout); err != nil {
+			collectErr = err
+			break
 		}
 		inVals[i] = holder
+	}
+	if deadline := p.effDeadline(req); deadline > 0 && size > 1 && len(req.DistIns) > 0 {
+		// A thread whose collection timed out must not diverge from
+		// siblings whose collection succeeded: agree on one verdict before
+		// anyone enters the servant (see ftAgree).
+		ok, failRank, aerr := p.ftAgree(collectErr == nil, deadline)
+		if aerr != nil {
+			p.faultAbort("collect-agree", aerr)
+			return
+		}
+		if !ok {
+			if collectErr == nil {
+				collectErr = fmt.Errorf("collective aborted: server thread %d failed its argument collection", failRank)
+			}
+			fail(collectErr.Error())
+			return
+		}
+	} else if collectErr != nil {
+		fail(collectErr.Error())
+		return
 	}
 	saved := p.ctx
 	p.ctx = Context{Thread: p.th, POA: p, Oneway: req.Oneway}
@@ -310,14 +351,38 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo) {
 }
 
 // collectSegments consumes the in-direction segments of one distributed
-// argument until this thread's share is complete.
-func (p *POA) collectSegments(req *pgiop.Request, param int32, holder dseq.Distributed, need int) error {
+// argument until this thread's share is complete. When the request (or the
+// adapter) carries a deadline, the wait is bounded: expiry cleans up the
+// key and reports which client ranks still owed elements, and the adapter
+// stays dispatchable.
+func (p *POA) collectSegments(req *pgiop.Request, spec pgiop.DistInSpec, holder dseq.Distributed, serverLayout dist.Layout) error {
+	param := spec.Param
+	rank := p.th.Rank()
+	need := serverLayout.Count(rank)
 	k := segKey{req.BindingID, req.SeqNo, param}
+	deadline := p.effDeadline(req)
+	var until float64
+	var gotBy map[int]int
+	if deadline > 0 {
+		until = p.th.Elapsed() + deadline
+		gotBy = map[int]int{}
+	}
 	got := 0
 	for got < need {
 		if len(p.segs[k]) == 0 {
-			if !p.drainBlocking() {
-				return fmt.Errorf("transport closed while receiving argument %d", param)
+			if deadline <= 0 {
+				if !p.drainBlocking() {
+					return fmt.Errorf("transport closed while receiving argument %d", param)
+				}
+				continue
+			}
+			p.drain()
+			if len(p.segs[k]) == 0 {
+				if p.th.Elapsed() >= until {
+					delete(p.segs, k)
+					return segTimeout(rank, spec, serverLayout, gotBy, got, need)
+				}
+				p.th.Sleep(p.PollInterval)
 			}
 			continue
 		}
@@ -328,6 +393,9 @@ func (p *POA) collectSegments(req *pgiop.Request, param int32, holder dseq.Distr
 			return fmt.Errorf("argument %d: %v", param, err)
 		}
 		got += n
+		if gotBy != nil {
+			gotBy[int(a.Sender)] += n
+		}
 	}
 	delete(p.segs, k)
 	return nil
@@ -430,6 +498,7 @@ func (p *POA) encodeResults(enc *cdr.Encoder, op *core.Operation, ret any, outs 
 				ReqID:     clients[mv.To].ReqID,
 				Param:     int32(param),
 				Dir:       pgiop.DirOut,
+				Sender:    int32(p.th.Rank()),
 				Runs:      wireRuns(mv.Runs),
 				Payload:   pay.Bytes(),
 			}

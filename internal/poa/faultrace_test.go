@@ -1,0 +1,167 @@
+package poa_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pardis/internal/core"
+	"pardis/internal/future"
+	"pardis/internal/nexus"
+	"pardis/internal/poa"
+	"pardis/internal/rts"
+)
+
+// slowServant answers probe correctly but only after a fixed delay — the
+// shape that makes replies race in after the client's deadline has fired.
+type slowServant struct{ delay time.Duration }
+
+func (s *slowServant) Invoke(_ *poa.Context, op string, in []any) (any, []any, error) {
+	if op != "probe" {
+		return nil, nil, fmt.Errorf("bad op %s", op)
+	}
+	time.Sleep(s.delay)
+	return float64(in[0].(int32)) * 0.5, nil, nil
+}
+
+func startSlowServer(t *testing.T, fab *nexus.Inproc, delay time.Duration) (core.IOR, func()) {
+	t.Helper()
+	th := rts.NewChanGroup("slow-srv", 1).Thread(0)
+	p := poa.New(th, core.NewRouter(fab.NewEndpoint("slow-server")), nil)
+	p.PollInterval = 50e-6
+	ior, err := p.RegisterSingle("slow-1", probeIface(), &slowServant{delay: delay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.ImplIsReady()
+	}()
+	return ior, func() {
+		orb := core.NewORB(core.NewRouter(fab.NewEndpoint("slow-stopper")), nil, nil)
+		if b, err := orb.Bind(ior, probeIface()); err == nil {
+			_ = b.Shutdown("race test done")
+		}
+		<-done
+	}
+}
+
+// TestFaultTimeoutCancelReplyRace is the race-detector stress of the
+// exactly-once resolution contract: short-deadline invocations time out (or
+// are concurrently cancelled) while the slow server's replies stream in
+// late. Every cell must resolve exactly once with a coherent outcome, the
+// late replies must be discarded rather than matched to a newer request,
+// and a final fresh invocation must still return the right value.
+func TestFaultTimeoutCancelReplyRace(t *testing.T) {
+	fab := nexus.NewInproc()
+	ior, stop := startSlowServer(t, fab, 30*time.Millisecond)
+	defer stop()
+
+	orb := core.NewORB(core.NewRouter(fab.NewEndpoint("race-client")), nil, nil)
+	b, err := orb.Bind(ior, probeIface())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds, perRound = 3, 8
+	for round := 0; round < rounds; round++ {
+		b.SetDeadline(0.008) // far shorter than the servant's delay
+		cells := make([]*future.Cell, perRound)
+		for i := range cells {
+			c, err := b.InvokeNB("probe", []any{int32(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells[i] = c
+		}
+		// Concurrent cancellation races the deadline sweep and the late
+		// replies for ownership of every other cell.
+		var wg sync.WaitGroup
+		for i := 0; i < perRound; i += 2 {
+			wg.Add(1)
+			go func(c *future.Cell, n int) {
+				defer wg.Done()
+				time.Sleep(time.Duration(n) * time.Millisecond)
+				orb.Cancel(c)
+			}(cells[i], i)
+		}
+		for i, c := range cells {
+			vals, err := c.Values()
+			if err != nil {
+				ok := errors.Is(err, core.ErrDeadline) || errors.Is(err, core.ErrCancelled)
+				var ie *core.InvokeError
+				if !ok && !errors.As(err, &ie) {
+					t.Fatalf("round %d cell %d: unexpected failure %T: %v", round, i, err, err)
+				}
+			} else if vals[0] != float64(i)*0.5 {
+				t.Fatalf("round %d cell %d: got %v, want %v — a stale reply was matched", round, i, vals[0], float64(i)*0.5)
+			}
+			// Second read must agree with the first: exactly-once resolution.
+			vals2, err2 := c.Values()
+			if (err == nil) != (err2 == nil) || (err == nil && vals[0] != vals2[0]) {
+				t.Fatalf("round %d cell %d resolved twice: (%v,%v) then (%v,%v)", round, i, vals, err, vals2, err2)
+			}
+		}
+		wg.Wait()
+		// While the server is still draining the timed-out backlog, a fresh
+		// generous invocation must match only its own (new) request id.
+		b.SetDeadline(5)
+		vals, err := b.Invoke("probe", []any{int32(100 + round)})
+		if err != nil {
+			t.Fatalf("round %d: fresh invocation failed: %v", round, err)
+		}
+		if want := float64(100+round) * 0.5; vals[0] != want {
+			t.Fatalf("round %d: fresh invocation got %v, want %v — matched a recycled ReqID", round, vals[0], want)
+		}
+	}
+}
+
+// TestFaultFutureWaitTimeout pins the future-layer half of the robustness
+// API: WaitTimeout returns false at the deadline with the cell unresolved
+// and usable, then true once the result lands.
+func TestFaultFutureWaitTimeout(t *testing.T) {
+	fab := nexus.NewInproc()
+	ior, stop := startSlowServer(t, fab, 50*time.Millisecond)
+	defer stop()
+
+	orb := core.NewORB(core.NewRouter(fab.NewEndpoint("wt-client")), nil, nil)
+	b, err := orb.Bind(ior, probeIface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := b.InvokeNB("probe", []any{int32(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.WaitTimeout(0.005) {
+		t.Fatal("WaitTimeout(5ms) reported a 50ms invocation resolved")
+	}
+	if cell.Resolved() {
+		t.Fatal("cell resolved before the servant could have answered")
+	}
+	if !cell.WaitTimeout(10) {
+		t.Fatal("WaitTimeout never saw the reply")
+	}
+	vals, err := cell.Values()
+	if err != nil || vals[0] != 4.0 {
+		t.Fatalf("resolved cell = %v, %v", vals, err)
+	}
+
+	// A bare cell (no ORB pump) takes the cond-var path: the helper
+	// goroutine must wake the waiter at the deadline, not park forever.
+	bare := future.NewCell()
+	start := time.Now()
+	if bare.WaitTimeout(0.02) {
+		t.Fatal("unresolved bare cell reported resolved")
+	}
+	if w := time.Since(start); w > 2*time.Second {
+		t.Fatalf("bare WaitTimeout overshot: %v", w)
+	}
+	bare.Resolve([]any{int32(1)}, nil)
+	if !bare.WaitTimeout(1) {
+		t.Fatal("resolved bare cell reported unresolved")
+	}
+}

@@ -128,6 +128,27 @@ type POA struct {
 	// PollInterval is the idle wait inside ImplIsReady, seconds.
 	PollInterval float64
 
+	// AgreementDeadline, when > 0, bounds the per-round collective dispatch
+	// agreement and adds a liveness barrier to it, so the abrupt death of
+	// any sibling computing thread surfaces as a rank-attributed Fault on
+	// every survivor (within about 2× the deadline) instead of a hang. It
+	// must be set well above PollInterval: threads enter the agreement up
+	// to one polling interval apart, and a deadline inside that skew would
+	// fault a healthy server. Collective: every thread must set the same
+	// value. 0 (the default) keeps the unbounded wait.
+	AgreementDeadline float64
+
+	// CollectDeadline, when > 0, bounds the wait for distributed
+	// in-argument segments of requests that carry no deadline of their own
+	// (a request's wire deadline takes precedence). A collection that times
+	// out fails the invocation with an exception naming the client ranks
+	// whose segments never arrived — the adapter itself stays dispatchable.
+	CollectDeadline float64
+
+	// peers holds every computing thread's router address (from the
+	// RegisterSPMD all-gather), the notification fan-out for faults.
+	peers []string
+
 	// TransferWorkers is the fan-out width for shipping distributed
 	// out-argument segments to client threads (see core.FanOutMoves);
 	// 0 or 1 keeps the serial path. Widths above 1 take effect only on
@@ -178,6 +199,7 @@ func (p *POA) RegisterSPMD(key string, iface *core.InterfaceDef, s Servant) (cor
 	for _, a := range addrs {
 		ior.Addrs = append(ior.Addrs, string(a))
 	}
+	p.peers = ior.Addrs
 	// Publish server-side distribution overrides so clients compute
 	// identical transfer schedules.
 	for oi := range iface.Ops {
@@ -254,9 +276,11 @@ func (p *POA) directCall(e *entry, op *core.Operation, args []any) ([]any, error
 func (p *POA) Deactivate() { p.pendingShutdown = true }
 
 // Fault reports the internal failure that deactivated the adapter, if any:
-// non-nil after the dispatch agreement received a frame it could not
-// decode (nil after a clean Deactivate or Shutdown message). Check it when
-// ImplIsReady returns unexpectedly.
+// non-nil after the dispatch agreement received a frame it could not decode
+// or — with AgreementDeadline set — after a sibling computing thread died
+// (then it is a *Fault carrying the implicated rank; use errors.As). Nil
+// after a clean Deactivate or Shutdown message. Check it when ImplIsReady
+// returns unexpectedly.
 func (p *POA) Fault() error { return p.fault }
 
 // ImplIsReady passes control to PARDIS: the thread polls for requests until
@@ -348,6 +372,8 @@ func (p *POA) route(m *core.Msg) {
 		delete(p.gathers, invKey{m.Cancel.BindingID, m.Cancel.SeqNo})
 	case pgiop.MsgShutdown:
 		p.pendingShutdown = true
+	case pgiop.MsgFault:
+		p.adoptFault(m.Fault)
 	}
 }
 

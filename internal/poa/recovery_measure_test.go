@@ -1,0 +1,26 @@
+package poa_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestMeasureRecoveryLatency(t *testing.T) {
+	if os.Getenv("MEASURE") == "" {
+		t.Skip("measurement run only")
+	}
+	for _, d := range []float64{0.05, 0.1, 0.2} {
+		best := 1e9
+		var all []float64
+		for i := 0; i < 5; i++ {
+			_, _, rec := runChaosScenario(t, 4, 2, 2, 64, d, 2*d)
+			s := rec.Seconds()
+			all = append(all, s)
+			if s < best {
+				best = s
+			}
+		}
+		fmt.Printf("deadline %.0fms: recoveries %v\n", d*1000, all)
+	}
+}

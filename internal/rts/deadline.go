@@ -1,0 +1,271 @@
+// Deadline-aware collectives: the failure-detection layer of the RTS.
+//
+// The plain collectives (Bcast, Gather, ...) keep MPI's model — a dead peer
+// hangs the program, because reliable delivery is assumed. The *Deadline
+// variants below bound every receive and convert a silent peer into a
+// structured, rank-attributed error on every surviving rank, without adding
+// a single branch to the plain collectives' hot path (a nil deadline
+// context short-circuits to the blocking Recv).
+//
+// # Detection and attribution protocol
+//
+// A rank whose receive from peer S is still unsatisfied at the deadline
+// must distinguish "S is dead" from "S is alive but stuck waiting on the
+// real victim further down the chain" — blaming a stuck-but-alive rank
+// would mis-attribute the failure. Three reserved tags implement the
+// distinction:
+//
+//   - TagPing/TagPong — at the deadline the waiter pings S. Every rank
+//     parked inside a deadline-aware receive answers pings from its polling
+//     loop, so an alive S pongs even while stuck. No pong within the grace
+//     period ⇒ S is dead: the waiter broadcasts a TagAbort naming S to all
+//     ranks and returns RankError{Rank: S}.
+//   - TagAbort — a rank that receives an abort (every deadline-aware
+//     receive also polls for one) adopts its verdict and returns the same
+//     RankError, so attribution converges program-wide on the rank the
+//     direct witness observed.
+//
+// A pong extends the wait (bounded: total at most 2× the deadline), during
+// which the stuck peer's own deadline fires and its abort — naming the true
+// victim — arrives. Every path is bounded, so no rank ever blocks forever:
+// worst-case return is 2× the configured deadline per blocked receive.
+//
+// # Poisoned communicators
+//
+// After any collective returns a RankError the communicator must be
+// considered poisoned: aborts, pings and stale data frames from the failed
+// round may still be in flight, and a subsequent collective could consume
+// them. Callers are expected to tear down (the POA faults and deactivates);
+// resuming collective work on a poisoned communicator is not supported.
+package rts
+
+import (
+	"fmt"
+	"time"
+
+	"pardis/internal/cdr"
+)
+
+// RankError is the structured failure of a deadline-aware collective,
+// attributing the abort to a computing-thread rank.
+type RankError struct {
+	Rank int    // the implicated rank (-1 when unknowable)
+	Op   string // the collective that aborted
+}
+
+// Error implements error.
+func (e *RankError) Error() string {
+	return fmt.Sprintf("rts: %s aborted: rank %d unresponsive past deadline", e.Op, e.Rank)
+}
+
+// BcastDeadline is Bcast with every receive bounded by the deadline
+// (seconds). On failure every blocked rank returns a *RankError naming the
+// unresponsive rank; ranks whose subtree completed before the failure may
+// return success. See the package comment on communicator poisoning.
+func BcastDeadline(c Comm, root int, data []byte, seconds float64) ([]byte, error) {
+	CheckRank(c, root)
+	return bcastD(c, newDctx(c, "bcast", seconds), root, data)
+}
+
+// GatherDeadline is Gather with bounded receives (see BcastDeadline).
+func GatherDeadline(c Comm, root int, data []byte, seconds float64) ([][]byte, error) {
+	CheckRank(c, root)
+	return gatherD(c, newDctx(c, "gather", seconds), root, data)
+}
+
+// AllGatherDeadline is AllGather with bounded receives (see BcastDeadline).
+func AllGatherDeadline(c Comm, data []byte, seconds float64) ([][]byte, error) {
+	return allGatherD(c, newDctx(c, "allgather", seconds), data)
+}
+
+// AllGatherRingDeadline is AllGatherRing with bounded receives.
+func AllGatherRingDeadline(c Comm, data []byte, seconds float64) ([][]byte, error) {
+	return allGatherRingD(c, newDctx(c, "allgather-ring", seconds), data)
+}
+
+// ReduceDeadline is Reduce with bounded receives (see BcastDeadline).
+func ReduceDeadline(c Comm, root int, data []byte, op ReduceOp, seconds float64) ([]byte, error) {
+	CheckRank(c, root)
+	return reduceD(c, newDctx(c, "reduce", seconds), root, data, op)
+}
+
+// AllReduceDeadline is AllReduce with bounded receives (see BcastDeadline).
+func AllReduceDeadline(c Comm, data []byte, op ReduceOp, seconds float64) ([]byte, error) {
+	return allReduceD(c, newDctx(c, "allreduce", seconds), data, op)
+}
+
+// BarrierDeadline is a dissemination barrier with bounded receives.
+func BarrierDeadline(c Comm, seconds float64) error {
+	return barrierD(c, newDctx(c, "barrier", seconds))
+}
+
+// RecvTimeout receives with a deadline on any Comm backend by polling
+// Probe, reporting ok=false on expiry. It carries none of the collective
+// abort protocol — it is the point-to-point primitive for protocol loops
+// (bootstrap, segment collection) that do their own failure handling.
+func RecvTimeout(c Comm, src int, tag Tag, seconds float64) (Message, bool) {
+	until := clockOf(c) + seconds
+	q := quantumFor(seconds)
+	for {
+		if c.Probe(src, tag) {
+			return c.Recv(src, tag), true
+		}
+		if clockOf(c) >= until {
+			return Message{}, false
+		}
+		sleepOn(c, q)
+	}
+}
+
+// dctx is the deadline state threaded through one collective call.
+type dctx struct {
+	op      string
+	budget  float64 // configured deadline, seconds
+	until   float64 // absolute clock value at which the current wait expires
+	quantum float64 // polling sleep, seconds
+}
+
+func newDctx(c Comm, op string, seconds float64) *dctx {
+	return &dctx{
+		op:      op,
+		budget:  seconds,
+		until:   clockOf(c) + seconds,
+		quantum: quantumFor(seconds),
+	}
+}
+
+// quantumFor picks the polling sleep for a deadline: fine enough to keep
+// detection latency a small fraction of the budget, coarse enough not to
+// spin (clamped to [20µs, 1ms]).
+func quantumFor(seconds float64) float64 {
+	q := seconds / 64
+	if q > 1e-3 {
+		q = 1e-3
+	}
+	if q < 20e-6 {
+		q = 20e-6
+	}
+	return q
+}
+
+// clockOf reads the communicator's own clock when it has one (every Thread
+// does — wall time on real backends, virtual time on the simulated one), so
+// deadlines mean the same thing on every fabric.
+func clockOf(c Comm) float64 {
+	if t, ok := c.(interface{ Elapsed() float64 }); ok {
+		return t.Elapsed()
+	}
+	return time.Since(wallEpoch).Seconds()
+}
+
+var wallEpoch = time.Now()
+
+// sleepOn idles through the communicator's own notion of time.
+func sleepOn(c Comm, seconds float64) {
+	if t, ok := c.(interface{ Sleep(float64) }); ok {
+		t.Sleep(seconds)
+		return
+	}
+	time.Sleep(time.Duration(seconds * float64(time.Second)))
+}
+
+// trySend delivers a best-effort control message (ping, pong, abort): the
+// RTS data contract panics on sends to dead peers (MPI's reliable-delivery
+// model), but the failure-detection protocol by definition talks to peers
+// that may be dead, and its messages are advisory.
+func trySend(c Comm, dst int, tag Tag, data []byte) {
+	defer func() { _ = recover() }()
+	c.Send(dst, tag, data)
+}
+
+// recvD is the deadline-aware receive behind every collective core. With a
+// nil context it is exactly c.Recv; with one it polls for the wanted
+// message while answering liveness pings and watching for abort verdicts.
+func recvD(c Comm, d *dctx, src int, tag Tag) (Message, error) {
+	if d == nil {
+		return c.Recv(src, tag), nil
+	}
+	var (
+		pinged    bool
+		confirmed bool
+		pongBy    float64
+		finalBy   float64
+	)
+	for {
+		if c.Probe(src, tag) {
+			return c.Recv(src, tag), nil
+		}
+		// Answer pings so a rank stuck here is not mistaken for dead by
+		// the peers waiting on *it*.
+		for c.Probe(AnySource, TagPing) {
+			m := c.Recv(AnySource, TagPing)
+			trySend(c, m.Src, TagPong, nil)
+		}
+		if c.Probe(AnySource, TagAbort) {
+			return Message{}, d.adoptAbort(c)
+		}
+		now := clockOf(c)
+		switch {
+		case !pinged:
+			if now >= d.until {
+				if src == AnySource {
+					return Message{}, d.blame(c, -1)
+				}
+				// Overdue. Before blaming src, distinguish dead from
+				// stuck: an alive-but-stuck src answers the ping from its
+				// own polling loop above.
+				pinged = true
+				grace := d.budget / 4
+				if min := 8 * d.quantum; grace < min {
+					grace = min
+				}
+				pongBy = now + grace
+				finalBy = d.until + d.budget
+				trySend(c, src, TagPing, nil)
+			}
+		case !confirmed:
+			if c.Probe(src, TagPong) {
+				c.Recv(src, TagPong)
+				confirmed = true // alive but stuck: wait for its verdict
+			} else if now >= pongBy {
+				return Message{}, d.blame(c, src)
+			}
+		default:
+			// src is alive; its own deadline fires within our extension
+			// and its abort names the true victim. The extension is hard-
+			// bounded so a pathological chain still terminates.
+			if now >= finalBy {
+				return Message{}, d.blame(c, src)
+			}
+		}
+		sleepOn(c, d.quantum)
+	}
+}
+
+// blame broadcasts an abort naming the culprit to every other live-looking
+// rank and returns the matching RankError. The culprit is skipped — it is
+// dead or will reach its own verdict.
+func (d *dctx) blame(c Comm, culprit int) error {
+	e := cdr.NewEncoder(8)
+	e.PutLong(int32(culprit))
+	pay := e.Bytes()
+	me := c.Rank()
+	for r := 0; r < c.Size(); r++ {
+		if r != me && r != culprit {
+			trySend(c, r, TagAbort, pay)
+		}
+	}
+	return &RankError{Rank: culprit, Op: d.op}
+}
+
+// adoptAbort consumes one abort notice and adopts its verdict. It is not
+// re-broadcast: the original witness already told everyone.
+func (d *dctx) adoptAbort(c Comm) error {
+	m := c.Recv(AnySource, TagAbort)
+	dec := cdr.NewDecoder(m.Data)
+	culprit := int(dec.GetLong())
+	if dec.Err() != nil || culprit < -1 || culprit >= c.Size() {
+		culprit = m.Src
+	}
+	return &RankError{Rank: culprit, Op: d.op}
+}

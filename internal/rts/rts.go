@@ -37,7 +37,10 @@ const (
 	TagRequest  // ORB request headers delivered into the server's domain
 	TagArgument // distributed-argument segments
 	TagReply
-	TagDSeq // distributed-sequence internal traffic (redistribution, At)
+	TagDSeq  // distributed-sequence internal traffic (redistribution, At)
+	TagAbort // deadline-aware collectives: rank-attributed abort notice
+	TagPing  // deadline-aware collectives: liveness probe to a silent peer
+	TagPong  // deadline-aware collectives: liveness probe answer
 )
 
 // Per-round collective tags. Every tree collective derives one tag per
@@ -149,9 +152,17 @@ func CheckRank(c Comm, dst int) {
 // for non-roots) data and receives root's. Collective.
 func Bcast(c Comm, root int, data []byte) []byte {
 	CheckRank(c, root)
+	out, _ := bcastD(c, nil, root, data)
+	return out
+}
+
+// bcastD is Bcast's core; with a nil deadline context every receive is the
+// plain blocking Recv (byte-identical behavior and cost to the original),
+// with one it is the abort-aware recvD.
+func bcastD(c Comm, d *dctx, root int, data []byte) ([]byte, error) {
 	size := c.Size()
 	if size == 1 {
-		return data
+		return data, nil
 	}
 	rel := (c.Rank() - root + size) % size
 	// Receive from the parent — the node whose relative rank clears my
@@ -160,7 +171,11 @@ func Bcast(c Comm, root int, data []byte) []byte {
 	round := 0
 	for mask < size {
 		if rel&mask != 0 {
-			data = c.Recv((rel-mask+root)%size, bcastTag(round)).Data
+			m, err := recvD(c, d, (rel-mask+root)%size, bcastTag(round))
+			if err != nil {
+				return nil, err
+			}
+			data = m.Data
 			break
 		}
 		mask <<= 1
@@ -174,7 +189,7 @@ func Bcast(c Comm, root int, data []byte) []byte {
 			c.Send((rel+mask+root)%size, bcastTag(round), data)
 		}
 	}
-	return data
+	return data, nil
 }
 
 // Gather collects each thread's data at root along a binomial tree: every
@@ -184,9 +199,14 @@ func Bcast(c Comm, root int, data []byte) []byte {
 // Collective.
 func Gather(c Comm, root int, data []byte) [][]byte {
 	CheckRank(c, root)
+	out, _ := gatherD(c, nil, root, data)
+	return out
+}
+
+func gatherD(c Comm, d *dctx, root int, data []byte) ([][]byte, error) {
 	size := c.Size()
 	if size == 1 {
-		return [][]byte{data}
+		return [][]byte{data}, nil
 	}
 	rel := (c.Rank() - root + size) % size
 	// acc[i] is the block of relative rank rel+i: a binomial subtree covers
@@ -207,16 +227,20 @@ func Gather(c Comm, root int, data []byte) [][]byte {
 				e.PutOctets(b)
 			}
 			c.Send((rel-mask+root)%size, gatherTag(round), e.Bytes())
-			return nil
+			return nil, nil
 		}
 		if rel+mask < size {
 			src := (rel + mask + root) % size
-			d := cdr.NewDecoder(c.Recv(src, gatherTag(round)).Data)
-			n := d.GetSeqLen(1)
-			for i := 0; i < n; i++ {
-				acc = append(acc, d.GetOctets())
+			m, err := recvD(c, d, src, gatherTag(round))
+			if err != nil {
+				return nil, err
 			}
-			if err := d.Err(); err != nil {
+			dec := cdr.NewDecoder(m.Data)
+			n := dec.GetSeqLen(1)
+			for i := 0; i < n; i++ {
+				acc = append(acc, dec.GetOctets())
+			}
+			if err := dec.Err(); err != nil {
 				panic(fmt.Sprintf("rts: corrupt gather frame from rank %d: %v", src, err))
 			}
 		}
@@ -227,7 +251,7 @@ func Gather(c Comm, root int, data []byte) [][]byte {
 	for i, b := range acc {
 		out[(root+i)%size] = b
 	}
-	return out
+	return out, nil
 }
 
 // AllGather gives every thread the slice of all threads' data via the
@@ -236,6 +260,11 @@ func Gather(c Comm, root int, data []byte) [][]byte {
 // unequal block sizes and non-power-of-two P need no special casing).
 // Collective.
 func AllGather(c Comm, data []byte) [][]byte {
+	out, _ := allGatherD(c, nil, data)
+	return out
+}
+
+func allGatherD(c Comm, d *dctx, data []byte) ([][]byte, error) {
 	size, rank := c.Size(), c.Rank()
 	out := make([][]byte, size)
 	out[rank] = data
@@ -261,19 +290,23 @@ func AllGather(c Comm, data []byte) [][]byte {
 		}
 		c.Send((rank-cnt+size)%size, allGatherTag(round), e.Bytes())
 		src := (rank + cnt) % size
-		d := cdr.NewDecoder(c.Recv(src, allGatherTag(round)).Data)
-		n := d.GetSeqLen(1)
+		msg, err := recvD(c, d, src, allGatherTag(round))
+		if err != nil {
+			return nil, err
+		}
+		dec := cdr.NewDecoder(msg.Data)
+		n := dec.GetSeqLen(1)
 		for j := 0; j < n; j++ {
-			r := int(d.GetLong())
-			b := d.GetOctets()
-			if d.Err() != nil || r < 0 || r >= size {
-				panic(fmt.Sprintf("rts: corrupt allgather frame from rank %d: %v", src, d.Err()))
+			r := int(dec.GetLong())
+			b := dec.GetOctets()
+			if dec.Err() != nil || r < 0 || r >= size {
+				panic(fmt.Sprintf("rts: corrupt allgather frame from rank %d: %v", src, dec.Err()))
 			}
 			out[r] = b
 		}
 		cnt += m
 	}
-	return out
+	return out, nil
 }
 
 // AllGatherRing is the bandwidth-optimal all-gather for large payloads:
@@ -282,6 +315,11 @@ func AllGather(c Comm, data []byte) [][]byte {
 // the result size. Latency grows with P — prefer AllGather (log-depth) for
 // small control payloads. Collective.
 func AllGatherRing(c Comm, data []byte) [][]byte {
+	out, _ := allGatherRingD(c, nil, data)
+	return out
+}
+
+func allGatherRingD(c Comm, d *dctx, data []byte) ([][]byte, error) {
 	size, rank := c.Size(), c.Rank()
 	out := make([][]byte, size)
 	out[rank] = data
@@ -291,9 +329,13 @@ func AllGatherRing(c Comm, data []byte) [][]byte {
 	// without reordering risk.
 	for k := 0; k < size-1; k++ {
 		c.Send(next, tagRing, out[(rank-k+size)%size])
-		out[(rank-k-1+size)%size] = c.Recv(prev, tagRing).Data
+		m, err := recvD(c, d, prev, tagRing)
+		if err != nil {
+			return nil, err
+		}
+		out[(rank-k-1+size)%size] = m.Data
 	}
-	return out
+	return out, nil
 }
 
 // ReduceOp combines two collective payloads: acc is the local accumulator,
@@ -309,9 +351,14 @@ type ReduceOp func(acc, in []byte) []byte
 // others receive nil. Collective.
 func Reduce(c Comm, root int, data []byte, op ReduceOp) []byte {
 	CheckRank(c, root)
+	out, _ := reduceD(c, nil, root, data, op)
+	return out
+}
+
+func reduceD(c Comm, d *dctx, root int, data []byte, op ReduceOp) ([]byte, error) {
 	size := c.Size()
 	if size == 1 {
-		return data
+		return data, nil
 	}
 	rel := (c.Rank() - root + size) % size
 	acc := data
@@ -319,21 +366,34 @@ func Reduce(c Comm, root int, data []byte, op ReduceOp) []byte {
 	for mask := 1; mask < size; mask <<= 1 {
 		if rel&mask != 0 {
 			c.Send((rel-mask+root)%size, reduceTag(round), acc)
-			return nil
+			return nil, nil
 		}
 		if rel+mask < size {
-			acc = op(acc, c.Recv((rel+mask+root)%size, reduceTag(round)).Data)
+			m, err := recvD(c, d, (rel+mask+root)%size, reduceTag(round))
+			if err != nil {
+				return nil, err
+			}
+			acc = op(acc, m.Data)
 		}
 		round++
 	}
-	return acc
+	return acc, nil
 }
 
 // AllReduce folds every thread's data with op and delivers the result to
 // all threads (tree reduce to rank 0, then tree broadcast: 2⌈log₂P⌉
 // rounds). Collective.
 func AllReduce(c Comm, data []byte, op ReduceOp) []byte {
-	return Bcast(c, 0, Reduce(c, 0, data, op))
+	out, _ := allReduceD(c, nil, data, op)
+	return out
+}
+
+func allReduceD(c Comm, d *dctx, data []byte, op ReduceOp) ([]byte, error) {
+	acc, err := reduceD(c, d, 0, data, op)
+	if err != nil {
+		return nil, err
+	}
+	return bcastD(c, d, 0, acc)
 }
 
 // runBarrier is the dissemination barrier every backend's Barrier method
@@ -343,11 +403,18 @@ func AllReduce(c Comm, data []byte, op ReduceOp) []byte {
 // three Comm backends' semantics identical and gives the simulated fabric
 // log-depth modeled latency for free.
 func runBarrier(c Comm) {
+	_ = barrierD(c, nil)
+}
+
+func barrierD(c Comm, d *dctx) error {
 	size, rank := c.Size(), c.Rank()
 	round := 0
 	for dist := 1; dist < size; dist <<= 1 {
 		c.Send((rank+dist)%size, barrierTag(round), nil)
-		c.Recv((rank-dist+size)%size, barrierTag(round))
+		if _, err := recvD(c, d, (rank-dist+size)%size, barrierTag(round)); err != nil {
+			return err
+		}
 		round++
 	}
+	return nil
 }

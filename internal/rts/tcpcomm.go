@@ -163,26 +163,16 @@ func JoinTCP(hostName string, rank, size int, coordAddr string, timeout time.Dur
 var errRecvTimeout = errors.New("rts: receive deadline exceeded")
 
 // recvDeadline blocks for one frame or the deadline, whichever comes first.
-// On timeout the caller abandons bootstrap and closes the endpoint, which
-// unblocks (and retires) the receiver goroutine parked here.
+// It polls from the calling thread (nexus.RecvTimeout) rather than parking a
+// helper goroutine in Recv: the goroutine variant retired its receiver only
+// when the endpoint was closed, and on the success path each bootstrap step
+// left a window where an abandoned receiver could steal the next frame.
 func recvDeadline(ep nexus.Endpoint, deadline time.Time) (nexus.Frame, error) {
-	type result struct {
-		fr  nexus.Frame
-		err error
-	}
-	ch := make(chan result, 1)
-	go func() {
-		fr, err := ep.Recv()
-		ch <- result{fr, err}
-	}()
-	timer := time.NewTimer(time.Until(deadline))
-	defer timer.Stop()
-	select {
-	case r := <-ch:
-		return r.fr, r.err
-	case <-timer.C:
+	fr, err := nexus.RecvTimeout(ep, deadline)
+	if errors.Is(err, nexus.ErrRecvTimeout) {
 		return nexus.Frame{}, errRecvTimeout
 	}
+	return fr, err
 }
 
 // stash decodes and queues a data frame that arrived before it was wanted.
