@@ -32,3 +32,12 @@ go test -race -run Fault -count=1 ./internal/nexus ./internal/rts ./internal/poa
 # reproduces with the same -count and seed corpus; includes the
 # goroutine-leak check after every iteration.
 go test -run FaultChaosSoak -count=20 ./internal/poa
+
+# Observability lane: a tracing-enabled bench run must complete and export
+# a non-empty Chrome trace (the 4-rank SPMD section runs first, so its
+# spans are always captured); the overhead guard must hold — allocs/op
+# always, ns/op too under PARDIS_OVERHEAD_GATE=1 — and every metric name
+# registered anywhere in the linked tree must be unique and well-formed.
+go run ./cmd/pardis-bench -fig transfer -quick -trace trace.json > /dev/null
+test -s trace.json
+PARDIS_OVERHEAD_GATE=1 go test -run 'TestTracingOverheadGate|TestMetricNameHygiene' -count=1 .

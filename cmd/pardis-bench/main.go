@@ -5,12 +5,17 @@
 // Usage:
 //
 //	pardis-bench [-fig 2|4|5|ablations|all] [-quick] [-json]
+//	             [-trace FILE] [-debug ADDR]
 //
 // -quick trims the sweeps for a fast smoke run. -json replaces the tables
 // with one JSON document summarizing every experiment point, for CI
-// artifacts and regression diffing. Results are deterministic: the
-// experiments run the full PARDIS stack on a virtual clock over the modeled
-// 1997 machines (see DESIGN.md §4 for the substitutions).
+// artifacts and regression diffing. -trace enables span recording for the
+// whole run and writes a Chrome trace-event JSON (chrome://tracing,
+// Perfetto) to FILE on exit. -debug serves the live introspection endpoint
+// (/metrics, /debug/vars, /debug/trace — see DESIGN.md §11) on ADDR for
+// the duration of the run. Results are deterministic: the experiments run
+// the full PARDIS stack on a virtual clock over the modeled 1997 machines
+// (see DESIGN.md §4 for the substitutions).
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 
 	"pardis/internal/bench"
+	"pardis/internal/obs"
 )
 
 // summary is the -json document: one optional section per experiment.
@@ -46,7 +52,23 @@ func main() {
 	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, all")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of tables")
+	traceFile := flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
+	debugAddr := flag.String("debug", "", "serve /metrics, /debug/vars and /debug/trace on this address during the run")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		bound, stop, err := obs.Serve(*debugAddr, obs.Default, obs.DefaultTracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pardis-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "pardis-bench: debug endpoint at http://%s\n", bound)
+	}
+	if *traceFile != "" {
+		obs.DefaultTracer.Reset()
+		obs.DefaultTracer.SetEnabled(true)
+	}
 
 	var out summary
 	switch *fig {
@@ -80,6 +102,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pardis-bench: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if *traceFile != "" {
+		obs.DefaultTracer.SetEnabled(false)
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pardis-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.DefaultTracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pardis-bench: trace export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pardis-bench: wrote %d spans to %s (%d dropped)\n",
+			len(obs.DefaultTracer.Spans()), *traceFile, obs.DefaultTracer.Dropped())
 	}
 }
 
@@ -150,6 +191,8 @@ func transfer(quick, silent bool) []transferSection {
 		n, redisIters, fanIters, clients, calls = 200_000, 3, 5, 4, 50
 	}
 	sections := []transferSection{
+		{fmt.Sprintf("full-stack SPMD invocation (%d doubles, 4 server ranks)", n),
+			bench.TransferSPMD(n, fanIters)},
 		{fmt.Sprintf("schedule cache (block<->cyclic, %d doubles, 8 threads)", n),
 			bench.TransferScheduleCache(n, 8, redisIters)},
 		{fmt.Sprintf("segment fan-out (%d doubles, 1 client x 8 server threads)", n),

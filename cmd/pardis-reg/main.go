@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	pardis-reg [-listen host:port]
+//	pardis-reg [-listen host:port] [-debug host:port]
 //
 // The printed bootstrap address is what servers and clients pass to
-// registry.Open.
+// registry.Open. -debug additionally serves the live introspection
+// endpoint (/metrics Prometheus text, /debug/vars expvar JSON,
+// /debug/trace Chrome trace events — see DESIGN.md §11); without it the
+// daemon exposes nothing.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 
 	"pardis/internal/core"
 	"pardis/internal/nexus"
+	"pardis/internal/obs"
 	"pardis/internal/poa"
 	"pardis/internal/registry"
 	"pardis/internal/rts"
@@ -25,7 +29,17 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7934", "TCP listen address")
+	debugAddr := flag.String("debug", "", "serve /metrics, /debug/vars and /debug/trace on this address")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		bound, stop, err := obs.Serve(*debugAddr, obs.Default, obs.DefaultTracer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("pardis-reg: debug endpoint at http://%s\n", bound)
+	}
 
 	ep, err := nexus.NewTCPEndpoint(*listen)
 	if err != nil {

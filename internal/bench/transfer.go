@@ -85,13 +85,25 @@ func TransferScheduleCache(n, p, iters int) []TransferPoint {
 // thread, which have nothing to parallelize).
 func TransferFanout(n, iters int) []TransferPoint {
 	return []TransferPoint{
-		{Label: "fanout-serial", Seconds: fanoutTime(n, iters, 1)},
-		{Label: "fanout-4-workers", Seconds: fanoutTime(n, iters, 4)},
+		{Label: "fanout-serial", Seconds: fanoutTime(n, iters, 1, 8)},
+		{Label: "fanout-4-workers", Seconds: fanoutTime(n, iters, 4, 8)},
 	}
 }
 
-func fanoutTime(n, iters, workers int) float64 {
-	const S, C = 8, 1
+// TransferSPMD times the full-stack SPMD "scale" invocation against a
+// four-thread server — the invocation shape the tracing acceptance
+// inspects: one stub call fanning out to four ranks, every span sharing
+// the stub's trace ID and nesting stub → ORB → pgiop → POA → rts. Run
+// under pardis-bench -trace to capture that timeline.
+func TransferSPMD(n, iters int) []TransferPoint {
+	sec := fanoutTime(n, iters, 1, 4)
+	return []TransferPoint{
+		{Label: "spmd-4rank-invoke", Seconds: sec, PerSec: 1 / sec},
+	}
+}
+
+func fanoutTime(n, iters, workers, S int) float64 {
+	const C = 1
 	fab := nexus.NewInproc()
 	iorCh := make(chan core.IOR, 1)
 	var wg sync.WaitGroup

@@ -1,0 +1,28 @@
+package core
+
+import "pardis/internal/obs"
+
+// Process-wide ORB instruments, shared by every computing thread's ORB (an
+// SPMD client creates one ORB per thread; the counters aggregate across
+// them). Registered once on the default registry at package init.
+var (
+	orbRequests = obs.Default.MustCounter("orb_requests_total")
+	orbRetries  = obs.Default.MustCounter("orb_retries_total")
+	orbTimeouts = obs.Default.MustCounter("orb_timeouts_total")
+	orbCancels  = obs.Default.MustCounter("orb_cancels_total")
+	// orbTransportFails counts invocations failed by a broken transport
+	// (failAll), as distinct from deadline expiry.
+	orbTransportFails = obs.Default.MustCounter("orb_transport_failures_total")
+	// orbLatency observes issue-to-resolution time of every two-way
+	// invocation, whatever the outcome — timeouts and cancels land in the
+	// tail rather than vanishing from it.
+	orbLatency = obs.Default.MustHistogram("orb_request_latency_seconds")
+)
+
+// ServeDebug starts the opt-in introspection endpoint (Prometheus text at
+// /metrics, expvar-style JSON at /debug/vars, Chrome trace JSON at
+// /debug/trace) for the process this ORB lives in, returning the bound
+// address and a closer. addr may be ":0" for an ephemeral port.
+func (o *ORB) ServeDebug(addr string) (string, func() error, error) {
+	return obs.Serve(addr, obs.Default, obs.DefaultTracer)
+}

@@ -12,6 +12,7 @@ import (
 	"pardis/internal/dseq"
 	"pardis/internal/future"
 	"pardis/internal/nexus"
+	"pardis/internal/obs"
 	"pardis/internal/pgiop"
 	"pardis/internal/rts"
 	"pardis/internal/typecode"
@@ -118,10 +119,38 @@ type pendingReq struct {
 	// gotBy counts out-segment elements by sending server rank, for
 	// attributing a partial transfer to the ranks that went silent.
 	gotBy map[int]int
+
+	// Trace state. trace/span are zero when tracing was off at issue time;
+	// trace is the invocation's TraceID (stable across retries) and span the
+	// stub.invoke root span under which every attempt nests. issuedNS is the
+	// root span's start — always captured, since the latency histogram wants
+	// it whether or not tracing is on.
+	trace    uint64
+	span     uint64
+	issuedNS int64
 }
 
 // retryable reports whether this request may be re-issued (see RetryPolicy).
 func (p *pendingReq) retryable() bool { return p.req != nil }
+
+// resolve finishes a claimed (or never-registered) request: observes the
+// latency histogram, records the stub.invoke root span when the invocation
+// was traced, and resolves the cell. Every resolution path of a two-way
+// request funnels through here *after* winning the claim, which is also what
+// keeps late replies span-silent: by the time a straggler arrives the claim
+// fails, no resolver runs, and nothing records.
+func (o *ORB) resolve(p *pendingReq, vals []any, err error) {
+	end := obs.NowNS()
+	orbLatency.Observe(float64(end-p.issuedNS) / 1e9)
+	if p.trace != 0 {
+		obs.DefaultTracer.Record(obs.Span{
+			Trace: p.trace, ID: p.span, Layer: obs.LayerStub,
+			Name: "stub.invoke", Op: p.op.Name, Rank: int32(o.rank()),
+			Start: p.issuedNS, End: end,
+		})
+	}
+	p.cell.Resolve(vals, err)
+}
 
 // claim atomically removes the pending entry for id, returning it — or nil
 // when another path (cancel, timeout sweep, transport failure) already
@@ -232,6 +261,17 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 		DeadlineMS: deadlineMS(b.deadline),
 	}
 	b.seq++
+	orbRequests.Inc()
+	p.issuedNS = obs.NowNS()
+	if obs.DefaultTracer.Enabled() {
+		// Root trace context for this invocation: the TraceID every rank and
+		// layer will share, the stub span every attempt nests under, and the
+		// first attempt's send span (fresh per retry — see resend).
+		p.trace = obs.NewID()
+		p.span = obs.NewID()
+		req.TraceID = p.trace
+		req.SpanID = obs.NewID()
+	}
 
 	// Marshal inline (non-distributed) in/inout arguments into a pooled
 	// encoder: req.Body aliases its buffer, which stays valid through the
@@ -312,10 +352,7 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 	// Header goes to server thread 0 (the collectivity point). The request
 	// header and the marshaled body travel as one vectored frame — the body
 	// is never copied into a framing buffer.
-	hdr := cdr.GetEncoder(128)
-	pgiop.AppendRequest(hdr, req)
-	err := o.sendV2(nexus.Addr(b.ior.Addrs[0]), hdr.Bytes(), req.Body)
-	hdr.Release()
+	err := o.sendRequest(nexus.Addr(b.ior.Addrs[0]), req, p, false)
 	if err != nil {
 		if p.retryable() {
 			// A failed send is the easiest loss to retry: park the request
@@ -346,6 +383,47 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 	}
 	cell.SetPump(o.pumpFn)
 	return cell, nil
+}
+
+// sendRequest encodes and ships one request attempt as a vectored frame.
+// When the invocation is traced it records the per-attempt ORB send span
+// (ID = req.SpanID, the parent the server nests under) with the pgiop
+// encode span inside it.
+func (o *ORB) sendRequest(to nexus.Addr, req *pgiop.Request, p *pendingReq, resend bool) error {
+	traced := p.trace != 0
+	var sendStart, encStart, encEnd int64
+	if traced {
+		sendStart = obs.NowNS()
+	}
+	hdr := cdr.GetEncoder(128)
+	if traced {
+		encStart = obs.NowNS()
+	}
+	pgiop.AppendRequest(hdr, req)
+	if traced {
+		encEnd = obs.NowNS()
+	}
+	err := o.sendV2(to, hdr.Bytes(), req.Body)
+	hdr.Release()
+	if traced {
+		end := obs.NowNS()
+		name := "orb.send"
+		if resend {
+			name = "orb.resend"
+		}
+		rank := int32(o.rank())
+		obs.DefaultTracer.Record(obs.Span{
+			Trace: p.trace, ID: req.SpanID, Parent: p.span,
+			Layer: obs.LayerORB, Name: name, Op: p.op.Name, Rank: rank,
+			Start: sendStart, End: end,
+		})
+		obs.DefaultTracer.Record(obs.Span{
+			Trace: p.trace, ID: obs.NewID(), Parent: req.SpanID,
+			Layer: obs.LayerPGIOP, Name: "pgiop.encode", Rank: rank,
+			Start: encStart, End: encEnd,
+		})
+	}
+	return err
 }
 
 // deadlineMS converts a seconds deadline to the wire's millisecond field.
@@ -408,7 +486,8 @@ func (o *ORB) Cancel(cell *future.Cell) bool {
 	}
 	msg := pgiop.EncodeCancelRequest(&pgiop.CancelRequest{BindingID: p.binding, SeqNo: p.seqNo})
 	_ = o.r.Send(nexus.Addr(p.server0), msg) // best effort
-	p.cell.Resolve(nil, ErrCancelled)
+	orbCancels.Inc()
+	o.resolve(p, nil, ErrCancelled)
 	return true
 }
 
@@ -558,10 +637,11 @@ func (o *ORB) sweep() bool {
 	o.mu.Unlock()
 
 	for _, p := range expired {
+		orbTimeouts.Inc()
 		if p.retryable() && p.attempt < p.policy.attempts() {
 			o.park(p)
 		} else {
-			p.cell.Resolve(nil, o.deadlineError(p))
+			o.resolve(p, nil, o.deadlineError(p))
 		}
 	}
 	for _, p := range due {
@@ -590,17 +670,20 @@ func (o *ORB) resend(p *pendingReq) {
 	o.mu.Unlock()
 	p.attempt++
 	p.deadlineAt = o.now() + p.deadline
+	orbRetries.Inc()
+	if p.trace != 0 {
+		// Same TraceID, fresh per-attempt SpanID: a straggler span from the
+		// superseded attempt can never masquerade as this one's.
+		p.req.SpanID = obs.NewID()
+	}
 
-	hdr := cdr.GetEncoder(128)
-	pgiop.AppendRequest(hdr, p.req)
-	err := o.sendV2(nexus.Addr(p.server0), hdr.Bytes(), p.req.Body)
-	hdr.Release()
+	err := o.sendRequest(nexus.Addr(p.server0), p.req, p, true)
 	if err != nil {
 		if q := o.claim(p.req.ReqID); q != nil {
 			if p.attempt < p.policy.attempts() {
 				o.park(q)
 			} else {
-				q.cell.Resolve(nil, &InvokeError{
+				o.resolve(q, nil, &InvokeError{
 					Op: p.op.Name, Attempts: p.attempt, Stage: "reply",
 					MissingRanks: []int{0}, Err: err,
 				})
@@ -673,10 +756,12 @@ func (o *ORB) failAll(err error) {
 	o.backoff = nil
 	o.mu.Unlock()
 	for _, p := range ps {
-		p.cell.Resolve(nil, fmt.Errorf("core: transport failed: %w", err))
+		orbTransportFails.Inc()
+		o.resolve(p, nil, fmt.Errorf("core: transport failed: %w", err))
 	}
 	for _, p := range parked {
-		p.cell.Resolve(nil, fmt.Errorf("core: transport failed: %w", err))
+		orbTransportFails.Inc()
+		o.resolve(p, nil, fmt.Errorf("core: transport failed: %w", err))
 	}
 }
 
@@ -700,7 +785,7 @@ func (o *ORB) handleReply(r *pgiop.Reply) {
 		if o.claim(r.ReqID) == nil {
 			return // timed out or cancelled first
 		}
-		p.cell.Resolve(nil, fmt.Errorf("core: server exception: %s", r.Error))
+		o.resolve(p, nil, fmt.Errorf("core: server exception: %s", r.Error))
 		return
 	}
 	p.reply = r
@@ -713,7 +798,7 @@ func (o *ORB) handleReply(r *pgiop.Reply) {
 			if o.claim(r.ReqID) == nil {
 				return
 			}
-			p.cell.Resolve(nil, fmt.Errorf("core: reply announces unknown out parameter %d", param))
+			o.resolve(p, nil, fmt.Errorf("core: reply announces unknown out parameter %d", param))
 			return
 		}
 		layout := p.tmpls[param].Layout(int(ol.N), o.size())
@@ -798,7 +883,7 @@ func (p *pendingReq) fail(o *ORB, reqID uint32, err error) {
 	if o.claim(reqID) == nil {
 		return // already claimed by cancel, timeout, or a racing resolver
 	}
-	p.cell.Resolve(nil, err)
+	o.resolve(p, nil, err)
 }
 
 // maybeComplete resolves the invocation once the reply and all expected
@@ -846,7 +931,7 @@ func (o *ORB) maybeComplete(reqID uint32, p *pendingReq) {
 	if o.claim(reqID) == nil {
 		return // a racing cancel or timeout won; discard the late result
 	}
-	p.cell.Resolve(vals, nil)
+	o.resolve(p, vals, nil)
 }
 
 // Comm exposes the ORB's run-time-system communicator (nil for single

@@ -3,6 +3,8 @@ package dist
 import (
 	"hash/maphash"
 	"sync"
+
+	"pardis/internal/obs"
 )
 
 // CachedSchedule is a Schedule plus per-rank move indexes, shared between
@@ -109,7 +111,11 @@ type ScheduleCache struct {
 	clock      uint64
 	entries    map[scheduleKey]*cacheEntry
 
-	hits, misses uint64
+	// hits/misses are obs counters rather than mutex-guarded ints so
+	// exposition never contends with Get; Stats remains a thin read over
+	// them. Each cache instance owns its own pair — only DefaultCache's are
+	// registered on the default registry (see init).
+	hits, misses obs.Counter
 }
 
 // defaultMaxRuns bounds the total runs retained by a cache so schedules with
@@ -135,14 +141,14 @@ func (c *ScheduleCache) Get(src, dst Layout) *CachedSchedule {
 	k := keyOf(src, dst)
 	c.mu.Lock()
 	if e, ok := c.entries[k]; ok && e.src.Equal(src) && e.dst.Equal(dst) {
-		c.hits++
+		c.hits.Inc()
 		c.clock++
 		e.used = c.clock
 		s := e.sched
 		c.mu.Unlock()
 		return s
 	}
-	c.misses++
+	c.misses.Inc()
 	c.mu.Unlock()
 
 	// Build outside the lock: construction is O(N) and must not serialize
@@ -186,7 +192,7 @@ type CacheStats struct {
 func (c *ScheduleCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries), Runs: c.runs}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: len(c.entries), Runs: c.runs}
 }
 
 // Reset drops every entry and zeroes the counters.
@@ -194,12 +200,42 @@ func (c *ScheduleCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = map[scheduleKey]*cacheEntry{}
-	c.runs, c.hits, c.misses = 0, 0, 0
+	c.runs = 0
+	c.hits.Store(0)
+	c.misses.Store(0)
 }
 
 // DefaultCache is the process-wide schedule cache behind Cached — shared by
 // the ORB send path, the POA result path and dseq redistribution.
 var DefaultCache = NewScheduleCache(256)
+
+// The process-wide cache's counters are the ones worth a dashboard;
+// per-instance caches stay unregistered (names must be unique).
+func init() {
+	must := func(name string, m any) {
+		if err := obs.Default.Register(name, m); err != nil {
+			panic(err)
+		}
+	}
+	must("dist_schedule_cache_hits_total", &DefaultCache.hits)
+	must("dist_schedule_cache_misses_total", &DefaultCache.misses)
+	obs.Default.MustFunc("dist_schedule_cache_entries", func() float64 {
+		return float64(DefaultCache.Stats().Entries)
+	})
+	obs.Default.MustFunc("dist_schedule_cache_runs", func() float64 {
+		return float64(DefaultCache.Stats().Runs)
+	})
+	// Hit rate as a derived gauge, so the Prometheus endpoint answers the
+	// "is the cache working" question without client-side math.
+	obs.Default.MustFunc("dist_schedule_cache_hit_rate", func() float64 {
+		s := DefaultCache.Stats()
+		total := s.Hits + s.Misses
+		if total == 0 {
+			return 0
+		}
+		return float64(s.Hits) / float64(total)
+	})
+}
 
 // Cached computes or retrieves the schedule from src to dst through
 // DefaultCache. The result is shared and must be treated as read-only.

@@ -35,6 +35,7 @@ type Cell struct {
 
 // NewCell returns an unresolved cell.
 func NewCell() *Cell {
+	futCells.Inc()
 	c := &Cell{}
 	c.cond.L = &c.mu
 	return c
@@ -56,6 +57,10 @@ func (c *Cell) Resolve(vals []any, err error) {
 	c.resolved = true
 	c.vals = vals
 	c.err = err
+	futResolved.Inc()
+	if err != nil {
+		futErrors.Inc()
+	}
 	c.cond.Broadcast()
 }
 
@@ -113,6 +118,7 @@ func (c *Cell) WaitTimeout(seconds float64) bool {
 				return true
 			}
 			if !time.Now().Before(deadline) {
+				futWaitTimeouts.Inc()
 				return false
 			}
 			time.Sleep(sleep)
@@ -140,6 +146,9 @@ func (c *Cell) WaitTimeout(seconds float64) bool {
 	defer c.mu.Unlock()
 	for !c.resolved && time.Now().Before(deadline) {
 		c.cond.Wait()
+	}
+	if !c.resolved {
+		futWaitTimeouts.Inc()
 	}
 	return c.resolved
 }

@@ -1,0 +1,15 @@
+package future
+
+import "pardis/internal/obs"
+
+// Cell lifecycle instruments: cells minted, cells resolved (with or without
+// error), and WaitTimeout expiries. resolved < created means invocations are
+// still in flight (or were abandoned unresolved); timeouts count waiter-side
+// deadline expiries, which do not consume the cell — the same cell can time
+// out for a waiter and later resolve.
+var (
+	futCells        = obs.Default.MustCounter("future_cells_total")
+	futResolved     = obs.Default.MustCounter("future_resolved_total")
+	futErrors       = obs.Default.MustCounter("future_resolve_errors_total")
+	futWaitTimeouts = obs.Default.MustCounter("future_wait_timeouts_total")
+)

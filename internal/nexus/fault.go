@@ -4,6 +4,8 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sync"
+
+	"pardis/internal/obs"
 )
 
 // FaultPlan is the seeded injection schedule of a FaultInjector: per-frame
@@ -49,9 +51,13 @@ type FaultInjector struct {
 	seed uint64
 	plan FaultPlan
 
-	mu    sync.Mutex
-	dead  map[Addr]bool
-	stats FaultStats
+	mu   sync.Mutex
+	dead map[Addr]bool
+
+	// Per-kind tallies are obs counters so the injection hot path never
+	// takes fi.mu for counting, and so a test harness can expose them on a
+	// registry via RegisterMetrics. Stats remains a thin snapshot read.
+	sent, dropped, truncated, duplicated, delayed, blackholed obs.Counter
 }
 
 // NewFaultInjector creates an injector with the given seed and plan.
@@ -81,9 +87,37 @@ func (fi *FaultInjector) Alive(a Addr) bool {
 
 // Stats returns a snapshot of the injection counters.
 func (fi *FaultInjector) Stats() FaultStats {
-	fi.mu.Lock()
-	defer fi.mu.Unlock()
-	return fi.stats
+	return FaultStats{
+		Sent:       int(fi.sent.Load()),
+		Dropped:    int(fi.dropped.Load()),
+		Truncated:  int(fi.truncated.Load()),
+		Duplicated: int(fi.duplicated.Load()),
+		Delayed:    int(fi.delayed.Load()),
+		Blackholed: int(fi.blackholed.Load()),
+	}
+}
+
+// RegisterMetrics publishes the injector's counters on a registry under the
+// given prefix (e.g. "nexus_fault"). Opt-in, because injectors are per-test
+// fixtures and registry names must stay unique: only the harness that wants
+// its injector on a scrape endpoint registers it.
+func (fi *FaultInjector) RegisterMetrics(reg *obs.Registry, prefix string) error {
+	for _, c := range []struct {
+		suffix string
+		ctr    *obs.Counter
+	}{
+		{"sent_total", &fi.sent},
+		{"dropped_total", &fi.dropped},
+		{"truncated_total", &fi.truncated},
+		{"duplicated_total", &fi.duplicated},
+		{"delayed_total", &fi.delayed},
+		{"blackholed_total", &fi.blackholed},
+	} {
+		if err := reg.Register(prefix+"_"+c.suffix, c.ctr); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Wrap returns ep with the injector's fault schedule applied to its send
@@ -148,12 +182,10 @@ func (e *faultEP) SendV(to Addr, bufs ...[]byte) error {
 	fi := e.fi
 	fi.mu.Lock()
 	blackhole := fi.dead[to] || fi.dead[e.inner.Addr()]
-	fi.stats.Sent++
-	if blackhole {
-		fi.stats.Blackholed++
-	}
 	fi.mu.Unlock()
+	fi.sent.Inc()
 	if blackhole {
+		fi.blackholed.Inc()
 		return nil // a dead peer is silent, never an error
 	}
 
@@ -171,9 +203,9 @@ func (e *faultEP) SendV(to Addr, bufs ...[]byte) error {
 	delay := e.roll(plan.Delay)
 	switch {
 	case drop:
-		e.count(func(s *FaultStats) { s.Dropped++ })
+		fi.dropped.Inc()
 	case trunc:
-		e.count(func(s *FaultStats) { s.Truncated++ })
+		fi.truncated.Inc()
 		cut := len(frame) / 2
 		if cut >= len(frame) && len(frame) > 0 {
 			cut = len(frame) - 1
@@ -182,7 +214,7 @@ func (e *faultEP) SendV(to Addr, bufs ...[]byte) error {
 			return err
 		}
 	case dup:
-		e.count(func(s *FaultStats) { s.Duplicated++ })
+		fi.duplicated.Inc()
 		if err := e.inner.Send(to, frame); err != nil {
 			return err
 		}
@@ -190,7 +222,7 @@ func (e *faultEP) SendV(to Addr, bufs ...[]byte) error {
 			return err
 		}
 	case delay:
-		e.count(func(s *FaultStats) { s.Delayed++ })
+		fi.delayed.Inc()
 		e.held = append(e.held, heldFrame{to: to, data: frame, after: plan.DelaySpan})
 	default:
 		if err := e.inner.Send(to, frame); err != nil {
@@ -203,12 +235,6 @@ func (e *faultEP) SendV(to Addr, bufs ...[]byte) error {
 // roll draws one deterministic decision from the endpoint's rand stream.
 func (e *faultEP) roll(p float64) bool {
 	return e.rng.Float64() < p
-}
-
-func (e *faultEP) count(f func(*FaultStats)) {
-	e.fi.mu.Lock()
-	f(&e.fi.stats)
-	e.fi.mu.Unlock()
 }
 
 // flushHeld advances every held frame's countdown by the send that just

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"pardis/internal/obs/leaktest"
 )
 
 // drain pulls every pending frame off ep without blocking.
@@ -134,6 +136,7 @@ func TestFaultKindsObservable(t *testing.T) {
 // to AND from the dead address disappears silently — no error — because
 // that is how a real crashed peer looks from the outside.
 func TestFaultKillBlackholesBothDirections(t *testing.T) {
+	baseline := leaktest.Baseline()
 	fab := NewInproc()
 	fi := NewFaultInjector(1, FaultPlan{})
 	alive := fi.Wrap(fab.NewEndpoint("alive"))
@@ -168,12 +171,14 @@ func TestFaultKillBlackholesBothDirections(t *testing.T) {
 	if st := fi.Stats(); st.Blackholed != 2 {
 		t.Fatalf("Blackholed = %d, want 2", st.Blackholed)
 	}
+	leaktest.Check(t, baseline)
 }
 
 // TestFaultRecvTimeout pins RecvTimeout's contract: delivers a pending
 // frame immediately, returns ErrRecvTimeout (endpoint still usable) on
 // silence, and never waits much past the deadline.
 func TestFaultRecvTimeout(t *testing.T) {
+	baseline := leaktest.Baseline()
 	fab := NewInproc()
 	a := fab.NewEndpoint("a")
 	b := fab.NewEndpoint("b")
@@ -202,4 +207,6 @@ func TestFaultRecvTimeout(t *testing.T) {
 	if fr, err := RecvTimeout(b, time.Now().Add(time.Second)); err != nil || string(fr.Data) != "again" {
 		t.Fatalf("endpoint unusable after timeout: %q, %v", fr.Data, err)
 	}
+	// A timed-out receive must not strand a watcher goroutine.
+	leaktest.Check(t, baseline)
 }

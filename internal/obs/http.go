@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing reg and tracer:
+//
+//	/metrics      Prometheus text exposition
+//	/debug/vars   expvar-style JSON document
+//	/debug/trace  Chrome trace-event JSON of the recorded spans
+//
+// Either argument may be nil, in which case its routes 404.
+func Handler(reg *Registry, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+		})
+	}
+	if tracer != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			tracer.WriteChromeTrace(w)
+		})
+	}
+	return mux
+}
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060", or ":0"
+// for an ephemeral port) and returns the bound address plus a closer. The
+// endpoint is strictly opt-in — nothing in PARDIS starts one — so production
+// deployments pay nothing and expose nothing unless asked.
+func Serve(addr string, reg *Registry, tracer *Tracer) (bound string, close func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, tracer)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), ln.Close, nil
+}

@@ -1,0 +1,45 @@
+// Package leaktest is the repo's shared goroutine-leak check — the
+// goleak-style assertion without the dependency, extracted from the POA
+// chaos tests so the rts and nexus fault suites can use the same one.
+//
+// Usage:
+//
+//	baseline := leaktest.Baseline()
+//	... scenario ...
+//	leaktest.Check(t, baseline)
+package leaktest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// slack tolerates runtime helper goroutines (GC workers, timer threads)
+// that come and go between the baseline and the check.
+const slack = 3
+
+// Baseline samples the live goroutine count before a scenario runs.
+func Baseline() int { return runtime.NumGoroutine() }
+
+// Check waits (bounded, 5s) for the goroutine count to come back to the
+// baseline plus slack, failing the test with a full stack dump if it never
+// does. A scenario that strands receivers, watchdog goroutines, or parked
+// workers fails here.
+func Check(t testing.TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d live, baseline %d (+%d slack)\n%s",
+				runtime.NumGoroutine(), baseline, slack, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,309 @@
+// Package obs is PARDIS' observability substrate: a lock-light metrics
+// registry (atomic counters, gauges, bounded histograms with quantile
+// estimation) and a distributed invocation tracer, with expvar-style JSON,
+// Prometheus text, and Chrome trace-event exposition.
+//
+// The package sits below every other PARDIS layer (it imports only the
+// standard library), so the ORB, POA, run-time system, schedule cache,
+// fault injector and futures can all hang their instruments here without
+// dependency cycles. Hot-path cost is one atomic op per counter bump and —
+// with tracing disabled, the default — one atomic load per potential span.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; counters may live standalone or be attached to a Registry.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Store overwrites the count — for Reset paths of the instruments a counter
+// absorbed (e.g. the schedule cache), not for normal operation.
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
+// Gauge is an atomic instantaneous value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// GaugeFunc is a read-on-scrape gauge: the function is called at exposition
+// time, so mutex-guarded state (cache entry counts, queue depths) can be
+// reported without mirroring it into an atomic on every update.
+type GaugeFunc func() float64
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i holds
+// observations whose nanosecond magnitude has bit length i, i.e. values in
+// [2^(i-1), 2^i) ns, so 64 buckets cover every representable duration.
+const histBuckets = 64
+
+// Histogram is a bounded, lock-free histogram of durations (or any
+// non-negative values) in seconds, with power-of-two nanosecond buckets.
+// Memory is fixed (64 counters); Observe is three atomic adds; quantiles
+// are estimated to within a factor of two by bucket upper bounds, which is
+// ample for latency dashboards and regression gates.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value, in seconds. Negative values clamp to zero.
+func (h *Histogram) Observe(seconds float64) {
+	ns := uint64(0)
+	if seconds > 0 {
+		ns = uint64(seconds * 1e9)
+	}
+	idx := bits.Len64(ns)
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	h.buckets[idx].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time read of a histogram.
+type HistogramSnapshot struct {
+	Count uint64
+	Sum   float64 // seconds
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// Snapshot reads the histogram counters. Concurrent Observes may land
+// between the atomic loads; the snapshot is internally consistent enough
+// for exposition (each bucket is exact, totals may trail by a few counts).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]uint64
+	total := uint64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, Sum: float64(h.sumNS.Load()) / 1e9}
+	s.P50 = quantile(&counts, total, 0.50)
+	s.P95 = quantile(&counts, total, 0.95)
+	s.P99 = quantile(&counts, total, 0.99)
+	return s
+}
+
+// quantile returns the upper bound (seconds) of the bucket containing the
+// q-th observation.
+func quantile(counts *[histBuckets]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	seen := uint64(0)
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			return float64(uint64(1)<<uint(i)) / 1e9
+		}
+	}
+	return float64(uint64(1)<<(histBuckets-1)) / 1e9
+}
+
+// CheckName validates a metric name: lowercase snake_case in the Prometheus
+// subset this tree uses — first rune [a-z_], rest [a-z0-9_]. The CI hygiene
+// lane asserts every registered name passes.
+func CheckName(name string) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty metric name")
+	}
+	for i, r := range name {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return fmt.Errorf("obs: metric name %q starts with a digit", name)
+			}
+		default:
+			return fmt.Errorf("obs: metric name %q contains %q (want [a-z0-9_])", name, r)
+		}
+	}
+	return nil
+}
+
+// Registry maps well-formed, unique names to metrics. Registration is
+// startup-path (mutexed); reads of the metrics themselves never touch the
+// registry lock.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any // *Counter | *Gauge | *Histogram | GaugeFunc
+	order   []string       // registration order, for stable exposition
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]any{}}
+}
+
+// Default is the process-wide registry: PARDIS packages register their
+// instruments here at init, and the debug endpoint exposes it.
+var Default = NewRegistry()
+
+// Register attaches an existing metric under name. It rejects malformed
+// names, duplicates, and unknown metric kinds — uniqueness is what lets two
+// subsystems never silently share (or shadow) a time series.
+func (r *Registry) Register(name string, m any) error {
+	if err := CheckName(name); err != nil {
+		return err
+	}
+	switch m.(type) {
+	case *Counter, *Gauge, *Histogram, GaugeFunc:
+	default:
+		return fmt.Errorf("obs: metric %q has unsupported kind %T", name, m)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		return fmt.Errorf("obs: metric %q registered twice", name)
+	}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return nil
+}
+
+// MustCounter registers and returns a new counter, panicking on a bad or
+// duplicate name — registration happens in package init, where misuse is a
+// programming error.
+func (r *Registry) MustCounter(name string) *Counter {
+	c := &Counter{}
+	if err := r.Register(name, c); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustGauge registers and returns a new gauge (see MustCounter).
+func (r *Registry) MustGauge(name string) *Gauge {
+	g := &Gauge{}
+	if err := r.Register(name, g); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// MustHistogram registers and returns a new histogram (see MustCounter).
+func (r *Registry) MustHistogram(name string) *Histogram {
+	h := &Histogram{}
+	if err := r.Register(name, h); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// MustFunc registers a read-on-scrape gauge (see MustCounter).
+func (r *Registry) MustFunc(name string, f GaugeFunc) {
+	if err := r.Register(name, GaugeFunc(f)); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Each calls f for every registered metric in registration order. The
+// metric is one of *Counter, *Gauge, *Histogram, GaugeFunc.
+func (r *Registry) Each(f func(name string, m any)) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	ms := make([]any, len(names))
+	for i, n := range names {
+		ms[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	for i, n := range names {
+		f(n, ms[i])
+	}
+}
+
+// WritePrometheus emits the registry in the Prometheus text exposition
+// format: counters and gauges as single samples, histograms as summaries
+// with p50/p95/p99 quantile samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.Each(func(name string, m any) {
+		switch v := m.(type) {
+		case *Counter:
+			p("# TYPE %s counter\n%s %d\n", name, name, v.Load())
+		case *Gauge:
+			p("# TYPE %s gauge\n%s %d\n", name, name, v.Load())
+		case GaugeFunc:
+			p("# TYPE %s gauge\n%s %g\n", name, name, v())
+		case *Histogram:
+			s := v.Snapshot()
+			p("# TYPE %s summary\n", name)
+			p("%s{quantile=\"0.5\"} %g\n", name, s.P50)
+			p("%s{quantile=\"0.95\"} %g\n", name, s.P95)
+			p("%s{quantile=\"0.99\"} %g\n", name, s.P99)
+			p("%s_sum %g\n", name, s.Sum)
+			p("%s_count %d\n", name, s.Count)
+		}
+	})
+	return err
+}
+
+// WriteJSON emits the registry as one JSON object keyed by metric name —
+// the expvar-style /debug/vars document. Histograms become objects with
+// count, sum and the three quantiles; everything else a number.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := map[string]any{}
+	r.Each(func(name string, m any) {
+		switch v := m.(type) {
+		case *Counter:
+			doc[name] = v.Load()
+		case *Gauge:
+			doc[name] = v.Load()
+		case GaugeFunc:
+			doc[name] = v()
+		case *Histogram:
+			s := v.Snapshot()
+			doc[name] = map[string]any{
+				"count": s.Count, "sum": s.Sum,
+				"p50": s.P50, "p95": s.P95, "p99": s.P99,
+			}
+		}
+	})
+	// encoding/json sorts map keys, so the document is stable across scrapes.
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,287 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"pardis/internal/obs"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c obs.Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	c.Store(7)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("after Store: %d, want 7", got)
+	}
+
+	var g obs.Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h obs.Histogram
+	// 90 fast observations (~1µs) and 10 slow (~1ms): p50 lands in the
+	// fast bucket, p95/p99 in the slow one. Buckets are powers of two in
+	// ns, so bounds are factor-of-two estimates.
+	for i := 0; i < 90; i++ {
+		h.Observe(1e-6)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1e-3)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if want := 90*1e-6 + 10*1e-3; s.Sum < want*0.99 || s.Sum > want*1.01 {
+		t.Fatalf("sum = %g, want about %g", s.Sum, want)
+	}
+	if s.P50 < 1e-6 || s.P50 > 4e-6 {
+		t.Fatalf("p50 = %g, want about 1µs (bucket bound ≤ 2x)", s.P50)
+	}
+	if s.P95 < 1e-3 || s.P95 > 4e-3 {
+		t.Fatalf("p95 = %g, want about 1ms", s.P95)
+	}
+	if s.P99 < s.P95 {
+		t.Fatalf("p99 = %g < p95 = %g", s.P99, s.P95)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h obs.Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1e-6)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestCheckName(t *testing.T) {
+	for _, good := range []string{"a", "_x", "orb_requests_total", "p99_ns"} {
+		if err := obs.CheckName(good); err != nil {
+			t.Errorf("CheckName(%q) = %v, want nil", good, err)
+		}
+	}
+	for _, bad := range []string{"", "9lives", "camelCase", "has-dash", "has space", "ünïcode"} {
+		if err := obs.CheckName(bad); err == nil {
+			t.Errorf("CheckName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestRegistryRejects(t *testing.T) {
+	r := obs.NewRegistry()
+	r.MustCounter("dup")
+	if err := r.Register("dup", &obs.Counter{}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Register("Bad-Name", &obs.Counter{}); err == nil {
+		t.Fatal("malformed name accepted")
+	}
+	if err := r.Register("wrong_kind", 42); err == nil {
+		t.Fatal("unsupported metric kind accepted")
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.MustCounter("reqs_total")
+	c.Add(5)
+	g := r.MustGauge("pool_depth")
+	g.Set(2)
+	r.MustFunc("cache_hit_rate", func() float64 { return 0.75 })
+	h := r.MustHistogram("latency_seconds")
+	h.Observe(1e-3)
+
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter", "reqs_total 5",
+		"# TYPE pool_depth gauge", "pool_depth 2",
+		"cache_hit_rate 0.75",
+		"# TYPE latency_seconds summary",
+		`latency_seconds{quantile="0.99"}`,
+		"latency_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, js.String())
+	}
+	if doc["reqs_total"] != float64(5) {
+		t.Fatalf("json reqs_total = %v, want 5", doc["reqs_total"])
+	}
+	hist, ok := doc["latency_seconds"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Fatalf("json latency_seconds = %v, want histogram object with count 1", doc["latency_seconds"])
+	}
+}
+
+// TestDefaultRegistryNames is the metric-name hygiene gate the CI lane
+// invokes: every metric the PARDIS packages registered at init must be
+// well-formed (Register enforces uniqueness already, so reaching here with
+// no panic covers that half).
+func TestDefaultRegistryNames(t *testing.T) {
+	names := obs.Default.Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if err := obs.CheckName(n); err != nil {
+			t.Errorf("registered metric has malformed name: %v", err)
+		}
+		if seen[n] {
+			t.Errorf("metric %q appears twice in registration order", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	tr := obs.NewTracer(16)
+	tr.Record(obs.Span{Trace: 1, ID: 2, Name: "x"})
+	if got := tr.Spans(); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", len(got))
+	}
+}
+
+func TestTracerRecordAndBound(t *testing.T) {
+	tr := obs.NewTracer(4)
+	tr.SetEnabled(true)
+	for i := 0; i < 6; i++ {
+		tr.Record(obs.Span{Trace: 1, ID: uint64(i + 1), Name: "s", Layer: obs.LayerORB})
+	}
+	if got := len(tr.Spans()); got != 4 {
+		t.Fatalf("ring held %d spans, want 4", got)
+	}
+	if d := tr.Dropped(); d != 2 {
+		t.Fatalf("dropped = %d, want 2", d)
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset did not clear spans and drop count")
+	}
+}
+
+func TestNewIDUniqueNonzero(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := obs.NewID()
+		if id == 0 {
+			t.Fatal("NewID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("NewID repeated %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := obs.NewTracer(16)
+	tr.SetEnabled(true)
+	tr.Record(obs.Span{Trace: 7, ID: 1, Parent: 0, Layer: obs.LayerStub, Name: "stub.invoke", Op: "scale", Rank: 0, Start: 1000, End: 9000})
+	tr.Record(obs.Span{Trace: 7, ID: 2, Parent: 1, Layer: obs.LayerORB, Name: "orb.send", Rank: 0, Start: 2000, End: 3000})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int32          `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("%d events, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "stub.invoke scale" || ev.Ph != "X" || ev.TS != 1.0 || ev.Dur != 8.0 {
+		t.Fatalf("event 0 = %+v, want stub.invoke scale X ts=1 dur=8", ev)
+	}
+	if ev.Args["trace"] != float64(7) {
+		t.Fatalf("event 0 trace arg = %v, want 7", ev.Args["trace"])
+	}
+}
+
+func TestDebugEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.MustCounter("endpoint_test_total").Add(3)
+	tr := obs.NewTracer(16)
+	tr.SetEnabled(true)
+	tr.Record(obs.Span{Trace: 1, ID: 2, Layer: obs.LayerPOA, Name: "poa.dispatch", Start: 0, End: 10})
+
+	addr, closeFn, err := obs.Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "endpoint_test_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, `"endpoint_test_total": 3`) {
+		t.Fatalf("/debug/vars missing counter:\n%s", body)
+	}
+	if body := get("/debug/trace"); !strings.Contains(body, "poa.dispatch") {
+		t.Fatalf("/debug/trace missing span:\n%s", body)
+	}
+}

@@ -37,8 +37,14 @@ const (
 	MsgFault
 )
 
-// Version is the protocol version carried in every message.
-const Version byte = 1
+// Version is the protocol version this build emits in every message.
+// Version 2 added the TraceID/SpanID pair to Request; decoders accept any
+// version in [MinVersion, Version] and read version-gated fields only when
+// the frame's own version carries them, so v1 frames still decode.
+const Version byte = 2
+
+// MinVersion is the oldest protocol version decoders still accept.
+const MinVersion byte = 1
 
 var magic = [2]byte{'P', 'G'}
 
@@ -94,9 +100,17 @@ type Request struct {
 	// this invocation — most importantly segment collection — so a client
 	// that has given up never leaves the server wedged on its behalf.
 	DeadlineMS uint32
-	Body       []byte // inline (non-distributed) in/inout arguments
-	DistIns    []DistInSpec
-	DistOuts   []DistOutSpec
+	// TraceID/SpanID carry the invocation's trace context (version >= 2;
+	// both zero when tracing is off or the frame predates v2). TraceID is
+	// allocated once at the stub and shared by every rank and layer the
+	// invocation touches; SpanID is the client's per-attempt send span, the
+	// parent under which the server nests its own spans — a retried attempt
+	// keeps the TraceID but carries a fresh SpanID.
+	TraceID  uint64
+	SpanID   uint64
+	Body     []byte // inline (non-distributed) in/inout arguments
+	DistIns  []DistInSpec
+	DistOuts []DistOutSpec
 }
 
 // OutLen announces a distributed out argument's global length in a Reply.
@@ -136,8 +150,8 @@ type ArgStream struct {
 	// in-direction, server rank for out-direction). Receivers account
 	// arriving elements per sender, which is what lets a deadline failure
 	// name the rank whose share never arrived.
-	Sender int32
-	Runs   []Run
+	Sender  int32
+	Runs    []Run
 	Payload []byte
 }
 
@@ -182,12 +196,16 @@ func putHeader(e *cdr.Encoder, t MsgType) {
 	e.PutOctet(byte(t))
 }
 
+// FrameVersion returns a valid frame's protocol version byte. Callers that
+// need it have already classified the frame with PeekType.
+func FrameVersion(frame []byte) byte { return frame[2] }
+
 // PeekType classifies a frame without fully decoding it.
 func PeekType(frame []byte) (MsgType, error) {
 	if len(frame) < 4 || frame[0] != magic[0] || frame[1] != magic[1] {
 		return 0, fmt.Errorf("%w: missing magic", ErrBadMessage)
 	}
-	if frame[2] != Version {
+	if frame[2] < MinVersion || frame[2] > Version {
 		return 0, fmt.Errorf("%w: version %d", ErrBadMessage, frame[2])
 	}
 	t := MsgType(frame[3])
@@ -236,6 +254,11 @@ func AppendRequest(e *cdr.Encoder, r *Request) {
 	e.PutString(r.Operation)
 	e.PutBool(r.Oneway)
 	e.PutULong(r.DeadlineMS)
+	// v2 trace context: always emitted (zero when tracing is off) so the
+	// wire format is constant and the tracing-overhead comparison isolates
+	// span-recording cost, not frame-size differences.
+	e.PutULongLong(r.TraceID)
+	e.PutULongLong(r.SpanID)
 	e.PutSeqLen(len(r.DistIns))
 	for _, s := range r.DistIns {
 		e.PutLong(s.Param)
@@ -293,6 +316,12 @@ func DecodeRequestInto(r *Request, frame []byte) error {
 		Operation:  d.GetStringInterned(),
 		Oneway:     d.GetBool(),
 		DeadlineMS: d.GetULong(),
+	}
+	// Trace context exists only from protocol v2 on; a v1 frame's next
+	// field is the DistIns length, and TraceID/SpanID stay zero.
+	if FrameVersion(frame) >= 2 {
+		r.TraceID = d.GetULongLong()
+		r.SpanID = d.GetULongLong()
 	}
 	nIn := d.GetSeqLen(4)
 	for i := 0; i < nIn; i++ {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"pardis/internal/cdr"
 	"pardis/internal/dist"
 )
 
@@ -96,6 +97,106 @@ func TestArgStreamRoundTrip(t *testing.T) {
 	}
 	if string(out.Payload) != string(in.Payload) {
 		t.Fatal("payload mismatch")
+	}
+}
+
+// TestTraceContextRoundTrip: the v2 trace fields survive encode/decode.
+func TestTraceContextRoundTrip(t *testing.T) {
+	in := &Request{
+		BindingID: "b", SeqNo: 1, ReqID: 2, Operation: "op",
+		TraceID: 0xDEADBEEFCAFE0001, SpanID: 0x1234567890ABCDEF,
+		Body: []byte{1},
+	}
+	out, err := DecodeRequest(EncodeRequest(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != in.TraceID || out.SpanID != in.SpanID {
+		t.Fatalf("trace context lost: got %x/%x, want %x/%x",
+			out.TraceID, out.SpanID, in.TraceID, in.SpanID)
+	}
+}
+
+// encodeRequestV1 hand-builds a protocol-v1 Request frame — the pre-trace
+// layout, with no TraceID/SpanID between DeadlineMS and the DistIns count —
+// exactly as a v1 peer would emit it.
+func encodeRequestV1(r *Request) []byte {
+	e := cdr.NewEncoder(128 + len(r.Body))
+	e.PutOctet(magic[0])
+	e.PutOctet(magic[1])
+	e.PutOctet(1) // protocol version 1
+	e.PutOctet(byte(MsgRequest))
+	e.PutString(r.BindingID)
+	e.PutULong(r.SeqNo)
+	e.PutULong(r.ReqID)
+	e.PutLong(r.ClientRank)
+	e.PutLong(r.ClientSize)
+	e.PutString(r.ReplyAddr)
+	e.PutString(r.ObjectKey)
+	e.PutString(r.Operation)
+	e.PutBool(r.Oneway)
+	e.PutULong(r.DeadlineMS)
+	e.PutSeqLen(len(r.DistIns))
+	for _, s := range r.DistIns {
+		e.PutLong(s.Param)
+		e.PutLong(s.N)
+		dist.EncodeLayout(e, s.Layout)
+	}
+	e.PutSeqLen(len(r.DistOuts))
+	for _, s := range r.DistOuts {
+		e.PutLong(s.Param)
+		dist.EncodeTemplate(e, s.Tmpl)
+	}
+	e.PutSeqLen(len(r.Body))
+	e.PutRaw(r.Body)
+	return e.Bytes()
+}
+
+// TestV1FrameStillDecodes is the version-gating contract: a frame emitted
+// by a v1 peer (no trace fields) must decode on this build, with zero trace
+// context and every other field intact.
+func TestV1FrameStillDecodes(t *testing.T) {
+	in := &Request{
+		BindingID: "legacy", SeqNo: 9, ReqID: 41, ClientRank: 1, ClientSize: 2,
+		ReplyAddr: "inproc://c/1", ObjectKey: "obj:k", Operation: "solve",
+		DeadlineMS: 250, Body: []byte{7, 8},
+		DistIns:  []DistInSpec{{Param: 0, N: 16, Layout: dist.BlockTemplate().Layout(16, 2)}},
+		DistOuts: []DistOutSpec{{Param: 1, Tmpl: dist.BlockTemplate()}},
+	}
+	fr := encodeRequestV1(in)
+	if v := FrameVersion(fr); v != 1 {
+		t.Fatalf("test frame version = %d, want 1", v)
+	}
+	typ, err := PeekType(fr)
+	if err != nil || typ != MsgRequest {
+		t.Fatalf("PeekType(v1 frame) = %v, %v", typ, err)
+	}
+	out, err := DecodeRequest(fr)
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if out.TraceID != 0 || out.SpanID != 0 {
+		t.Fatalf("v1 frame produced trace context %x/%x, want 0/0", out.TraceID, out.SpanID)
+	}
+	if out.BindingID != "legacy" || out.SeqNo != 9 || out.ReqID != 41 ||
+		out.Operation != "solve" || out.DeadlineMS != 250 ||
+		string(out.Body) != string(in.Body) ||
+		len(out.DistIns) != 1 || !out.DistIns[0].Layout.Equal(in.DistIns[0].Layout) ||
+		len(out.DistOuts) != 1 {
+		t.Fatalf("v1 frame fields corrupted: %+v", out)
+	}
+}
+
+// TestFutureVersionRejected: frames newer than this build's Version are
+// refused outright rather than misparsed.
+func TestFutureVersionRejected(t *testing.T) {
+	fr := EncodeRequest(&Request{BindingID: "b", Operation: "op"})
+	fr[2] = Version + 1
+	if _, err := PeekType(fr); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("future version accepted by PeekType")
+	}
+	if _, err := DecodeRequest(fr); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("future version accepted by DecodeRequest")
 	}
 }
 

@@ -3,7 +3,6 @@ package poa_test
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -12,33 +11,11 @@ import (
 	"pardis/internal/dist"
 	"pardis/internal/dseq"
 	"pardis/internal/nexus"
+	"pardis/internal/obs/leaktest"
 	"pardis/internal/poa"
 	"pardis/internal/rts"
 	"pardis/internal/typecode"
 )
-
-// assertNoGoroutineLeak waits (bounded) for the goroutine count to come
-// back to the baseline measured before the scenario, with a small slack for
-// runtime helpers. A dead-rank recovery that strands receivers or watchdog
-// goroutines fails here — the goleak-style check without the dependency.
-func assertNoGoroutineLeak(t *testing.T, baseline int) {
-	t.Helper()
-	const slack = 3
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= baseline+slack {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutine leak: %d live, baseline %d (+%d slack)\n%s",
-				runtime.NumGoroutine(), baseline, slack, buf[:n])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-}
 
 // chaosIface: one SPMD operation with a distributed in and a distributed
 // out — the shape whose transfer a dying rank interrupts.
@@ -189,7 +166,7 @@ func runChaosScenario(t *testing.T, S, C, victim int, N int, agreementDeadline, 
 // rank-attributed InvokeError, nothing may deadlock, and no goroutines may
 // leak.
 func TestFaultChaosDeadRankMidTransfer(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	baseline := leaktest.Baseline()
 	const S, C, victim, N = 4, 2, 2, 64
 	const agreement, clientDeadline = 0.25, 0.5
 
@@ -235,7 +212,7 @@ func TestFaultChaosDeadRankMidTransfer(t *testing.T) {
 		t.Fatalf("client rank 1: MissingRanks = %v, want to include %d (%v)", ie.MissingRanks, victim, ie)
 	}
 
-	assertNoGoroutineLeak(t, baseline)
+	leaktest.Check(t, baseline)
 }
 
 // TestFaultChaosSoak is the seeded soak lane (ci runs it with -count=20):
@@ -243,7 +220,7 @@ func TestFaultChaosDeadRankMidTransfer(t *testing.T) {
 // plus one dead-rank scenario, and then checks nothing leaked. Fixed seeds
 // keep every iteration's injection schedule reproducible.
 func TestFaultChaosSoak(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	baseline := leaktest.Baseline()
 	fab := func() epFactory {
 		f := nexus.NewInproc()
 		return func(name string) (nexus.Endpoint, error) { return f.NewEndpoint(name), nil }
@@ -265,5 +242,5 @@ func TestFaultChaosSoak(t *testing.T) {
 	if !errors.As(clientErrs[0], &ie) {
 		t.Fatalf("soak: client error = %v, want *core.InvokeError", clientErrs[0])
 	}
-	assertNoGoroutineLeak(t, baseline)
+	leaktest.Check(t, baseline)
 }

@@ -9,6 +9,7 @@ import (
 	"pardis/internal/dist"
 	"pardis/internal/dseq"
 	"pardis/internal/nexus"
+	"pardis/internal/obs"
 	"pardis/internal/pgiop"
 	"pardis/internal/rts"
 	"pardis/internal/typecode"
@@ -28,6 +29,16 @@ const (
 // sequential broadcast rounds means agreement latency is one tree depth
 // regardless of how many invocations completed in the phase.
 func (p *POA) collectivePhase() int {
+	poaAgreementPhases.Inc()
+	// The agreement collective runs before its requests are decoded, so a
+	// non-root thread learns which invocations (and TraceIDs) the phase
+	// carried only afterwards. The phase interval is captured up front and
+	// its spans recorded post hoc, once per traced request.
+	var phaseStart int64
+	tracing := obs.DefaultTracer.Enabled()
+	if tracing {
+		phaseStart = obs.NowNS()
+	}
 	var frame []byte
 	if p.th.Rank() == 0 {
 		n := 0
@@ -78,6 +89,10 @@ func (p *POA) collectivePhase() int {
 	} else {
 		frame = rts.Bcast(p.th, 0, frame)
 	}
+	var phaseEnd int64
+	if tracing {
+		phaseEnd = obs.NowNS()
+	}
 	// Decisions alias the frame (GetOctets never copies), which stays alive
 	// as long as any decoded request does — DESIGN.md §7 frame ownership.
 	d := cdr.GetDecoder(frame)
@@ -89,6 +104,10 @@ func (p *POA) collectivePhase() int {
 			p.faultCollective(fmt.Errorf("poa: corrupt dispatch frame: %w", err))
 			break
 		}
+		var decStart int64
+		if tracing {
+			decStart = obs.NowNS()
+		}
 		req, clients, kind, err := decodeDecision(pay)
 		if err != nil {
 			p.faultCollective(fmt.Errorf("poa: corrupt dispatch decision: %w", err))
@@ -98,7 +117,33 @@ func (p *POA) collectivePhase() int {
 			p.shutdown = true
 			continue
 		}
-		p.dispatchSPMD(req, clients)
+		var decodeSpan uint64
+		if tracing && req.TraceID != 0 {
+			// Server-side nesting for this invocation: the decode span hangs
+			// under the client's per-attempt send span (req.SpanID crossed
+			// the wire for exactly this), the agreement span under the
+			// decode, and the broadcast that carried the decision under the
+			// agreement.
+			rank := int32(p.th.Rank())
+			decodeSpan = obs.NewID()
+			obs.DefaultTracer.Record(obs.Span{
+				Trace: req.TraceID, ID: decodeSpan, Parent: req.SpanID,
+				Layer: obs.LayerPGIOP, Name: "pgiop.decode", Op: req.Operation,
+				Rank: rank, Start: decStart, End: obs.NowNS(),
+			})
+			agreeSpan := obs.NewID()
+			obs.DefaultTracer.Record(obs.Span{
+				Trace: req.TraceID, ID: agreeSpan, Parent: decodeSpan,
+				Layer: obs.LayerPOA, Name: "poa.agreement", Op: req.Operation,
+				Rank: rank, Start: phaseStart, End: phaseEnd,
+			})
+			obs.DefaultTracer.Record(obs.Span{
+				Trace: req.TraceID, ID: obs.NewID(), Parent: agreeSpan,
+				Layer: obs.LayerRTS, Name: "rts.bcast", Op: "agreement",
+				Rank: rank, Start: phaseStart, End: phaseEnd,
+			})
+		}
+		p.dispatchSPMD(req, clients, decodeSpan)
 		count++
 	}
 	d.Release()
@@ -172,7 +217,34 @@ func decodeDecision(pay []byte) (*pgiop.Request, []clientInfo, byte, error) {
 // POA unset — single objects never touch the adapter's collective or
 // segment state (RegisterSingle rejects distributed arguments), so workers
 // share nothing with the owning thread but the concurrency-safe fabric.
+//
+// Instrumentation wraps the body rather than deferring inside it: this is
+// the round-trip hot path, and a capturing defer would cost an allocation
+// per request that the CI overhead gate (≤5% allocs/op with tracing off)
+// does not grant.
 func (p *POA) serveSingle(e *entry, req *pgiop.Request, iov *[2][]byte, pooled bool) {
+	start := obs.NowNS()
+	poaDispatches.Inc()
+	var decodeSpan uint64
+	if req.TraceID != 0 && obs.DefaultTracer.Enabled() {
+		decodeSpan = obs.NewID()
+	}
+	p.singleDispatch(e, req, iov, pooled, decodeSpan)
+	end := obs.NowNS()
+	poaDispatchLatency.Observe(float64(end-start) / 1e9)
+	if decodeSpan != 0 {
+		obs.DefaultTracer.Record(obs.Span{
+			Trace: req.TraceID, ID: obs.NewID(), Parent: decodeSpan,
+			Layer: obs.LayerPOA, Name: "poa.dispatch", Op: req.Operation,
+			Rank: int32(p.th.Rank()), Start: start, End: end,
+		})
+	}
+}
+
+// singleDispatch is serveSingle's body; decodeSpan (0 when untraced) is the
+// span ID under which the inline-argument decode records, pre-allocated so
+// the wrapper can parent the dispatch span beneath it.
+func (p *POA) singleDispatch(e *entry, req *pgiop.Request, iov *[2][]byte, pooled bool, decodeSpan uint64) {
 	op, ok := e.iface.Op(req.Operation)
 	if !ok {
 		if !req.Oneway {
@@ -180,7 +252,18 @@ func (p *POA) serveSingle(e *entry, req *pgiop.Request, iov *[2][]byte, pooled b
 		}
 		return
 	}
+	var decStart int64
+	if decodeSpan != 0 {
+		decStart = obs.NowNS()
+	}
 	inVals, err := p.decodeInline(op, req.Body)
+	if decodeSpan != 0 {
+		obs.DefaultTracer.Record(obs.Span{
+			Trace: req.TraceID, ID: decodeSpan, Parent: req.SpanID,
+			Layer: obs.LayerPGIOP, Name: "pgiop.decode", Op: req.Operation,
+			Rank: int32(p.th.Rank()), Start: decStart, End: obs.NowNS(),
+		})
+	}
 	if err != nil {
 		if !req.Oneway {
 			p.sendException(req.ReplyAddr, req.ReqID, err.Error())
@@ -254,8 +337,29 @@ func (p *POA) decodeInline(op *core.Operation, body []byte) ([]any, error) {
 	return inVals, nil
 }
 
-// dispatchSPMD runs one collective invocation on this thread.
-func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo) {
+// dispatchSPMD runs one collective invocation on this thread. parentSpan is
+// the invocation's pgiop.decode span on this thread (0 when untraced): the
+// dispatch span nests under it, and the collection/agreement collectives
+// under the dispatch.
+func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo, parentSpan uint64) {
+	start := obs.NowNS()
+	poaDispatches.Inc()
+	traced := parentSpan != 0
+	var dispSpan uint64
+	if traced {
+		dispSpan = obs.NewID()
+	}
+	defer func() {
+		end := obs.NowNS()
+		poaDispatchLatency.Observe(float64(end-start) / 1e9)
+		if traced {
+			obs.DefaultTracer.Record(obs.Span{
+				Trace: req.TraceID, ID: dispSpan, Parent: parentSpan,
+				Layer: obs.LayerPOA, Name: "poa.dispatch", Op: req.Operation,
+				Rank: int32(p.th.Rank()), Start: start, End: end,
+			})
+		}
+	}()
 	rank, size := p.th.Rank(), p.th.Size()
 	e := p.objects[req.ObjectKey]
 	fail := func(msg string) {
@@ -285,6 +389,10 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo) {
 	// returned: the agreement step below must still run so every thread
 	// reaches the same verdict.
 	var collectErr error
+	var collectStart int64
+	if traced && len(req.DistIns) > 0 {
+		collectStart = obs.NowNS()
+	}
 	for _, spec := range req.DistIns {
 		i := int(spec.Param)
 		if i < 0 || i >= len(op.Params) || !op.Params[i].Distributed() {
@@ -300,11 +408,29 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo) {
 		}
 		inVals[i] = holder
 	}
+	if traced && len(req.DistIns) > 0 {
+		obs.DefaultTracer.Record(obs.Span{
+			Trace: req.TraceID, ID: obs.NewID(), Parent: dispSpan,
+			Layer: obs.LayerPOA, Name: "poa.collect", Op: req.Operation,
+			Rank: int32(rank), Start: collectStart, End: obs.NowNS(),
+		})
+	}
 	if deadline := p.effDeadline(req); deadline > 0 && size > 1 && len(req.DistIns) > 0 {
 		// A thread whose collection timed out must not diverge from
 		// siblings whose collection succeeded: agree on one verdict before
 		// anyone enters the servant (see ftAgree).
+		var agreeStart int64
+		if traced {
+			agreeStart = obs.NowNS()
+		}
 		ok, failRank, aerr := p.ftAgree(collectErr == nil, deadline)
+		if traced {
+			obs.DefaultTracer.Record(obs.Span{
+				Trace: req.TraceID, ID: obs.NewID(), Parent: dispSpan,
+				Layer: obs.LayerRTS, Name: "rts.allreduce", Op: "collect-agree",
+				Rank: int32(rank), Start: agreeStart, End: obs.NowNS(),
+			})
+		}
 		if aerr != nil {
 			p.faultAbort("collect-agree", aerr)
 			return

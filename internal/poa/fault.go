@@ -34,6 +34,7 @@ func (f *Fault) Unwrap() error { return f.Err }
 // their deadlines for requests this server will never dispatch.
 func (p *POA) faultAbort(phase string, err error) {
 	if p.fault == nil {
+		poaFaults.Inc()
 		f := &Fault{Rank: -1, Phase: phase, Err: err}
 		var re *rts.RankError
 		if errors.As(err, &re) {
@@ -50,6 +51,7 @@ func (p *POA) faultAbort(phase string, err error) {
 // not re-broadcast: the witness already told every peer.
 func (p *POA) adoptFault(n *pgiop.FaultNotice) {
 	if p.fault == nil {
+		poaFaults.Inc()
 		p.fault = &Fault{Rank: int(n.Rank), Phase: n.Phase, Err: errors.New(n.Reason)}
 	}
 	p.shutdown = true

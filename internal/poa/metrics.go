@@ -1,0 +1,29 @@
+package poa
+
+import "pardis/internal/obs"
+
+// Process-wide POA instruments, shared by every computing thread's adapter
+// (per-thread attribution lives in trace spans, not metric names).
+var (
+	poaDispatches = obs.Default.MustCounter("poa_dispatches_total")
+	poaExceptions = obs.Default.MustCounter("poa_exceptions_total")
+	poaFaults     = obs.Default.MustCounter("poa_faults_total")
+	// poaAgreementPhases counts collective dispatch-agreement rounds —
+	// every polling round of every thread runs one, so this is also the
+	// adapter's liveness heartbeat.
+	poaAgreementPhases = obs.Default.MustCounter("poa_agreement_phases_total")
+	// poaPoolDepth is the number of single-object requests currently queued
+	// to or executing on the opt-in dispatch pool.
+	poaPoolDepth = obs.Default.MustGauge("poa_dispatch_pool_depth")
+	// poaDispatchLatency observes routing-to-reply time of every dispatch,
+	// single and SPMD.
+	poaDispatchLatency = obs.Default.MustHistogram("poa_dispatch_latency_seconds")
+)
+
+// ServeDebug starts the opt-in introspection endpoint (Prometheus text at
+// /metrics, expvar-style JSON at /debug/vars, Chrome trace JSON at
+// /debug/trace) for the process this POA lives in, returning the bound
+// address and a closer. addr may be ":0" for an ephemeral port.
+func (p *POA) ServeDebug(addr string) (string, func() error, error) {
+	return obs.Serve(addr, obs.Default, obs.DefaultTracer)
+}

@@ -321,6 +321,7 @@ func (p *POA) ProcessRequests() int {
 		p.localQ[n-1] = localReq{}
 		p.localQ = p.localQ[:n-1]
 		if p.pool != nil {
+			poaPoolDepth.Add(1)
 			p.pool.reqs <- lr
 		} else {
 			p.serveSingle(lr.e, lr.req, &p.sendIov, false)
@@ -414,6 +415,7 @@ func (p *POA) sendV2(to nexus.Addr, hdr, body []byte) error {
 }
 
 func (p *POA) sendException(addr string, reqID uint32, msg string) {
+	poaExceptions.Inc()
 	reply := pgiop.EncodeReply(&pgiop.Reply{ReqID: reqID, Status: pgiop.StatusException, Error: msg})
 	_ = p.r.Send(nexus.Addr(addr), reply)
 }

@@ -40,6 +40,7 @@ func (pl *dispatchPool) run(p *POA) {
 	var iov [2][]byte
 	for lr := range pl.reqs {
 		p.serveSingle(lr.e, lr.req, &iov, true)
+		poaPoolDepth.Add(-1)
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pardis/internal/obs/leaktest"
 )
 
 // faultSeedCorpus pins the random-property schedules: a regression seen
@@ -103,6 +105,7 @@ func runWithDeadRank(t *testing.T, P, victim, root int, d float64,
 // victim, root, and collective — a single silent rank must never deadlock
 // the survivors, and every error must be a RankError naming the victim.
 func TestFaultCollectivePropertySingleDeath(t *testing.T) {
+	baseline := leaktest.Baseline()
 	for _, seed := range faultSeedCorpus {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -141,6 +144,8 @@ func TestFaultCollectivePropertySingleDeath(t *testing.T) {
 			}
 		})
 	}
+	// No scenario may strand a watchdog, ping responder, or receiver.
+	leaktest.Check(t, baseline)
 }
 
 // TestFaultBarrierDeadlineBound pins the acceptance bound directly: with
@@ -195,6 +200,7 @@ func TestFaultStuckButAliveRankGetsGrace(t *testing.T) {
 // Comm interface: a pending message returns immediately; silence returns
 // ok=false near the deadline without leaking a receiver.
 func TestFaultRecvTimeoutComm(t *testing.T) {
+	baseline := leaktest.Baseline()
 	g := NewChanGroup("p2p", 2)
 	g.Run(func(th Thread) {
 		const tag Tag = 17
@@ -215,4 +221,5 @@ func TestFaultRecvTimeoutComm(t *testing.T) {
 			}
 		}
 	})
+	leaktest.Check(t, baseline)
 }

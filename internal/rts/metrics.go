@@ -1,0 +1,32 @@
+package rts
+
+import "pardis/internal/obs"
+
+// Collective instruments, counted in the shared cores so the plain and
+// Deadline entry points both land here. AllReduce is reduce-then-bcast, so
+// one AllReduce also bumps the reduce and bcast counters — the counters
+// tally executions of each tree, not API calls.
+var (
+	rtsBcasts        = obs.Default.MustCounter("rts_bcast_total")
+	rtsGathers       = obs.Default.MustCounter("rts_gather_total")
+	rtsAllGathers    = obs.Default.MustCounter("rts_allgather_total")
+	rtsAllGatherRing = obs.Default.MustCounter("rts_allgather_ring_total")
+	rtsReduces       = obs.Default.MustCounter("rts_reduce_total")
+	rtsAllReduces    = obs.Default.MustCounter("rts_allreduce_total")
+	rtsBarriers      = obs.Default.MustCounter("rts_barrier_total")
+	// rtsRounds totals the message rounds (tree depth) of every collective
+	// this thread ran: ⌈log₂P⌉ per tree, P-1 per ring. The ratio
+	// rounds/collectives is the observed average depth — the O(log P) claim
+	// as a live metric.
+	rtsRounds = obs.Default.MustCounter("rts_collective_rounds_total")
+)
+
+// treeRounds is ⌈log₂ size⌉ — the round count of the binomial and
+// dissemination schedules.
+func treeRounds(size int) uint64 {
+	r := uint64(0)
+	for m := 1; m < size; m <<= 1 {
+		r++
+	}
+	return r
+}

@@ -161,9 +161,11 @@ func Bcast(c Comm, root int, data []byte) []byte {
 // with one it is the abort-aware recvD.
 func bcastD(c Comm, d *dctx, root int, data []byte) ([]byte, error) {
 	size := c.Size()
+	rtsBcasts.Inc()
 	if size == 1 {
 		return data, nil
 	}
+	rtsRounds.Add(treeRounds(size))
 	rel := (c.Rank() - root + size) % size
 	// Receive from the parent — the node whose relative rank clears my
 	// lowest set bit — in the round numbered by that bit.
@@ -205,9 +207,11 @@ func Gather(c Comm, root int, data []byte) [][]byte {
 
 func gatherD(c Comm, d *dctx, root int, data []byte) ([][]byte, error) {
 	size := c.Size()
+	rtsGathers.Inc()
 	if size == 1 {
 		return [][]byte{data}, nil
 	}
+	rtsRounds.Add(treeRounds(size))
 	rel := (c.Rank() - root + size) % size
 	// acc[i] is the block of relative rank rel+i: a binomial subtree covers
 	// a contiguous relative-rank range, so position is implicit in order.
@@ -266,6 +270,8 @@ func AllGather(c Comm, data []byte) [][]byte {
 
 func allGatherD(c Comm, d *dctx, data []byte) ([][]byte, error) {
 	size, rank := c.Size(), c.Rank()
+	rtsAllGathers.Inc()
+	rtsRounds.Add(treeRounds(size))
 	out := make([][]byte, size)
 	out[rank] = data
 	round := 0
@@ -321,6 +327,8 @@ func AllGatherRing(c Comm, data []byte) [][]byte {
 
 func allGatherRingD(c Comm, d *dctx, data []byte) ([][]byte, error) {
 	size, rank := c.Size(), c.Rank()
+	rtsAllGatherRing.Inc()
+	rtsRounds.Add(uint64(size - 1))
 	out := make([][]byte, size)
 	out[rank] = data
 	next, prev := (rank+1)%size, (rank-1+size)%size
@@ -357,9 +365,11 @@ func Reduce(c Comm, root int, data []byte, op ReduceOp) []byte {
 
 func reduceD(c Comm, d *dctx, root int, data []byte, op ReduceOp) ([]byte, error) {
 	size := c.Size()
+	rtsReduces.Inc()
 	if size == 1 {
 		return data, nil
 	}
+	rtsRounds.Add(treeRounds(size))
 	rel := (c.Rank() - root + size) % size
 	acc := data
 	round := 0
@@ -389,6 +399,7 @@ func AllReduce(c Comm, data []byte, op ReduceOp) []byte {
 }
 
 func allReduceD(c Comm, d *dctx, data []byte, op ReduceOp) ([]byte, error) {
+	rtsAllReduces.Inc()
 	acc, err := reduceD(c, d, 0, data, op)
 	if err != nil {
 		return nil, err
@@ -408,6 +419,8 @@ func runBarrier(c Comm) {
 
 func barrierD(c Comm, d *dctx) error {
 	size, rank := c.Size(), c.Rank()
+	rtsBarriers.Inc()
+	rtsRounds.Add(treeRounds(size))
 	round := 0
 	for dist := 1; dist < size; dist <<= 1 {
 		c.Send((rank+dist)%size, barrierTag(round), nil)

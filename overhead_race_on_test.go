@@ -1,0 +1,5 @@
+//go:build race
+
+package pardis_test
+
+const raceEnabled = true
