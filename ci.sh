@@ -33,6 +33,13 @@ go test -race -run Fault -count=1 ./internal/nexus ./internal/rts ./internal/poa
 # goroutine-leak check after every iteration.
 go test -run FaultChaosSoak -count=20 ./internal/poa
 
+# Fan-in lane: the connection-scale figure (client channels multiplexed
+# over shared sockets vs one socket per client) as its own JSON artifact,
+# plus the end-to-end gate asserting 10k clients ride few connections with
+# a >= 10x per-connection resident-memory advantage over the baseline.
+go run ./cmd/pardis-bench -fig fanin -quick -json > fanin-summary.json
+go test -run TestFaninGate -count=1 .
+
 # Observability lane: a tracing-enabled bench run must complete and export
 # a non-empty Chrome trace (the 4-rank SPMD section runs first, so its
 # spans are always captured); the overhead guard must hold — allocs/op

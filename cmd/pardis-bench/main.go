@@ -36,6 +36,7 @@ type summary struct {
 	Ablations   []ablationSection      `json:"ablations,omitempty"`
 	Transfer    []transferSection      `json:"transfer,omitempty"`
 	Collectives []bench.CollectivePoint `json:"collectives,omitempty"`
+	Fanin       []bench.FaninPoint      `json:"fanin,omitempty"`
 }
 
 type transferSection struct {
@@ -49,7 +50,7 @@ type ablationSection struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, all")
+	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, fanin, all")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of tables")
 	traceFile := flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
@@ -84,6 +85,8 @@ func main() {
 		out.Transfer = transfer(*quick, *asJSON)
 	case "collectives":
 		out.Collectives = collectives(*quick, *asJSON)
+	case "fanin":
+		out.Fanin = fanin(*quick, *asJSON)
 	case "all":
 		out.Figure2 = figure2(*quick, *asJSON)
 		out.Figure4 = figure4(*quick, *asJSON)
@@ -91,6 +94,7 @@ func main() {
 		out.Ablations = ablations(*quick, *asJSON)
 		out.Transfer = transfer(*quick, *asJSON)
 		out.Collectives = collectives(*quick, *asJSON)
+		out.Fanin = fanin(*quick, *asJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "pardis-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -234,6 +238,30 @@ func collectives(quick, silent bool) []bench.CollectivePoint {
 	fmt.Println("op         P   payload_B     seconds")
 	for _, p := range pts {
 		fmt.Printf("%-9s %3d  %9d  %10.6f\n", p.Op, p.P, p.Bytes, p.Seconds)
+	}
+	fmt.Println()
+	return pts
+}
+
+// fanin measures connection-scale fan-in over real TCP: thousands of
+// concurrent clients multiplexed over shared transports against one 4-rank
+// SPMD server, with the one-socket-per-client baseline for the memory
+// ratio. Wall clock, so compare modes within one run.
+func fanin(quick, silent bool) []bench.FaninPoint {
+	levels := bench.FaninLevels
+	baseline := bench.FaninBaselineClients
+	if quick {
+		levels = bench.FaninQuickLevels
+	}
+	pts := bench.Fanin(levels, baseline)
+	if silent {
+		return pts
+	}
+	fmt.Println("== Fan-in: concurrent clients vs one 4-rank SPMD server (wall clock) ==")
+	fmt.Println("mode       clients    req_per_sec   bytes_per_client   connections")
+	for _, p := range pts {
+		fmt.Printf("%-8s  %8d  %13.0f  %17.0f  %12d\n",
+			p.Mode, p.Clients, p.ReqPerSec, p.BytesPerClient, p.Conns)
 	}
 	fmt.Println()
 	return pts

@@ -1,0 +1,58 @@
+// Connection-scale gate: the multiplexed transport must carry ten thousand
+// concurrent clients into one 4-rank SPMD server over a handful of sockets,
+// and each client's connection must cost at least 10x less resident memory
+// than the one-socket-per-client baseline. Runs the real bench harness, so
+// a regression in the transport's sharing shows up here, not just in the
+// figure's numbers.
+package pardis_test
+
+import (
+	"testing"
+
+	"pardis/internal/bench"
+)
+
+func TestFaninGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("memory and throughput measurements are not meaningful under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("drives 10k real TCP clients; skipped with -short")
+	}
+	const clients = 10_000
+	const baseline = 256
+	pts := bench.Fanin([]int{clients}, baseline)
+	var mux, perConn *bench.FaninPoint
+	for i := range pts {
+		switch pts[i].Mode {
+		case "mux":
+			mux = &pts[i]
+		case "per-conn":
+			perConn = &pts[i]
+		}
+	}
+	if mux == nil || perConn == nil {
+		t.Fatalf("bench returned %+v, want a mux and a per-conn point", pts)
+	}
+	t.Logf("mux: %d clients, %.0f req/s, %.0f B/client over %d connections; per-conn: %d clients, %.0f B/client",
+		mux.Clients, mux.ReqPerSec, mux.BytesPerClient, mux.Conns, perConn.Clients, perConn.BytesPerClient)
+
+	if mux.Clients < clients {
+		t.Errorf("mux point served %d clients, want %d", mux.Clients, clients)
+	}
+	// Sharing must actually happen: thousands of clients over at most the
+	// worker-count sockets (plus the server's own inter-rank link).
+	if mux.Conns > 80 {
+		t.Errorf("mux run used %d physical connections for %d clients — transport is not multiplexing", mux.Conns, mux.Clients)
+	}
+	if perConn.Conns < baseline {
+		t.Errorf("baseline used %d connections for %d clients, want one each", perConn.Conns, baseline)
+	}
+	if mux.BytesPerClient <= 0 {
+		t.Fatalf("mux resident bytes per client = %.0f, measurement broken", mux.BytesPerClient)
+	}
+	if ratio := perConn.BytesPerClient / mux.BytesPerClient; ratio < 10 {
+		t.Errorf("per-connection resident bytes ratio = %.1fx (baseline %.0f B / mux %.0f B), want >= 10x",
+			ratio, perConn.BytesPerClient, mux.BytesPerClient)
+	}
+}

@@ -17,6 +17,10 @@ var (
 	// invocation, whatever the outcome — timeouts and cancels land in the
 	// tail rather than vanishing from it.
 	orbLatency = obs.Default.MustHistogram("orb_request_latency_seconds")
+	// orbPipelineDepth observes, at each request issue, how many requests
+	// are then in flight to that request's server connection — the
+	// pipelining depth the multiplexed transport sustains.
+	orbPipelineDepth = obs.Default.MustHistogram("orb_pipeline_depth")
 )
 
 // ServeDebug starts the opt-in introspection endpoint (Prometheus text at

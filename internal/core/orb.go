@@ -31,9 +31,17 @@ type ORB struct {
 	comm  rts.Comm // nil for a single (non-SPMD) client
 	local *LocalTable
 
-	mu       sync.Mutex // guards pending/backoff across resolve/pump reentry
-	pending  map[uint32]*pendingReq
-	backoff  []*pendingReq // timed-out retryable requests awaiting re-issue
+	mu      sync.Mutex // guards pending/backoff across resolve/pump reentry
+	pending map[uint32]*pendingReq
+	backoff []*pendingReq // timed-out retryable requests awaiting re-issue
+	// inflight counts pending two-way requests per server connection
+	// (keyed by the server's thread-0 address, the peer all requests of a
+	// binding are issued to). It is the pipelining ledger: with the
+	// multiplexed transport many requests ride one connection back to
+	// back, and this table — owned by o.mu alongside pending itself — is
+	// what deadline sweeps, cancels and transport failures decrement so
+	// depth never drifts from reality.
+	inflight map[string]int
 	nextReq  uint32
 	nextBind int
 
@@ -61,7 +69,7 @@ type ORB struct {
 // table is the process-local object table enabling the co-located
 // direct-call shortcut (may be nil).
 func NewORB(r *Router, comm rts.Comm, table *LocalTable) *ORB {
-	o := &ORB{r: r, comm: comm, local: table, pending: map[uint32]*pendingReq{}}
+	o := &ORB{r: r, comm: comm, local: table, pending: map[uint32]*pendingReq{}, inflight: map[string]int{}}
 	o.pumpFn = func(block bool) { o.pump(block) }
 	return o
 }
@@ -161,9 +169,37 @@ func (o *ORB) resolve(p *pendingReq, vals []any, err error) {
 func (o *ORB) claim(id uint32) *pendingReq {
 	o.mu.Lock()
 	p := o.pending[id]
-	delete(o.pending, id)
+	if p != nil {
+		delete(o.pending, id)
+		o.untrackLocked(p)
+	}
 	o.mu.Unlock()
 	return p
+}
+
+// trackLocked and untrackLocked maintain the per-connection in-flight
+// ledger; callers hold o.mu and have just added/removed p in o.pending.
+// trackLocked returns the new depth for the histogram.
+func (o *ORB) trackLocked(p *pendingReq) int {
+	o.inflight[p.server0]++
+	return o.inflight[p.server0]
+}
+
+func (o *ORB) untrackLocked(p *pendingReq) {
+	if n := o.inflight[p.server0]; n > 1 {
+		o.inflight[p.server0] = n - 1
+	} else {
+		delete(o.inflight, p.server0)
+	}
+}
+
+// Inflight reports the number of pending two-way requests currently issued
+// to the given server thread-0 address — the pipeline depth on that
+// connection as seen from this ORB.
+func (o *ORB) Inflight(server0 string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.inflight[server0]
 }
 
 // now reads the ORB's clock: the communicator's virtual clock when it has
@@ -340,10 +376,15 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 	o.mu.Lock()
 	o.nextReq++
 	req.ReqID = o.nextReq
+	depth := 0
 	if !opDef.Oneway {
 		o.pending[req.ReqID] = p
+		depth = o.trackLocked(p)
 	}
 	o.mu.Unlock()
+	if depth > 0 {
+		orbPipelineDepth.Observe(float64(depth))
+	}
 	p.attempt = 1
 	if p.deadline > 0 && !opDef.Oneway {
 		p.deadlineAt = o.now() + p.deadline
@@ -469,6 +510,7 @@ func (o *ORB) Cancel(cell *future.Cell) bool {
 	}
 	if p != nil {
 		delete(o.pending, id)
+		o.untrackLocked(p)
 	} else {
 		// The invocation may be parked awaiting a retry rather than in
 		// flight; withdrawing it then is purely local.
@@ -493,7 +535,10 @@ func (o *ORB) Cancel(cell *future.Cell) bool {
 
 func (o *ORB) dropPending(id uint32) {
 	o.mu.Lock()
-	delete(o.pending, id)
+	if p, ok := o.pending[id]; ok {
+		delete(o.pending, id)
+		o.untrackLocked(p)
+	}
 	o.mu.Unlock()
 }
 
@@ -620,6 +665,7 @@ func (o *ORB) sweep() bool {
 			// Claim under this same lock hold: a late reply arriving after
 			// the sweep finds no entry and is discarded.
 			delete(o.pending, id)
+			o.untrackLocked(p)
 			expired = append(expired, p)
 		}
 	}
@@ -667,7 +713,9 @@ func (o *ORB) resend(p *pendingReq) {
 	o.nextReq++
 	p.req.ReqID = o.nextReq
 	o.pending[p.req.ReqID] = p
+	depth := o.trackLocked(p)
 	o.mu.Unlock()
+	orbPipelineDepth.Observe(float64(depth))
 	p.attempt++
 	p.deadlineAt = o.now() + p.deadline
 	orbRetries.Inc()
@@ -752,6 +800,7 @@ func (o *ORB) failAll(err error) {
 	o.mu.Lock()
 	ps := o.pending
 	o.pending = map[uint32]*pendingReq{}
+	o.inflight = map[string]int{}
 	parked := o.backoff
 	o.backoff = nil
 	o.mu.Unlock()

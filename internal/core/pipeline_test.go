@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pardis/internal/cdr"
+	"pardis/internal/future"
+	"pardis/internal/nexus"
+	"pardis/internal/pgiop"
+	"pardis/internal/typecode"
+)
+
+// echoServer is a raw wire-level server: it decodes pgiop Requests off a
+// nexus endpoint and answers them however the test directs, bypassing the
+// POA so reply order and timing are fully under test control.
+type echoServer struct {
+	ep nexus.Endpoint
+}
+
+type echoReq struct {
+	reqID uint32
+	to    nexus.Addr
+	val   int32
+}
+
+// collect receives exactly n requests without replying to any of them —
+// every one of the client's sends must therefore have been pipelined onto
+// the wire with no reply in between.
+func (s *echoServer) collect(n int) ([]echoReq, error) {
+	reqs := make([]echoReq, 0, n)
+	for len(reqs) < n {
+		fr, err := s.ep.Recv()
+		if err != nil {
+			return nil, err
+		}
+		req, err := pgiop.DecodeRequest(fr.Data)
+		if err != nil {
+			return nil, fmt.Errorf("decode request: %w", err)
+		}
+		dec := cdr.NewDecoder(req.Body)
+		v, err := typecode.Unmarshal(dec, typecode.TCLong)
+		if err != nil {
+			return nil, fmt.Errorf("decode arg: %w", err)
+		}
+		reqs = append(reqs, echoReq{reqID: req.ReqID, to: nexus.Addr(req.ReplyAddr), val: v.(int32)})
+	}
+	return reqs, nil
+}
+
+func (s *echoServer) reply(r echoReq) error {
+	enc := cdr.NewEncoder(8)
+	defer enc.Release()
+	if err := typecode.Marshal(enc, typecode.TCLong, r.val); err != nil {
+		return err
+	}
+	frame := pgiop.EncodeReply(&pgiop.Reply{ReqID: r.reqID, Status: pgiop.StatusOK, Body: enc.Bytes()})
+	return s.ep.Send(r.to, frame)
+}
+
+type connCounter interface{ Transport() *nexus.TCPTransport }
+
+func echoOrb(t *testing.T) (*ORB, *Binding, *echoServer) {
+	t.Helper()
+	srvEP, err := nexus.NewTCPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvEP.Close() })
+	cliEP, err := nexus.NewTCPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cliEP.Close() })
+
+	orb := NewORB(NewRouter(cliEP), nil, nil)
+	iface := &InterfaceDef{Name: "echo", Ops: []Operation{{
+		Name:   "echo",
+		Params: []Param{NewParam("x", In, typecode.TCLong)},
+		Result: typecode.TCLong,
+	}}}
+	ior := IOR{Interface: "echo", Key: "k", ServerSize: 1, Addrs: []string{string(srvEP.Addr())}}
+	b, err := orb.Bind(ior, iface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orb, b, &echoServer{ep: srvEP}
+}
+
+// TestPipelinedInterleavedReplies drives hundreds of concurrent requests
+// back-to-back over one shared TCP connection, has the server answer them
+// in shuffled order, and checks every future resolves to its own argument —
+// i.e. replies are matched strictly by ReqID, not arrival order.
+func TestPipelinedInterleavedReplies(t *testing.T) {
+	const n = 300
+	orb, b, srv := echoOrb(t)
+	server0 := b.IOR().Addrs[0]
+
+	type result struct {
+		reqs []echoReq
+		err  error
+	}
+	collected := make(chan result, 1)
+	go func() {
+		reqs, err := srv.collect(n)
+		collected <- result{reqs, err}
+	}()
+
+	// Issue every request before any reply can exist: the server above
+	// withholds all replies until it has seen all n requests.
+	cells := make([]*future.Cell, n)
+	for i := range cells {
+		c, err := b.InvokeNB("echo", []any{int32(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells[i] = c
+	}
+	if got := orb.Inflight(server0); got != n {
+		t.Fatalf("Inflight = %d after issuing %d pipelined requests, want %d", got, n, n)
+	}
+
+	res := <-collected
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	// Reply in a seeded-shuffled order so completion order is decoupled
+	// from issue order.
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(n, func(i, j int) { res.reqs[i], res.reqs[j] = res.reqs[j], res.reqs[i] })
+	go func() {
+		for _, r := range res.reqs {
+			if err := srv.reply(r); err != nil {
+				return
+			}
+		}
+	}()
+
+	for i, c := range cells {
+		vals, err := c.Values()
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if got := vals[0].(int32); got != int32(i) {
+			t.Fatalf("cell %d resolved to %d: replies mismatched across the shared connection", i, got)
+		}
+	}
+	if got := orb.Inflight(server0); got != 0 {
+		t.Fatalf("Inflight = %d after all replies claimed, want 0", got)
+	}
+	// All n round trips multiplexed over a single physical socket per side.
+	cliT := orb.Router().ep.(connCounter).Transport()
+	if got := cliT.ConnCount(); got != 1 {
+		t.Fatalf("client transport holds %d connections, want 1", got)
+	}
+	if got := srv.ep.(connCounter).Transport().ConnCount(); got != 1 {
+		t.Fatalf("server transport holds %d connections, want 1", got)
+	}
+}
+
+// TestLateReplyAfterTimeout checks the pipelining ledger composes with the
+// deadline sweep: a reply that arrives after its invocation timed out is
+// discarded harmlessly and cannot complete a later request.
+func TestLateReplyAfterTimeout(t *testing.T) {
+	orb, b, srv := echoOrb(t)
+	server0 := b.IOR().Addrs[0]
+
+	held := make(chan echoReq, 1)
+	go func() {
+		reqs, err := srv.collect(1)
+		if err != nil {
+			return
+		}
+		held <- reqs[0]
+	}()
+
+	b.SetDeadline(0.05)
+	cell, err := b.InvokeNB("echo", []any{int32(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.Wait(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if got := orb.Inflight(server0); got != 0 {
+		t.Fatalf("Inflight = %d after deadline expiry, want 0", got)
+	}
+
+	// Now deliver the stale reply, then run a fresh invocation. The stale
+	// ReqID no longer matches any pending entry, so it must be dropped and
+	// the new request must resolve to its own value.
+	stale := <-held
+	if err := srv.reply(stale); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the stale reply land first
+
+	go func() {
+		reqs, err := srv.collect(1)
+		if err != nil {
+			return
+		}
+		srv.reply(reqs[0])
+	}()
+	b.SetDeadline(5)
+	vals, err := b.Invoke("echo", []any{int32(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vals[0].(int32); got != 42 {
+		t.Fatalf("fresh invocation resolved to %d (stale reply leaked through), want 42", got)
+	}
+}

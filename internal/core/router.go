@@ -119,6 +119,15 @@ func (r *Router) ConcurrentSendSafe() bool {
 	return ok && cs.ConcurrentSendSafe()
 }
 
+// SetRecvNotify forwards nexus.RecvNotifier when the underlying fabric
+// supports it, reporting whether arrival notification is actually in
+// effect — the POA's gate for event-driven idle wakeup instead of
+// sleep-polling.
+func (r *Router) SetRecvNotify(fn func()) bool {
+	rn, ok := r.ep.(nexus.RecvNotifier)
+	return ok && rn.SetRecvNotify(fn)
+}
+
 // RecvClient returns the next client-bound message; with block=false it
 // returns ok=false when none is pending. Server-bound messages encountered
 // while waiting are queued for RecvServer.

@@ -6,30 +6,40 @@ import (
 	"testing"
 )
 
-// TestWriteFrameVAllocFree pins the send-side framing cost: once the
-// per-connection scratch is warm, a vectored frame (length prefix + any
-// number of payload buffers) reaches the socket without allocating.
-func TestWriteFrameVAllocFree(t *testing.T) {
+// TestSendFrameAllocFree pins the send-side framing cost on both combiner
+// paths: once the per-connection scratch is warm, a frame reaches the
+// socket without allocating — the large path through the reusable iovec,
+// and the small path through the pending-batch buffer.
+func TestSendFrameAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not stable under the race detector")
 	}
 	c1, c2 := net.Pipe()
 	defer c1.Close()
 	go io.Copy(io.Discard, c2) //nolint:errcheck // drained until pipe closes
-	tc := &tcpConn{c: c1}
+	tc := newTCPConn(c1, "alloc-test")
 	hdr := make([]byte, 16)
-	payload := make([]byte, 4096)
-	// Warm-up grows the iovec scratch; steady state reuses it.
-	if err := writeFrameV(tc, hdr, payload); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(50, func() {
-		if err := writeFrameV(tc, hdr, payload); err != nil {
+	large := make([]byte, TCPCoalesceLimit+1) // strictly above the copy limit
+	small := make([]byte, 48)
+	for _, tt := range []struct {
+		name    string
+		payload []byte
+	}{
+		{"large-vectored", large},
+		{"small-coalesced", small},
+	} {
+		// Warm-up grows the scratch; steady state reuses it.
+		if err := tc.sendFrame(1, 2, [][]byte{hdr, tt.payload}); err != nil {
 			t.Fatal(err)
 		}
-	})
-	if allocs != 0 {
-		t.Fatalf("vectored frame write: %v allocs/run, want 0", allocs)
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := tc.sendFrame(1, 2, [][]byte{hdr, tt.payload}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s frame write: %v allocs/run, want 0", tt.name, allocs)
+		}
 	}
 }
 

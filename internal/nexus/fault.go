@@ -162,6 +162,14 @@ func (e *faultEP) ConcurrentSendSafe() bool {
 	return ok && cs.ConcurrentSendSafe()
 }
 
+// SetRecvNotify forwards RecvNotifier when the wrapped fabric supports it.
+// Receives pass straight through, so arrival notification is unaffected by
+// injected send faults.
+func (e *faultEP) SetRecvNotify(fn func()) bool {
+	rn, ok := e.inner.(RecvNotifier)
+	return ok && rn.SetRecvNotify(fn)
+}
+
 func (e *faultEP) Close() error {
 	// Held frames die with the endpoint: an endpoint that closes before
 	// its delayed traffic flushed has effectively dropped it.

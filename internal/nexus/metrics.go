@@ -1,0 +1,15 @@
+package nexus
+
+import "pardis/internal/obs"
+
+// Transport instrumentation on the default registry. The connection gauge
+// is the headline number for the fan-in figure: it stays at a handful of
+// sockets while the live-channel count climbs into the hundreds of
+// thousands.
+var (
+	tcpConnsLive        = obs.Default.MustGauge("nexus_tcp_connections_live")
+	tcpBytesIn          = obs.Default.MustCounter("nexus_tcp_bytes_in_total")
+	tcpBytesOut         = obs.Default.MustCounter("nexus_tcp_bytes_out_total")
+	tcpCoalescedFlushes = obs.Default.MustCounter("nexus_tcp_coalesced_flushes_total")
+	tcpCoalescedFrames  = obs.Default.MustCounter("nexus_tcp_coalesced_frames_total")
+)

@@ -108,6 +108,19 @@ type ConcurrentSender interface {
 	ConcurrentSendSafe() bool
 }
 
+// RecvNotifier is an optional Endpoint capability: fabrics that can signal
+// frame arrival implement it, letting a receiver block on a wakeup instead
+// of sleep-polling between scans. SetRecvNotify registers fn to be called
+// (from the delivering goroutine — fn must not block) whenever a frame
+// lands in an empty inbox, and reports whether the endpoint actually
+// supports notification; wrappers that cannot tell forward the inner
+// endpoint's answer. The Inproc and TCP fabrics support it; the Sim fabric
+// does not — virtual time must advance through Thread.Sleep, never through
+// a wall-clock wait.
+type RecvNotifier interface {
+	SetRecvNotify(fn func()) bool
+}
+
 // --- In-process fabric -------------------------------------------------------
 
 // Inproc is an in-process fabric: a namespace of endpoints connected by
@@ -164,6 +177,7 @@ type inprocEP struct {
 	// reused across pushes (see the tcp endpoint's queue for rationale).
 	queue  []Frame
 	qhead  int
+	notify func()
 	closed bool
 }
 
@@ -172,6 +186,14 @@ func (e *inprocEP) Addr() Addr { return e.addr }
 // ConcurrentSendSafe implements ConcurrentSender: the in-process fabric
 // serializes deliveries on the destination's mutex.
 func (e *inprocEP) ConcurrentSendSafe() bool { return true }
+
+// SetRecvNotify implements RecvNotifier.
+func (e *inprocEP) SetRecvNotify(fn func()) bool {
+	e.mu.Lock()
+	e.notify = fn
+	e.mu.Unlock()
+	return true
+}
 
 // pop removes the frame at qhead; caller must hold e.mu and have checked
 // the queue is non-empty.
@@ -197,12 +219,18 @@ func (e *inprocEP) SendV(to Addr, bufs ...[]byte) error {
 	}
 	cp := concat(bufs)
 	dst.mu.Lock()
-	defer dst.mu.Unlock()
 	if dst.closed {
+		dst.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrClosed, to)
 	}
+	wasEmpty := dst.qhead == len(dst.queue)
 	dst.queue = append(dst.queue, Frame{From: e.addr, Data: cp})
 	dst.cond.Broadcast()
+	notify := dst.notify
+	dst.mu.Unlock()
+	if wasEmpty && notify != nil {
+		notify()
+	}
 	return nil
 }
 

@@ -10,9 +10,29 @@ import (
 	"time"
 )
 
+// The TCP fabric multiplexes logical endpoints ("channels") over shared
+// physical connections: a TCPTransport owns one listener and at most one
+// socket per peer transport, and every channel created from it — client
+// bindings, server threads, helper endpoints — rides those sockets. This is
+// what lets a PARDIS server face 10⁵ concurrent client channels with a
+// handful of file descriptors and reader goroutines instead of one of each
+// per client (DESIGN.md §12).
+//
+// Wire format, per frame:
+//
+//	[4B length][4B dst channel][4B src channel][payload]
+//
+// where length covers the two channel words plus the payload. The first
+// frame on a dialed connection is a hello (dst=src=0) whose payload is the
+// dialer's transport address; it names the connection so the acceptor can
+// route frames back over it.
+
 // maxFrame bounds a single frame to keep a corrupt length prefix from
 // allocating unbounded memory.
 const maxFrame = 1 << 28 // 256 MiB
+
+// muxHdrLen is the per-frame channel-addressing overhead (dst + src words).
+const muxHdrLen = 8
 
 // TCPDialTimeout bounds connection establishment to a peer. Without it a
 // dial to a partitioned host blocks the sending thread for the kernel's
@@ -26,11 +46,23 @@ var TCPDialTimeout = 10 * time.Second
 // could ever clean them up.
 var TCPHelloTimeout = 10 * time.Second
 
-// NewTCPEndpoint creates an endpoint listening on the given address
-// (""/":0" picks a free loopback port). Real-network counterpart of the
-// Inproc fabric: frames are length-prefixed on persistent connections, and
-// a connection opened by a dialer is reused for frames flowing back.
-func NewTCPEndpoint(listen string) (Endpoint, error) {
+// TCPCoalesceLimit is the largest wire size (header + payload) that takes
+// the copying small-frame path through the connection's write combiner;
+// larger frames go straight to a vectored write without a copy. A var, not
+// a const, so tests can pin either path.
+var TCPCoalesceLimit = 4 << 10
+
+// tcpPendCap is the backpressure bound on a connection's pending batch:
+// a sender finding this many bytes already coalesced while a flush is in
+// progress waits for the writer to drain before appending (the
+// "buffer-full" flush trigger of DESIGN.md §12).
+const tcpPendCap = 128 << 10
+
+// NewTCPTransport creates a multiplexing TCP transport listening on the
+// given address (""/":0" picks a free loopback port). Endpoints are created
+// from it with NewChannel; all of them share the transport's physical
+// connections.
+func NewTCPTransport(listen string) (*TCPTransport, error) {
 	if listen == "" {
 		listen = "127.0.0.1:0"
 	}
@@ -38,81 +70,115 @@ func NewTCPEndpoint(listen string) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nexus: %w", err)
 	}
-	e := &tcpEP{
-		ln:    ln,
-		addr:  Addr("tcp://" + ln.Addr().String()),
-		conns: map[Addr]*tcpConn{},
-		anon:  map[net.Conn]bool{},
+	t := &TCPTransport{
+		ln:       ln,
+		hostport: ln.Addr().String(),
+		addr:     Addr("tcp://" + ln.Addr().String()),
+		conns:    map[string]*tcpConn{},
+		dialing:  map[string]*tcpDial{},
+		anon:     map[net.Conn]bool{},
+		chans:    map[uint32]*tcpChan{},
 	}
-	e.cond = sync.NewCond(&e.mu)
-	go e.acceptLoop()
-	return e, nil
+	go t.acceptLoop()
+	return t, nil
 }
 
-type tcpConn struct {
-	c  net.Conn
-	wm sync.Mutex // serializes frame writes
-
-	// Write-side scratch, guarded by wm: the length-prefix buffer, the
-	// assembled buffer list, and the net.Buffers header handed to writev.
-	// Reusing them keeps a framed send allocation-free no matter how many
-	// payload buffers it carries. iov is a field (not a local) because
-	// WriteTo's pointer receiver would force a local header to escape.
-	hdr   [4]byte
-	wbufs [][]byte
-	iov   net.Buffers
+// NewTCPEndpoint creates a standalone endpoint listening on the given
+// address (""/":0" picks a free loopback port): a transport whose default
+// channel (id 0, plain tcp://host:port address) is the endpoint, exactly
+// the pre-multiplexing shape. Closing the endpoint closes the transport.
+func NewTCPEndpoint(listen string) (Endpoint, error) {
+	t, err := NewTCPTransport(listen)
+	if err != nil {
+		return nil, err
+	}
+	return t.newChan(true), nil
 }
 
-type tcpEP struct {
-	ln   net.Listener
-	addr Addr
+// TCPTransport owns one listener and the table of physical connections its
+// channels multiplex over.
+type TCPTransport struct {
+	ln       net.Listener
+	hostport string
+	addr     Addr
 
-	mu   sync.Mutex
-	cond *sync.Cond
-	// Inbound frames form a queue consumed from qhead; when it empties the
-	// slice is rewound to its start so the backing array is reused instead
-	// of reallocated on every push (pop-by-reslice defeats append's
-	// amortization: the tail capacity is gone once the base pointer moves).
-	queue  []Frame
-	qhead  int
-	conns  map[Addr]*tcpConn
+	mu    sync.Mutex
+	conns map[string]*tcpConn // peer transport hostport -> shared connection
+	// dialing deduplicates concurrent dials to one peer (singleflight): the
+	// first sender dials and completes the entry; the rest wait on done.
+	dialing map[string]*tcpDial
 	// anon holds accepted connections that have not yet identified
 	// themselves with a hello frame, so Close can terminate their reader
 	// goroutines too (they are reachable through no other table).
 	anon   map[net.Conn]bool
+	chans  map[uint32]*tcpChan
+	nextID uint32
 	closed bool
 }
 
-func (e *tcpEP) Addr() Addr { return e.addr }
+type tcpDial struct {
+	done chan struct{} // closed when tc/err are set
+	tc   *tcpConn
+	err  error
+}
 
-// ConcurrentSendSafe implements ConcurrentSender: frame writes are
-// serialized per connection by tcpConn.wm, and the connection table by e.mu.
-func (e *tcpEP) ConcurrentSendSafe() bool { return true }
+// Addr is the transport's own address (equal to its default channel's).
+func (t *TCPTransport) Addr() Addr { return t.addr }
 
-func (e *tcpEP) acceptLoop() {
+// NewChannel creates a logical endpoint multiplexed over the transport's
+// shared connections. Its address is tcp://host:port/<id>; frames it sends
+// carry that address as the reply route, so any number of channels cost one
+// socket per peer, not one each.
+func (t *TCPTransport) NewChannel() Endpoint { return t.newChan(false) }
+
+func (t *TCPTransport) newChan(def bool) *tcpChan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var id uint32
+	if !def {
+		t.nextID++
+		id = t.nextID
+	}
+	ch := &tcpChan{t: t, id: id, addr: tcpChanAddr(t.hostport, id), isDefault: def, closed: t.closed}
+	ch.cond = sync.NewCond(&ch.mu)
+	if !t.closed {
+		t.chans[id] = ch
+	}
+	return ch
+}
+
+// ConnCount reports the number of established physical connections — the
+// quantity the fan-in figure and the singleflight tests assert on.
+func (t *TCPTransport) ConnCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
+}
+
+func (t *TCPTransport) acceptLoop() {
 	for {
-		c, err := e.ln.Accept()
+		c, err := t.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		e.mu.Lock()
-		if e.closed {
-			e.mu.Unlock()
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
 			c.Close()
 			return
 		}
-		e.anon[c] = true
-		e.mu.Unlock()
-		go e.readLoop(c, "")
+		t.anon[c] = true
+		t.mu.Unlock()
+		go t.readLoop(c, nil)
 	}
 }
 
-// readLoop reads frames from one connection. The first frame on an inbound
-// connection is a hello carrying the dialer's endpoint address; it
-// registers the connection as the route back to that address.
-func (e *tcpEP) readLoop(c net.Conn, peer Addr) {
+// readLoop reads frames from one connection and routes them to channels by
+// destination id. tc is nil for an accepted connection until its hello
+// names the peer.
+func (t *TCPTransport) readLoop(c net.Conn, tc *tcpConn) {
 	defer c.Close()
-	if peer == "" {
+	if tc == nil {
 		// The hello must arrive within its deadline; the deadline is
 		// cleared once the connection has a name and normal traffic may
 		// idle indefinitely.
@@ -121,37 +187,535 @@ func (e *tcpEP) readLoop(c net.Conn, peer Addr) {
 	var hdr [4]byte // reused across frames; escapes once per connection
 	for {
 		data, err := readFrame(c, &hdr)
-		if err != nil {
-			e.mu.Lock()
-			delete(e.anon, c)
-			if peer != "" {
-				if tc, ok := e.conns[peer]; ok && tc.c == c {
-					delete(e.conns, peer)
+		if err != nil || len(data) < muxHdrLen {
+			t.mu.Lock()
+			delete(t.anon, c)
+			if tc != nil {
+				if cur, ok := t.conns[tc.peer]; ok && cur == tc {
+					delete(t.conns, tc.peer)
+					tcpConnsLive.Add(-1)
 				}
 			}
-			e.mu.Unlock()
+			t.mu.Unlock()
 			return
 		}
-		if peer == "" {
-			peer = Addr(data)
-			c.SetReadDeadline(time.Time{})
-			e.mu.Lock()
-			delete(e.anon, c)
-			if _, exists := e.conns[peer]; !exists {
-				e.conns[peer] = &tcpConn{c: c}
+		tcpBytesIn.Add(uint64(len(hdr) + len(data)))
+		dst := binary.BigEndian.Uint32(data[0:4])
+		src := binary.BigEndian.Uint32(data[4:8])
+		payload := data[muxHdrLen:]
+		if tc == nil {
+			// Hello: the payload is the dialing transport's address.
+			hp, _, herr := splitTCPAddr(Addr(payload))
+			if herr != nil {
+				t.mu.Lock()
+				delete(t.anon, c)
+				t.mu.Unlock()
+				return
 			}
-			e.mu.Unlock()
+			tc = newTCPConn(c, hp)
+			c.SetReadDeadline(time.Time{})
+			t.mu.Lock()
+			delete(t.anon, c)
+			if t.closed {
+				t.mu.Unlock()
+				return
+			}
+			if _, exists := t.conns[hp]; !exists {
+				t.conns[hp] = tc
+				tcpConnsLive.Add(1)
+			}
+			t.mu.Unlock()
 			continue
 		}
-		e.mu.Lock()
-		if e.closed {
-			e.mu.Unlock()
-			return
+		t.mu.Lock()
+		ch := t.chans[dst]
+		t.mu.Unlock()
+		if ch == nil {
+			continue // channel closed or never existed; drop the frame
 		}
-		e.queue = append(e.queue, Frame{From: peer, Data: data})
-		e.cond.Broadcast()
-		e.mu.Unlock()
+		ch.push(Frame{From: tc.fromAddr(src), Data: payload})
 	}
+}
+
+// connTo returns the shared connection to the peer transport at hostport,
+// dialing it if absent. Concurrent first-sends to a cold peer are
+// singleflighted: exactly one dial happens, the rest wait for its result.
+func (t *TCPTransport) connTo(hostport string) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if tc, ok := t.conns[hostport]; ok {
+		t.mu.Unlock()
+		return tc, nil
+	}
+	if d, ok := t.dialing[hostport]; ok {
+		t.mu.Unlock()
+		<-d.done
+		return d.tc, d.err
+	}
+	d := &tcpDial{done: make(chan struct{})}
+	t.dialing[hostport] = d
+	t.mu.Unlock()
+
+	tc, err := t.dial(hostport)
+	t.mu.Lock()
+	delete(t.dialing, hostport)
+	if err == nil {
+		if cur, ok := t.conns[hostport]; ok {
+			// Lost a race with an inbound connection from the same peer;
+			// use the established one.
+			tc.c.Close()
+			tc = cur
+		} else if t.closed {
+			tc.c.Close()
+			tc, err = nil, ErrClosed
+		} else {
+			t.conns[hostport] = tc
+			tcpConnsLive.Add(1)
+			go t.readLoop(tc.c, tc)
+		}
+	}
+	d.tc, d.err = tc, err
+	t.mu.Unlock()
+	close(d.done)
+	return tc, err
+}
+
+// dial opens and names a connection to the peer transport at hostport.
+func (t *TCPTransport) dial(hostport string) (*tcpConn, error) {
+	c, err := net.DialTimeout("tcp", hostport, TCPDialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: tcp://%s: %v", ErrNoRoute, hostport, err)
+	}
+	tc := newTCPConn(c, hostport)
+	// Hello: announce our transport address so the peer can route frames
+	// for any of our channels over this connection.
+	if err := tc.sendFrame(0, 0, [][]byte{[]byte(t.addr)}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("nexus: hello to %s: %w", hostport, err)
+	}
+	return tc, nil
+}
+
+// dropConn removes a connection that failed mid-send so a retry re-dials.
+func (t *TCPTransport) dropConn(hostport string, tc *tcpConn) {
+	t.mu.Lock()
+	if cur, ok := t.conns[hostport]; ok && cur == tc {
+		delete(t.conns, hostport)
+		tcpConnsLive.Add(-1)
+	}
+	t.mu.Unlock()
+	tc.c.Close() // unblocks the reader and any writer parked on the socket
+}
+
+func (t *TCPTransport) dropChan(id uint32, ch *tcpChan) {
+	t.mu.Lock()
+	if cur, ok := t.chans[id]; ok && cur == ch {
+		delete(t.chans, id)
+	}
+	t.mu.Unlock()
+}
+
+// Close shuts the listener, every connection, and every remaining channel.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]*tcpConn{}
+	anon := t.anon
+	t.anon = map[net.Conn]bool{}
+	chans := t.chans
+	t.chans = map[uint32]*tcpChan{}
+	tcpConnsLive.Add(-int64(len(conns)))
+	t.mu.Unlock()
+	t.ln.Close()
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	for c := range anon {
+		c.Close()
+	}
+	for _, ch := range chans {
+		ch.closeLocal()
+	}
+	return nil
+}
+
+// tcpChanAddr renders a channel address. The default channel keeps the
+// plain transport address, so pre-multiplexing peers (and the bootstrap
+// protocol, which dials "tcp://host:port") interoperate unchanged.
+func tcpChanAddr(hostport string, id uint32) Addr {
+	if id == 0 {
+		return Addr("tcp://" + hostport)
+	}
+	return Addr(fmt.Sprintf("tcp://%s/%d", hostport, id))
+}
+
+// splitTCPAddr parses tcp://host:port[/channel].
+func splitTCPAddr(to Addr) (hostport string, id uint32, err error) {
+	rest, ok := strings.CutPrefix(string(to), "tcp://")
+	if !ok {
+		return "", 0, fmt.Errorf("%w: %s is not a tcp address", ErrNoRoute, to)
+	}
+	i := strings.LastIndexByte(rest, '/')
+	if i < 0 {
+		return rest, 0, nil
+	}
+	// Decimal parse by hand: the send fast path must not allocate, and
+	// strconv's error paths do.
+	var n uint64
+	s := rest[i+1:]
+	if len(s) == 0 {
+		return "", 0, fmt.Errorf("%w: %s: empty channel id", ErrNoRoute, to)
+	}
+	for j := 0; j < len(s); j++ {
+		c := s[j]
+		if c < '0' || c > '9' {
+			return "", 0, fmt.Errorf("%w: %s: bad channel id", ErrNoRoute, to)
+		}
+		n = n*10 + uint64(c-'0')
+		if n > 1<<32-1 {
+			return "", 0, fmt.Errorf("%w: %s: channel id overflow", ErrNoRoute, to)
+		}
+	}
+	return rest[:i], uint32(n), nil
+}
+
+// --- Logical channel ---------------------------------------------------------
+
+// tcpChan is one logical endpoint: an inbox plus a channel id. All sends go
+// through the owning transport's shared connections.
+type tcpChan struct {
+	t         *TCPTransport
+	id        uint32
+	addr      Addr
+	isDefault bool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Consumed from qhead and rewound when empty so the backing array is
+	// reused across pushes (see inprocEP.queue for rationale).
+	queue  []Frame
+	qhead  int
+	notify func()
+	closed bool
+}
+
+func (e *tcpChan) Addr() Addr { return e.addr }
+
+// Transport exposes the owning transport (for connection-count assertions).
+func (e *tcpChan) Transport() *TCPTransport { return e.t }
+
+// ConcurrentSendSafe implements ConcurrentSender: the write combiner
+// serializes frame writes per connection, and the connection table is
+// mutex-protected.
+func (e *tcpChan) ConcurrentSendSafe() bool { return true }
+
+// SetRecvNotify implements RecvNotifier.
+func (e *tcpChan) SetRecvNotify(fn func()) bool {
+	e.mu.Lock()
+	e.notify = fn
+	e.mu.Unlock()
+	return true
+}
+
+// push delivers an inbound frame to the channel's inbox (reader goroutine).
+func (e *tcpChan) push(fr Frame) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	wasEmpty := e.qhead == len(e.queue)
+	e.queue = append(e.queue, fr)
+	e.cond.Broadcast()
+	notify := e.notify
+	e.mu.Unlock()
+	if wasEmpty && notify != nil {
+		notify()
+	}
+}
+
+func (e *tcpChan) Send(to Addr, data []byte) error {
+	return e.SendV(to, data)
+}
+
+func (e *tcpChan) SendV(to Addr, bufs ...[]byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	hostport, dst, err := splitTCPAddr(to)
+	if err != nil {
+		return err
+	}
+	tc, err := e.t.connTo(hostport)
+	if err != nil {
+		return err
+	}
+	if err := tc.sendFrame(dst, e.id, bufs); err != nil {
+		// Connection died; drop it so a retry re-dials.
+		e.t.dropConn(hostport, tc)
+		return fmt.Errorf("nexus: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// pop removes the frame at qhead; caller must hold e.mu and have checked
+// the queue is non-empty.
+func (e *tcpChan) pop() Frame {
+	fr := e.queue[e.qhead]
+	e.queue[e.qhead] = Frame{} // drop the frame reference promptly
+	e.qhead++
+	if e.qhead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	}
+	return fr
+}
+
+func (e *tcpChan) Recv() (Frame, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.qhead == len(e.queue) && !e.closed {
+		e.cond.Wait()
+	}
+	if e.qhead == len(e.queue) {
+		return Frame{}, ErrClosed
+	}
+	return e.pop(), nil
+}
+
+func (e *tcpChan) Poll() (Frame, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed && e.qhead == len(e.queue) {
+		return Frame{}, false, ErrClosed
+	}
+	if e.qhead == len(e.queue) {
+		return Frame{}, false, nil
+	}
+	return e.pop(), true, nil
+}
+
+func (e *tcpChan) closeLocal() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Close releases the channel. Closing the default channel (a standalone
+// NewTCPEndpoint) closes the whole transport; closing a NewChannel endpoint
+// releases only its id — the shared connections stay up for its siblings.
+func (e *tcpChan) Close() error {
+	e.closeLocal()
+	e.t.dropChan(e.id, e)
+	if e.isDefault {
+		return e.t.Close()
+	}
+	return nil
+}
+
+// --- Shared connection and its write combiner --------------------------------
+
+// tcpConn is one physical connection with its write combiner. Small frames
+// from any number of channels are coalesced into pend and flushed by a
+// single writer in as few syscalls as the socket allows; large frames
+// bypass the copy with a vectored write. A sender never waits on a timer —
+// a lone frame finding the writer idle is flushed immediately (the
+// no-added-latency rule), and batches only form out of frames that arrived
+// while a flush was already on the wire ("smart batching").
+type tcpConn struct {
+	c    net.Conn
+	peer string // peer transport hostport
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pend accumulates framed small sends awaiting the writer; spare is the
+	// drained buffer from the previous flush, ping-ponged back to avoid
+	// reallocating.
+	pend    []byte
+	spare   []byte
+	pendN   int    // frames currently in pend
+	writing bool   // a flush (batched or large-frame) is on the wire
+	enq     uint64 // cumulative bytes appended to pend
+	wr      uint64 // cumulative pend bytes flushed to the socket
+	err     error  // sticky: first write error fails all senders
+
+	// Large-frame scratch, owned by the active writer: the header buffer,
+	// the assembled buffer list, and the net.Buffers handed to writev.
+	// Reusing them keeps a framed send allocation-free no matter how many
+	// payload buffers it carries. iov is a field (not a local) because
+	// WriteTo's pointer receiver would force a local header to escape.
+	hdr   [4 + muxHdrLen]byte
+	wbufs [][]byte
+	iov   net.Buffers
+
+	// fromCache interns From addresses per source channel; only the
+	// connection's reader goroutine touches it.
+	fromCache map[uint32]Addr
+}
+
+func newTCPConn(c net.Conn, peer string) *tcpConn {
+	tc := &tcpConn{c: c, peer: peer}
+	tc.cond = sync.NewCond(&tc.mu)
+	return tc
+}
+
+// fromAddr returns the interned address of the peer's channel src
+// (reader goroutine only).
+func (tc *tcpConn) fromAddr(src uint32) Addr {
+	if a, ok := tc.fromCache[src]; ok {
+		return a
+	}
+	a := tcpChanAddr(tc.peer, src)
+	if tc.fromCache == nil {
+		tc.fromCache = map[uint32]Addr{}
+	}
+	tc.fromCache[src] = a
+	return a
+}
+
+// sendFrame writes one frame addressed dst<-src. It returns only after the
+// frame's bytes have been handed to the socket (or the connection failed),
+// preserving synchronous Send error semantics through the combiner.
+func (tc *tcpConn) sendFrame(dst, src uint32, bufs [][]byte) error {
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	wire := 4 + muxHdrLen + n
+	tc.mu.Lock()
+	if tc.err != nil {
+		err := tc.err
+		tc.mu.Unlock()
+		return err
+	}
+	if wire <= TCPCoalesceLimit {
+		// Buffer-full backpressure: while a flush is on the wire and the
+		// pending batch is at capacity, wait for the writer to drain.
+		for tc.writing && len(tc.pend) >= tcpPendCap {
+			tc.cond.Wait()
+			if tc.err != nil {
+				err := tc.err
+				tc.mu.Unlock()
+				return err
+			}
+		}
+		var h [4 + muxHdrLen]byte
+		binary.BigEndian.PutUint32(h[0:4], uint32(muxHdrLen+n))
+		binary.BigEndian.PutUint32(h[4:8], dst)
+		binary.BigEndian.PutUint32(h[8:12], src)
+		tc.pend = append(tc.pend, h[:]...)
+		for _, b := range bufs {
+			tc.pend = append(tc.pend, b...)
+		}
+		tc.pendN++
+		tc.enq += uint64(wire)
+		mark := tc.enq
+		if tc.writing {
+			// The active writer will flush these bytes; wait until it has
+			// so errors surface synchronously.
+			for tc.wr < mark && tc.err == nil {
+				tc.cond.Wait()
+			}
+			err := tc.err
+			tc.mu.Unlock()
+			return err
+		}
+		// Writer is idle: flush now — a lone frame never waits.
+		tc.writing = true
+		err := tc.drainLocked()
+		tc.mu.Unlock()
+		return err
+	}
+
+	// Large frame: take the writer role and hand the caller's buffers to
+	// writev without copying. When writing flips to false the pending
+	// batch is empty (every drain path empties it before clearing the
+	// flag), so ordering with coalesced frames is preserved.
+	for tc.writing {
+		tc.cond.Wait()
+		if tc.err != nil {
+			err := tc.err
+			tc.mu.Unlock()
+			return err
+		}
+	}
+	tc.writing = true
+	binary.BigEndian.PutUint32(tc.hdr[0:4], uint32(muxHdrLen+n))
+	binary.BigEndian.PutUint32(tc.hdr[4:8], dst)
+	binary.BigEndian.PutUint32(tc.hdr[8:12], src)
+	tc.wbufs = append(tc.wbufs[:0], tc.hdr[:])
+	for _, b := range bufs {
+		if len(b) > 0 {
+			tc.wbufs = append(tc.wbufs, b)
+		}
+	}
+	tc.mu.Unlock()
+	// WriteTo consumes (advances and nils) the header it is invoked on, so
+	// hand it a throwaway copy of the scratch header: tc.wbufs keeps its
+	// capacity, and the nil'd backing entries drop payload references.
+	tc.iov = net.Buffers(tc.wbufs)
+	_, werr := tc.iov.WriteTo(tc.c)
+	tc.mu.Lock()
+	tcpBytesOut.Add(uint64(wire))
+	if werr != nil && tc.err == nil {
+		tc.err = werr
+	}
+	// Drain whatever coalesced behind this write before releasing the
+	// writer role, so small frames never starve behind a large sender.
+	if tc.err == nil && len(tc.pend) > 0 {
+		tc.drainLocked()
+	} else {
+		tc.writing = false
+		tc.cond.Broadcast()
+	}
+	err := tc.err
+	tc.mu.Unlock()
+	if werr != nil {
+		return werr
+	}
+	return err
+}
+
+// drainLocked flushes the pending batch until it is empty, then releases
+// the writer role. Caller holds tc.mu with tc.writing == true; the lock is
+// dropped around each socket write so senders keep coalescing into the
+// next batch while the current one is on the wire.
+func (tc *tcpConn) drainLocked() error {
+	for tc.err == nil && len(tc.pend) > 0 {
+		batch := tc.pend
+		batchN := tc.pendN
+		tc.pend = tc.spare[:0]
+		tc.pendN = 0
+		tc.mu.Unlock()
+		_, werr := tc.c.Write(batch)
+		tc.mu.Lock()
+		tc.spare = batch[:0] // ping-pong the drained buffer back
+		tc.wr += uint64(len(batch))
+		tcpBytesOut.Add(uint64(len(batch)))
+		if batchN > 1 {
+			tcpCoalescedFlushes.Inc()
+			tcpCoalescedFrames.Add(uint64(batchN))
+		}
+		if werr != nil && tc.err == nil {
+			tc.err = werr
+		}
+		tc.cond.Broadcast()
+	}
+	tc.writing = false
+	tc.cond.Broadcast()
+	return tc.err
 }
 
 func readFrame(c net.Conn, hdr *[4]byte) ([]byte, error) {
@@ -167,153 +731,4 @@ func readFrame(c net.Conn, hdr *[4]byte) ([]byte, error) {
 		return nil, err
 	}
 	return data, nil
-}
-
-func writeFrame(tc *tcpConn, data []byte) error {
-	return writeFrameV(tc, data)
-}
-
-// writeFrameV writes length prefix + payload buffers as one vectored write
-// (a single writev syscall) without concatenating the payload.
-func writeFrameV(tc *tcpConn, bufs ...[]byte) error {
-	tc.wm.Lock()
-	defer tc.wm.Unlock()
-	n := 0
-	for _, b := range bufs {
-		n += len(b)
-	}
-	binary.BigEndian.PutUint32(tc.hdr[:], uint32(n))
-	tc.wbufs = append(tc.wbufs[:0], tc.hdr[:])
-	for _, b := range bufs {
-		if len(b) > 0 {
-			tc.wbufs = append(tc.wbufs, b)
-		}
-	}
-	// WriteTo consumes (advances and nils) the header it is invoked on, so
-	// hand it a throwaway copy of the scratch header: tc.wbufs keeps its
-	// capacity, and the nil'd backing entries drop payload references.
-	tc.iov = net.Buffers(tc.wbufs)
-	_, err := tc.iov.WriteTo(tc.c)
-	return err
-}
-
-func (e *tcpEP) Send(to Addr, data []byte) error {
-	return e.SendV(to, data)
-}
-
-func (e *tcpEP) SendV(to Addr, bufs ...[]byte) error {
-	tc, err := e.connTo(to)
-	if err != nil {
-		return err
-	}
-	if err := writeFrameV(tc, bufs...); err != nil {
-		// Connection died; drop it so a retry re-dials.
-		e.mu.Lock()
-		if cur, ok := e.conns[to]; ok && cur == tc {
-			delete(e.conns, to)
-		}
-		e.mu.Unlock()
-		return fmt.Errorf("nexus: send to %s: %w", to, err)
-	}
-	return nil
-}
-
-func (e *tcpEP) connTo(to Addr) (*tcpConn, error) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if tc, ok := e.conns[to]; ok {
-		e.mu.Unlock()
-		return tc, nil
-	}
-	e.mu.Unlock()
-
-	hostport, ok := strings.CutPrefix(string(to), "tcp://")
-	if !ok {
-		return nil, fmt.Errorf("%w: %s is not a tcp address", ErrNoRoute, to)
-	}
-	c, err := net.DialTimeout("tcp", hostport, TCPDialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrNoRoute, to, err)
-	}
-	tc := &tcpConn{c: c}
-	// Hello: announce our endpoint address so the peer can route replies
-	// over this connection.
-	if err := writeFrame(tc, []byte(e.addr)); err != nil {
-		c.Close()
-		return nil, fmt.Errorf("nexus: hello to %s: %w", to, err)
-	}
-	e.mu.Lock()
-	if cur, ok := e.conns[to]; ok {
-		// Lost a dial race; use the established connection.
-		e.mu.Unlock()
-		c.Close()
-		return cur, nil
-	}
-	e.conns[to] = tc
-	e.mu.Unlock()
-	go e.readLoop(c, to)
-	return tc, nil
-}
-
-// pop removes the frame at qhead; caller must hold e.mu and have checked
-// the queue is non-empty.
-func (e *tcpEP) pop() Frame {
-	fr := e.queue[e.qhead]
-	e.queue[e.qhead] = Frame{} // drop the frame reference promptly
-	e.qhead++
-	if e.qhead == len(e.queue) {
-		e.queue = e.queue[:0]
-		e.qhead = 0
-	}
-	return fr
-}
-
-func (e *tcpEP) Recv() (Frame, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for e.qhead == len(e.queue) && !e.closed {
-		e.cond.Wait()
-	}
-	if e.qhead == len(e.queue) {
-		return Frame{}, ErrClosed
-	}
-	return e.pop(), nil
-}
-
-func (e *tcpEP) Poll() (Frame, bool, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed && e.qhead == len(e.queue) {
-		return Frame{}, false, ErrClosed
-	}
-	if e.qhead == len(e.queue) {
-		return Frame{}, false, nil
-	}
-	return e.pop(), true, nil
-}
-
-func (e *tcpEP) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return nil
-	}
-	e.closed = true
-	conns := e.conns
-	e.conns = map[Addr]*tcpConn{}
-	anon := e.anon
-	e.anon = map[net.Conn]bool{}
-	e.cond.Broadcast()
-	e.mu.Unlock()
-	e.ln.Close()
-	for _, tc := range conns {
-		tc.c.Close()
-	}
-	for c := range anon {
-		c.Close()
-	}
-	return nil
 }

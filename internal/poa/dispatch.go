@@ -508,7 +508,7 @@ func (p *POA) collectSegments(req *pgiop.Request, spec pgiop.DistInSpec, holder 
 					delete(p.segs, k)
 					return segTimeout(rank, spec, serverLayout, gotBy, got, need)
 				}
-				p.th.Sleep(p.PollInterval)
+				p.idleWait()
 			}
 			continue
 		}

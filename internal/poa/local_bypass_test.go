@@ -1,0 +1,73 @@
+package poa_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pardis/internal/core"
+	"pardis/internal/nexus"
+)
+
+// countingEP wraps an endpoint and counts outbound frames, so tests can
+// assert whether an invocation touched the transport at all.
+type countingEP struct {
+	nexus.Endpoint
+	sends atomic.Int64
+}
+
+func (c *countingEP) Send(to nexus.Addr, data []byte) error {
+	c.sends.Add(1)
+	return c.Endpoint.Send(to, data)
+}
+
+func (c *countingEP) SendV(to nexus.Addr, bufs ...[]byte) error {
+	c.sends.Add(1)
+	return c.Endpoint.SendV(to, bufs...)
+}
+
+// TestLocalBypassSendsNoFrames pins the paper's locality optimization as a
+// transport-level guarantee: a co-located invocation through the shared
+// LocalTable is a direct call and must emit zero frames on the client's
+// endpoint. A control client without the table confirms the counter would
+// have caught wire traffic.
+func TestLocalBypassSendsNoFrames(t *testing.T) {
+	fab := nexus.NewInproc()
+	table := core.NewLocalTable()
+	ior, _, wait := startSingleServer(t, fab, table)
+
+	ep := &countingEP{Endpoint: fab.NewEndpoint("bypass-client")}
+	orb := core.NewORB(core.NewRouter(ep), nil, table)
+	b, err := orb.Bind(ior, echoIface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		vals, err := b.Invoke("shout", []any{"local", nil})
+		if err != nil || vals[0] != int32(5) || vals[1] != "LOCAL" {
+			t.Fatalf("bypass vals = %v, %v", vals, err)
+		}
+	}
+	if n := ep.sends.Load(); n != 0 {
+		t.Fatalf("co-located invocations emitted %d transport frames, want 0", n)
+	}
+
+	// Control: the same invocation without the shared table must go over
+	// the wire, proving the counter is actually on the request path.
+	ctl := &countingEP{Endpoint: fab.NewEndpoint("wire-client")}
+	worb := core.NewORB(core.NewRouter(ctl), nil, nil)
+	wb, err := worb.Bind(ior, echoIface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals, err := wb.Invoke("shout", []any{"wire", nil}); err != nil || vals[1] != "WIRE" {
+		t.Fatalf("wire vals = %v, %v", vals, err)
+	}
+	if n := ctl.sends.Load(); n == 0 {
+		t.Fatal("control invocation sent no frames; counter is not observing the request path")
+	}
+
+	if err := wb.Shutdown("done"); err != nil {
+		t.Fatal(err)
+	}
+	wait()
+}

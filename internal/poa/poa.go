@@ -25,6 +25,7 @@ package poa
 
 import (
 	"fmt"
+	"time"
 
 	"pardis/internal/core"
 	"pardis/internal/dist"
@@ -125,8 +126,15 @@ type POA struct {
 	sendIov    [2][]byte
 	runScratch []dist.Run
 
-	// PollInterval is the idle wait inside ImplIsReady, seconds.
+	// PollInterval is the idle wait inside ImplIsReady, seconds. On
+	// fabrics with arrival notification (nexus.RecvNotifier) it is only
+	// the upper bound: the idle wait wakes as soon as a frame lands.
 	PollInterval float64
+
+	// wake, when non-nil, is signalled by the transport on frame arrival
+	// (see New); idleTimer is the reusable bound on each event-driven wait.
+	wake      chan struct{}
+	idleTimer *time.Timer
 
 	// AgreementDeadline, when > 0, bounds the per-round collective dispatch
 	// agreement and adds a liveness barrier to it, so the abrupt death of
@@ -160,7 +168,7 @@ type POA struct {
 // receives direct-call registrations for single objects, enabling the
 // co-located bypass.
 func New(th rts.Thread, r *core.Router, table *core.LocalTable) *POA {
-	return &POA{
+	p := &POA{
 		th:           th,
 		r:            r,
 		local:        table,
@@ -168,6 +176,51 @@ func New(th rts.Thread, r *core.Router, table *core.LocalTable) *POA {
 		gathers:      map[invKey]*gather{},
 		segs:         map[segKey][]*pgiop.ArgStream{},
 		PollInterval: 200e-6,
+	}
+	// Event-driven idle wakeup: on fabrics that can signal frame arrival,
+	// an idle poll loop parks on this channel instead of sleeping blind,
+	// so request latency under light load is arrival-bound rather than
+	// PollInterval-bound — and a server of many channels no longer pays a
+	// full per-interval scan to notice one busy endpoint. Fabrics without
+	// the capability (notably Sim, whose virtual clock only advances
+	// through Thread.Sleep) keep the plain polling sleep.
+	wake := make(chan struct{}, 1)
+	if r != nil && r.SetRecvNotify(func() {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}) {
+		p.wake = wake
+	}
+	return p
+}
+
+// idleWait parks the thread until a frame arrives or PollInterval elapses,
+// whichever is first — never longer than the plain polling sleep, so every
+// deadline argument built on polling cadence (AgreementDeadline skew,
+// CollectDeadline) holds unchanged.
+func (p *POA) idleWait() {
+	if p.wake == nil {
+		p.th.Sleep(p.PollInterval)
+		return
+	}
+	d := time.Duration(p.PollInterval * float64(time.Second))
+	if p.idleTimer == nil {
+		p.idleTimer = time.NewTimer(d)
+	} else {
+		p.idleTimer.Reset(d)
+	}
+	select {
+	case <-p.wake:
+		if !p.idleTimer.Stop() {
+			// Drain a concurrent expiry so the next Reset starts clean.
+			select {
+			case <-p.idleTimer.C:
+			default:
+			}
+		}
+	case <-p.idleTimer.C:
 	}
 }
 
@@ -296,7 +349,7 @@ func (p *POA) ImplIsReady() {
 			return
 		}
 		if n == 0 {
-			p.th.Sleep(p.PollInterval)
+			p.idleWait()
 		}
 	}
 }
