@@ -40,6 +40,13 @@ go test -run FaultChaosSoak -count=20 ./internal/poa
 go run ./cmd/pardis-bench -fig fanin -quick -json > fanin-summary.json
 go test -run TestFaninGate -count=1 .
 
+# Tuner lane: the self-tuning grid (every fixed collective algorithm vs
+# the online selector, per payload x P cell) as a JSON artifact, plus the
+# deterministic gate asserting tuned-within-5%-of-best on every cell and
+# strictly-beats-worst on the crossover cells.
+go run ./cmd/pardis-bench -fig tuner -quick -json > tuner-summary.json
+go test -run TestTunerGate -count=1 .
+
 # Observability lane: a tracing-enabled bench run must complete and export
 # a non-empty Chrome trace (the 4-rank SPMD section runs first, so its
 # spans are always captured); the overhead guard must hold — allocs/op

@@ -30,13 +30,14 @@ import (
 
 // summary is the -json document: one optional section per experiment.
 type summary struct {
-	Figure2     []bench.Fig2Point      `json:"figure2,omitempty"`
-	Figure4     []bench.Fig4Point      `json:"figure4,omitempty"`
-	Figure5     []bench.Fig5Point      `json:"figure5,omitempty"`
-	Ablations   []ablationSection      `json:"ablations,omitempty"`
-	Transfer    []transferSection      `json:"transfer,omitempty"`
+	Figure2     []bench.Fig2Point       `json:"figure2,omitempty"`
+	Figure4     []bench.Fig4Point       `json:"figure4,omitempty"`
+	Figure5     []bench.Fig5Point       `json:"figure5,omitempty"`
+	Ablations   []ablationSection       `json:"ablations,omitempty"`
+	Transfer    []transferSection       `json:"transfer,omitempty"`
 	Collectives []bench.CollectivePoint `json:"collectives,omitempty"`
 	Fanin       []bench.FaninPoint      `json:"fanin,omitempty"`
+	Tuner       []bench.TunerPoint      `json:"tuner,omitempty"`
 }
 
 type transferSection struct {
@@ -50,7 +51,7 @@ type ablationSection struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, fanin, all")
+	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, fanin, tuner, all")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of tables")
 	traceFile := flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
@@ -87,6 +88,8 @@ func main() {
 		out.Collectives = collectives(*quick, *asJSON)
 	case "fanin":
 		out.Fanin = fanin(*quick, *asJSON)
+	case "tuner":
+		out.Tuner = tuner(*quick, *asJSON)
 	case "all":
 		out.Figure2 = figure2(*quick, *asJSON)
 		out.Figure4 = figure4(*quick, *asJSON)
@@ -95,6 +98,7 @@ func main() {
 		out.Transfer = transfer(*quick, *asJSON)
 		out.Collectives = collectives(*quick, *asJSON)
 		out.Fanin = fanin(*quick, *asJSON)
+		out.Tuner = tuner(*quick, *asJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "pardis-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -262,6 +266,29 @@ func fanin(quick, silent bool) []bench.FaninPoint {
 	for _, p := range pts {
 		fmt.Printf("%-8s  %8d  %13.0f  %17.0f  %12d\n",
 			p.Mode, p.Clients, p.ReqPerSec, p.BytesPerClient, p.Conns)
+	}
+	fmt.Println()
+	return pts
+}
+
+// tuner measures online algorithm selection against every fixed
+// algorithm across the (op, P, payload) grid on the simulated fabric:
+// deterministic, so the tuned-within-5%-of-best gate asserts on the same
+// numbers this table shows.
+func tuner(quick, silent bool) []bench.TunerPoint {
+	ps, sizes, warm, iters := bench.TunerProcs, bench.TunerSizes, 64, 128
+	if quick {
+		ps, sizes, warm, iters = bench.TunerQuickProcs, bench.TunerQuickSizes, 32, 64
+	}
+	pts := bench.TunerGrid(ps, sizes, warm, iters)
+	if silent {
+		return pts
+	}
+	fmt.Println("== Tuner: tuned vs fixed collective algorithms (seconds per round) ==")
+	fmt.Println("op          P   payload_B       tuned  chosen         best_fixed  worst_fixed")
+	for _, p := range pts {
+		fmt.Printf("%-9s %3d  %9d  %10.6f  %-13s %10.6f  %10.6f\n",
+			p.Op, p.P, p.Bytes, p.Tuned, p.Chosen, p.BestFixed(), p.WorstFixed())
 	}
 	fmt.Println()
 	return pts

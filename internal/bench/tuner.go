@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+
+	"pardis/internal/rts"
+	"pardis/internal/simnet"
+	"pardis/internal/tune"
+	"pardis/internal/vtime"
+)
+
+// The tuner experiment measures what online algorithm selection buys (and
+// costs) against every fixed algorithm, per cell of an (op, P, payload)
+// grid on the simulated fabric. Each cell runs every registered algorithm
+// pinned through a deterministic decision table, then a tuned run with a
+// fresh seeded selector: warmup rounds cover the selector's cold-start
+// probing, and the measured window shows steady-state behavior including
+// whatever periodic re-probes land inside it. Calls are barrier-separated
+// so a cell measures isolated collective latency (the tuner's own signal),
+// not pipelined injection throughput. Everything runs on the virtual
+// clock, so the numbers — and the 5%-of-best acceptance gate asserting on
+// them — are deterministic.
+
+// TunerPoint is one grid cell: every fixed algorithm's seconds per
+// operation, the tuned run's, and what the selector converged to.
+type TunerPoint struct {
+	Op     string    `json:"op"`
+	P      int       `json:"p"`
+	Bytes  int       `json:"bytes"`
+	Algos  []string  `json:"algos"`
+	Fixed  []float64 `json:"fixed_seconds"` // parallel to Algos
+	Tuned  float64   `json:"tuned_seconds"`
+	Chosen string    `json:"chosen"`
+}
+
+// BestFixed returns the cell's fastest fixed-algorithm seconds.
+func (pt TunerPoint) BestFixed() float64 {
+	best := pt.Fixed[0]
+	for _, s := range pt.Fixed[1:] {
+		if s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// WorstFixed returns the cell's slowest fixed-algorithm seconds.
+func (pt TunerPoint) WorstFixed() float64 {
+	worst := pt.Fixed[0]
+	for _, s := range pt.Fixed[1:] {
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// Default tuner grid: payloads spanning the small-message (latency-bound)
+// and large-message (bandwidth-bound) regimes where different algorithms
+// win, across the thread counts of the collectives sweep.
+var (
+	TunerProcs      = []int{4, 8, 16}
+	TunerSizes      = []int{64, 4096, 131072}
+	TunerQuickProcs = []int{8, 16}
+	TunerQuickSizes = []int{64, 131072}
+)
+
+// tunerOps are the grid's operations: the two collectives with more than
+// two registered algorithms and genuinely payload-dependent winners.
+var tunerOps = []struct {
+	name string
+	kind rts.CollKind
+	body func(th rts.Thread, data []byte)
+}{
+	{"bcast", rts.CollBcast, func(th rts.Thread, data []byte) {
+		if th.Rank() != 0 {
+			data = nil
+		}
+		rts.Bcast(th, 0, data)
+	}},
+	{"allgather", rts.CollAllGather, func(th rts.Thread, data []byte) {
+		rts.AllGather(th, data)
+	}},
+}
+
+// TunerGrid measures the full grid: warm unmeasured rounds then iters
+// measured rounds per run. The measured window must be generous (>= 128
+// rounds at the default probe gap) so steady-state re-probes of slow arms
+// amortize below the acceptance margin.
+func TunerGrid(ps, sizes []int, warm, iters int) []TunerPoint {
+	var pts []TunerPoint
+	for _, op := range tunerOps {
+		for _, p := range ps {
+			for _, size := range sizes {
+				pts = append(pts, tunerCell(op.name, op.kind, op.body, p, size, warm, iters))
+			}
+		}
+	}
+	return pts
+}
+
+func tunerCell(opName string, kind rts.CollKind, body func(rts.Thread, []byte), p, payload, warm, iters int) TunerPoint {
+	algos := rts.CollAlgoNames(kind)
+	pt := TunerPoint{
+		Op: opName, P: p, Bytes: payload,
+		Algos: algos, Fixed: make([]float64, len(algos)),
+	}
+	for a := range algos {
+		a := a
+		pt.Fixed[a] = tunerRun(opName, body, p, payload, warm, iters, func(g *rts.SimGroup) {
+			g.SetCollTable(func(k rts.CollKind, _ int) int {
+				if k == kind {
+					return a
+				}
+				return 0
+			})
+		})
+	}
+	// Tuned run: a fresh selector per cell, seeded off the cell shape so
+	// the probe order varies across the grid but every rerun is identical.
+	sel := tune.New(int64(p)<<32 | int64(payload) | int64(kind)<<20)
+	pt.Tuned = tunerRun(opName, body, p, payload, warm, iters, func(g *rts.SimGroup) {
+		g.EnableTuning(sel)
+	})
+	pt.Chosen = algos[sel.Chosen(tune.Key{Op: opName, P: p, Bucket: tune.Bucket(payload)})]
+	return pt
+}
+
+// tunerRun measures one configuration: warm barrier-separated rounds, a
+// fence, then iters measured rounds, reporting seconds per round (the
+// collective plus its separating barrier, a constant across algorithms).
+func tunerRun(opName string, body func(rts.Thread, []byte), p, payload, warm, iters int, setup func(*rts.SimGroup)) float64 {
+	sim := vtime.NewSim()
+	host := simnet.NewHost("tuner", 1, p, vtime.Microseconds(10), 1e8)
+	g := rts.NewSimGroup(sim, host, p)
+	setup(g)
+	var secs float64
+	g.Spawn("tuner", func(th rts.Thread) {
+		data := make([]byte, payload)
+		for i := range data {
+			data[i] = byte(th.Rank() + i)
+		}
+		for i := 0; i < warm; i++ {
+			body(th, data)
+			th.Barrier()
+		}
+		th.Barrier()
+		start := th.Elapsed()
+		for i := 0; i < iters; i++ {
+			body(th, data)
+			th.Barrier()
+		}
+		if th.Rank() == 0 {
+			secs = (th.Elapsed() - start) / float64(iters)
+		}
+	})
+	if _, err := sim.Run(); err != nil {
+		panic(fmt.Sprintf("bench: tuner %s P=%d S=%d: %v", opName, p, payload, err))
+	}
+	return secs
+}

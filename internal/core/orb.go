@@ -56,10 +56,12 @@ type ORB struct {
 	runScratch []dist.Run
 
 	// TransferWorkers is the fan-out width for distributed-argument
-	// segment sends: when > 1 (and the fabric's sends are safe for
-	// concurrent use — see Router.ConcurrentSendSafe), the per-destination
-	// moves of one argument are encoded and sent by up to this many
-	// goroutines. 0 or 1 keeps the serial single-threaded path.
+	// segment sends: when > 0 it pins the width — up to that many
+	// goroutines encode and send the per-destination moves of one
+	// argument, when the fabric's sends are safe for concurrent use (see
+	// Router.ConcurrentSendSafe). 0 (the default) self-tunes the width per
+	// destination count and payload size from observed transfer times
+	// (core.FanWidth); negative forces the serial single-threaded path.
 	TransferWorkers int
 }
 
@@ -545,22 +547,20 @@ func (o *ORB) dropPending(id uint32) {
 // sendSegments ships one distributed in-argument's local elements to the
 // owning server threads. The exchange schedule comes from the process-wide
 // cache (repeated invocations with the same shapes skip construction), and
-// the per-destination moves fan out across TransferWorkers goroutines when
-// the fabric permits concurrent sends.
+// the per-destination moves fan out across a worker width that is either
+// pinned by TransferWorkers or — by default — tuned online per destination
+// count and payload size (core.FanWidth).
 func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dseq.Distributed, server dist.Layout) error {
 	sched := dist.Cached(holder.DLayout(), server)
 	moves := sched.From(o.rank())
-	workers := o.TransferWorkers
-	if workers > 1 && !o.r.ConcurrentSendSafe() {
-		workers = 1
-	}
+	workers, done := FanWidth(o.TransferWorkers, o.r.ConcurrentSendSafe(), moves)
 	// Only the two stream-key scalars are captured, not req itself: the
 	// closure outlives the frame (worker goroutines), and capturing req
 	// would force every InvokeNB's request header to the heap — including
 	// invocations with no distributed arguments at all.
 	bindingID, seqNo := req.BindingID, req.SeqNo
 	sender := int32(o.rank())
-	return FanOutMoves(workers, moves, func(m *dist.Move, iov *[2][]byte) error {
+	err := FanOutMoves(workers, moves, func(m *dist.Move, iov *[2][]byte) error {
 		// Pooled payload and header encoders; the vectored send frames them
 		// without a concatenating copy, and neither is retained after it.
 		enc := cdr.GetEncoder(m.Elements() * 8)
@@ -586,6 +586,10 @@ func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dse
 		}
 		return nil
 	})
+	if err == nil {
+		done()
+	}
+	return err
 }
 
 func wireRuns(runs []dist.Run) []pgiop.Run {

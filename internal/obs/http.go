@@ -4,7 +4,29 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 )
+
+// Debug pages contributed by higher layers. obs sits at the bottom of the
+// import graph, so subsystems that want a page on the introspection
+// endpoint (e.g. the tuner's /debug/tuner) register it here from their own
+// package init rather than being imported by obs.
+var (
+	pagesMu sync.Mutex
+	pages   = map[string]http.HandlerFunc{}
+)
+
+// RegisterDebugPage mounts h at path on every Handler built afterward.
+// Registering a path twice replaces the handler.
+func RegisterDebugPage(path string, h http.HandlerFunc) {
+	pagesMu.Lock()
+	defer pagesMu.Unlock()
+	if h == nil {
+		delete(pages, path)
+		return
+	}
+	pages[path] = h
+}
 
 // Handler returns an http.Handler exposing reg and tracer:
 //
@@ -31,6 +53,11 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 			tracer.WriteChromeTrace(w)
 		})
 	}
+	pagesMu.Lock()
+	for path, h := range pages {
+		mux.HandleFunc(path, h)
+	}
+	pagesMu.Unlock()
 	return mux
 }
 

@@ -608,12 +608,10 @@ func (p *POA) encodeResults(enc *cdr.Encoder, op *core.Operation, ret any, outs 
 		// thread's segment stream is an independent (binding, seqno, param)
 		// key, so reordering sends across destinations is safe.
 		sched := dist.Cached(holder.DLayout(), clientLayout)
-		workers := p.TransferWorkers
-		if workers > 1 && !p.r.ConcurrentSendSafe() {
-			workers = 1
-		}
+		outMoves := sched.From(p.th.Rank())
+		workers, fanDone := core.FanWidth(p.TransferWorkers, p.r.ConcurrentSendSafe(), outMoves)
 		param := i
-		err := core.FanOutMoves(workers, sched.From(p.th.Rank()), func(mv *dist.Move, iov *[2][]byte) error {
+		err := core.FanOutMoves(workers, outMoves, func(mv *dist.Move, iov *[2][]byte) error {
 			// Pooled payload + header, framed by one vectored send; the
 			// transport retains neither buffer.
 			pay := cdr.GetEncoder(mv.Elements() * 8)
@@ -643,6 +641,7 @@ func (p *POA) encodeResults(enc *cdr.Encoder, op *core.Operation, ret any, outs 
 		if err != nil {
 			return nil, nil, err
 		}
+		fanDone()
 		outLens = append(outLens, pgiop.OutLen{Param: int32(i), N: int32(holder.GlobalLen()), Layout: holder.DLayout()})
 	}
 	return enc.Bytes(), outLens, nil

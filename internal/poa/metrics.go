@@ -15,6 +15,13 @@ var (
 	// poaPoolDepth is the number of single-object requests currently queued
 	// to or executing on the opt-in dispatch pool.
 	poaPoolDepth = obs.Default.MustGauge("poa_dispatch_pool_depth")
+	// poaPoolWorkers is the dispatch pool's current worker count — fixed
+	// under SetDispatchWorkers, floating in [min, max] under
+	// SetDispatchAuto. Last-writer-wins across POAs, like the depth gauge.
+	poaPoolWorkers = obs.Default.MustGauge("poa_dispatch_pool_workers")
+	// poaPoolResizes counts self-sizing grow/shrink events of the auto
+	// dispatch pool.
+	poaPoolResizes = obs.Default.MustCounter("poa_dispatch_pool_resizes_total")
 	// poaDispatchLatency observes routing-to-reply time of every dispatch,
 	// single and SPMD.
 	poaDispatchLatency = obs.Default.MustHistogram("poa_dispatch_latency_seconds")

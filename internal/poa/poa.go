@@ -158,9 +158,11 @@ type POA struct {
 	peers []string
 
 	// TransferWorkers is the fan-out width for shipping distributed
-	// out-argument segments to client threads (see core.FanOutMoves);
-	// 0 or 1 keeps the serial path. Widths above 1 take effect only on
-	// fabrics whose sends are concurrency-safe (Router.ConcurrentSendSafe).
+	// out-argument segments to client threads: > 0 pins the width, 0 (the
+	// default) self-tunes it per destination count and payload size
+	// (core.FanWidth), negative forces the serial path. Widths above 1
+	// take effect only on fabrics whose sends are concurrency-safe
+	// (Router.ConcurrentSendSafe).
 	TransferWorkers int
 }
 
@@ -374,6 +376,7 @@ func (p *POA) ProcessRequests() int {
 		p.localQ[n-1] = localReq{}
 		p.localQ = p.localQ[:n-1]
 		if p.pool != nil {
+			p.pool.depth.Add(1)
 			poaPoolDepth.Add(1)
 			p.pool.reqs <- lr
 		} else {
@@ -381,6 +384,12 @@ func (p *POA) ProcessRequests() int {
 		}
 		count++
 		p.drain()
+	}
+	// The self-sizing pool is steered here — the owning-thread safe point
+	// every dispatch round passes through — so resizing never races the
+	// enqueue path above.
+	if p.pool != nil && p.pool.auto {
+		p.pool.tune(p)
 	}
 	// Collective phase: thread 0 announces the completed SPMD
 	// invocations (and shutdown) in its arrival order.

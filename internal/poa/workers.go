@@ -2,13 +2,16 @@ package poa
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pardis/internal/pgiop"
 )
 
 // localReq is one single-object request queued for dispatch, with the
 // servant entry resolved at routing time so pool workers never touch the
-// POA's object table concurrently with the owning thread.
+// POA's object table concurrently with the owning thread. A zero entry
+// (e == nil) is the retirement pill of the adaptive controller: the worker
+// that dequeues it exits.
 type localReq struct {
 	e   *entry
 	req *pgiop.Request
@@ -19,18 +22,49 @@ type localReq struct {
 // requests from different clients execute concurrently and replies overlap
 // with the next request's receive. SPMD collective dispatch never enters
 // the pool — it stays on the agreement path of the POA thread.
+//
+// In auto mode (SetDispatchAuto) the worker count floats between min and
+// max, steered by the POA thread against the pool's own depth signal — the
+// same quantity the poa_dispatch_pool_depth gauge exports: sustained
+// backlog grows the pool, sustained idleness shrinks it back. All resizing
+// happens from the owning thread at the ProcessRequests safe point; growth
+// spawns workers, shrinkage enqueues retirement pills.
 type dispatchPool struct {
 	reqs chan localReq
 	wg   sync.WaitGroup
+
+	// depth counts requests queued or executing in this pool (the local
+	// twin of the process-wide gauge; a process may host several POAs).
+	depth atomic.Int64
+
+	// Auto-mode state, owned by the POA thread.
+	auto     bool
+	workers  int // current live worker target (pills in flight already deducted)
+	min, max int
+	idleFor  int // consecutive controller rounds with an empty, idle pool
 }
 
-func newDispatchPool(p *POA, n int) *dispatchPool {
-	pl := &dispatchPool{reqs: make(chan localReq, 4*n)}
+// poolIdleRounds is how many consecutive idle ProcessRequests rounds the
+// controller waits before halving the pool. Idle rounds are paced by the
+// POA's poll interval (default 200µs), so the default shrink reaction is
+// tens of milliseconds — far above any dispatch burst period.
+const poolIdleRounds = 64
+
+func newDispatchPool(p *POA, n, min, max int, auto bool) *dispatchPool {
+	pl := &dispatchPool{
+		reqs: make(chan localReq, 4*max),
+		auto: auto, workers: n, min: min, max: max,
+	}
+	pl.spawn(p, n)
+	poaPoolWorkers.Set(int64(n))
+	return pl
+}
+
+func (pl *dispatchPool) spawn(p *POA, n int) {
 	pl.wg.Add(n)
 	for i := 0; i < n; i++ {
 		go pl.run(p)
 	}
-	return pl
 }
 
 func (pl *dispatchPool) run(p *POA) {
@@ -39,8 +73,50 @@ func (pl *dispatchPool) run(p *POA) {
 	// independent vectored sends on a concurrency-safe fabric.
 	var iov [2][]byte
 	for lr := range pl.reqs {
+		if lr.e == nil {
+			return // retirement pill
+		}
 		p.serveSingle(lr.e, lr.req, &iov, true)
+		pl.depth.Add(-1)
 		poaPoolDepth.Add(-1)
+	}
+}
+
+// tune is the auto-mode controller, called from ProcessRequests on the
+// owning thread each round. Backlog beyond 2× the worker count means the
+// pool is the bottleneck: double up to max. A pool that has been both
+// empty and idle for poolIdleRounds consecutive rounds halves down to min,
+// so a burst's worth of workers does not linger forever.
+func (pl *dispatchPool) tune(p *POA) {
+	d := int(pl.depth.Load())
+	switch {
+	case d > 2*pl.workers && pl.workers < pl.max:
+		grow := pl.workers
+		if pl.workers+grow > pl.max {
+			grow = pl.max - pl.workers
+		}
+		pl.spawn(p, grow)
+		pl.workers += grow
+		pl.idleFor = 0
+		poaPoolWorkers.Set(int64(pl.workers))
+		poaPoolResizes.Inc()
+	case d == 0 && pl.workers > pl.min:
+		pl.idleFor++
+		if pl.idleFor >= poolIdleRounds {
+			pl.idleFor = 0
+			shrink := pl.workers / 2
+			if pl.workers-shrink < pl.min {
+				shrink = pl.workers - pl.min
+			}
+			for i := 0; i < shrink; i++ {
+				pl.reqs <- localReq{} // retirement pill
+			}
+			pl.workers -= shrink
+			poaPoolWorkers.Set(int64(pl.workers))
+			poaPoolResizes.Inc()
+		}
+	default:
+		pl.idleFor = 0
 	}
 }
 
@@ -50,7 +126,8 @@ func (pl *dispatchPool) run(p *POA) {
 // agreement path (replies are matched by request ID, so out-of-order
 // completion is safe). n <= 0 restores serial dispatch. The call is a no-op
 // on fabrics whose sends are not safe for concurrent use (see
-// Router.ConcurrentSendSafe).
+// Router.ConcurrentSendSafe). The width is pinned — see SetDispatchAuto
+// for the self-sizing pool.
 //
 // Pooled dispatch imposes two rules the serial path does not: servants of
 // single objects must be safe for concurrent invocation, and they cannot
@@ -62,7 +139,37 @@ func (p *POA) SetDispatchWorkers(n int) {
 	if n <= 0 || !p.r.ConcurrentSendSafe() {
 		return
 	}
-	p.pool = newDispatchPool(p, n)
+	p.pool = newDispatchPool(p, n, n, n, false)
+}
+
+// SetDispatchAuto gives the POA a self-sizing dispatch pool: the worker
+// count starts at min and floats in [min, max], growing when the queue
+// depth shows the pool is the bottleneck and shrinking after sustained
+// idleness (see dispatchPool.tune). Pooled-dispatch servant rules apply
+// exactly as for SetDispatchWorkers — which remains the pin-override for
+// a fixed width. min is clamped to at least 1; max to at least min. No-op
+// on fabrics without concurrency-safe sends.
+func (p *POA) SetDispatchAuto(min, max int) {
+	p.stopDispatchPool()
+	if !p.r.ConcurrentSendSafe() {
+		return
+	}
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	p.pool = newDispatchPool(p, min, min, max, true)
+}
+
+// DispatchWorkers reports the pool's current worker count (0 = serial
+// dispatch). Owning-thread read, like every pool operation.
+func (p *POA) DispatchWorkers() int {
+	if p.pool == nil {
+		return 0
+	}
+	return p.pool.workers
 }
 
 // stopDispatchPool drains in-flight pooled dispatches and returns the POA
@@ -74,4 +181,5 @@ func (p *POA) stopDispatchPool() {
 	close(p.pool.reqs)
 	p.pool.wg.Wait()
 	p.pool = nil
+	poaPoolWorkers.Set(0)
 }

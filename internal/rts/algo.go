@@ -1,0 +1,296 @@
+// Algorithm selection for collectives.
+//
+// PR 3 gave every collective one fixed algorithm; this file makes the
+// algorithm a per-call decision. Each collective kind has a registry of
+// candidate implementations (a binomial tree and a flat star everywhere,
+// plus a segmented chain for Bcast and the ring for AllGather), all
+// producing byte-identical results under the package's buffer-ownership
+// contract, and the public entry points dispatch through chooseColl.
+//
+// # The agreement problem
+//
+// A collective's message schedule is a deterministic function of
+// (algorithm, rank, root, size): if two ranks of one call ran different
+// algorithms their sends and receives would not match and the program
+// would deadlock. Any dynamic selection therefore has to be *agreed*: all
+// ranks of call N of a given collective kind must compute the same answer.
+// Worse, not every rank can even form the tuning key — a non-root Bcast
+// rank does not know the payload size.
+//
+// The contract that solves this is the collDecider capability, implemented
+// per backend:
+//
+//   - A backend with no tuner attached answers "algorithm 0, don't track"
+//     immediately — the PR 3 default, zero overhead, always safe.
+//   - With a tuner attached, ranks agree through a per-kind decision log
+//     keyed by call sequence number: the first *sized* rank to arrive at
+//     call N picks via the tuner and publishes the decision; every other
+//     rank (sized or not) reads it — waiting on a condition variable on the
+//     chan backend, polling the virtual clock on the sim backend. Per-rank
+//     sequence counters stay aligned because collectives are collective:
+//     every rank makes the same calls in the same order.
+//   - Only the picking rank tracks: it alone observes the call's latency
+//     back into the tuner, so the tuner sees exactly one sample per pick.
+//   - Fixed decision tables (sim and TCP) are pure functions of
+//     (kind, size): every rank computes the decision locally, no shared
+//     state, no tracking — usable even when ranks live in different
+//     processes.
+//
+// Deadline collectives never select: a deadline call runs algorithm 0
+// unconditionally and bumps no sequence counter, so the failure-detection
+// protocol never waits on a decision log that a dead rank was supposed to
+// write, and mixed plain/deadline call sequences keep every rank's
+// counters aligned.
+//
+// # Measuring rooted collectives
+//
+// For symmetric collectives (gather, allgather, reduce, barrier) the
+// picking rank's own elapsed time is a faithful cost signal — it cannot
+// return before the collective's critical path reaches it. Bcast is the
+// exception: the root (the only sized rank, hence always the picker) only
+// pays *injection* cost and returns as soon as its sends are queued, so a
+// serial chain would always look cheapest from the root while actually
+// being the slowest collective. Tracked Bcast calls therefore run a
+// completion witness: the structurally-last rank (relative P-1, the final
+// chain hop / final flat destination / a last-round tree leaf) acks the
+// root on a dedicated tag, and the root's observation spans algorithm
+// start to ack receipt. Because the witness costs one extra message, only
+// *probe* calls are witnessed and observed; greedy steady-state calls run
+// the chosen algorithm with zero measurement overhead. The witness bit is
+// published through the decision log alongside the algorithm, so every
+// rank agrees on whether the protocol runs.
+package rts
+
+import (
+	"fmt"
+
+	"pardis/internal/tune"
+)
+
+// CollKind names a collective family for decision tables and tuning keys.
+type CollKind uint8
+
+// Collective kinds with selectable algorithms.
+const (
+	CollBcast CollKind = iota
+	CollGather
+	CollAllGather
+	CollReduce
+	CollBarrier
+	collKinds // count; keep last
+)
+
+// collOpName is the tune.Key operation name per kind.
+var collOpName = [collKinds]string{"bcast", "gather", "allgather", "reduce", "barrier"}
+
+// Single-tag blocks for the algorithms added by the selection layer (the
+// binomial/Bruck/dissemination paths keep their per-round blocks above).
+// Every flat algorithm exchanges exactly one message per (src, dst) pair
+// per call, and the chain broadcast's frames ride one (src, tag) FIFO, so
+// a single tag per algorithm cannot interleave back-to-back calls.
+const (
+	tagBcastFlat     Tag = tagRing + 1
+	tagBcastChain    Tag = tagRing + 2
+	tagGatherFlat    Tag = tagRing + 3
+	tagAllGatherFlat Tag = tagRing + 4
+	tagReduceFlat    Tag = tagRing + 5
+	tagBarrierIn     Tag = tagRing + 6
+	tagBarrierOut    Tag = tagRing + 7
+	tagBcastAck      Tag = tagRing + 8
+)
+
+// Per-kind algorithm registries. Index 0 is always the PR 3 default — the
+// algorithm every decider falls back to and the one deadline calls pin.
+type collAlgo[F any] struct {
+	name string
+	run  F
+}
+
+var (
+	bcastAlgos = []collAlgo[func(Comm, *dctx, int, []byte) ([]byte, error)]{
+		{"binomial", bcastBinomial},
+		{"flat", bcastFlat},
+		{"chain", bcastChain},
+	}
+	gatherAlgos = []collAlgo[func(Comm, *dctx, int, []byte) ([][]byte, error)]{
+		{"binomial", gatherBinomial},
+		{"flat", gatherFlat},
+	}
+	allGatherAlgos = []collAlgo[func(Comm, *dctx, []byte) ([][]byte, error)]{
+		{"bruck", allGatherBruck},
+		{"ring", allGatherRingD},
+		{"flat", allGatherFlat},
+	}
+	reduceAlgos = []collAlgo[func(Comm, *dctx, int, []byte, ReduceOp) ([]byte, error)]{
+		{"binomial", reduceBinomial},
+		{"flat", reduceFlat},
+	}
+	barrierAlgos = []collAlgo[func(Comm, *dctx) error]{
+		{"dissemination", barrierDissemination},
+		{"flat", barrierFlat},
+	}
+)
+
+// CollAlgoNames returns the registered algorithm names for a kind, in
+// AlgoID order. The benchmark harness iterates these to measure each fixed
+// algorithm.
+func CollAlgoNames(kind CollKind) []string {
+	var n int
+	switch kind {
+	case CollBcast:
+		n = len(bcastAlgos)
+	case CollGather:
+		n = len(gatherAlgos)
+	case CollAllGather:
+		n = len(allGatherAlgos)
+	case CollReduce:
+		n = len(reduceAlgos)
+	case CollBarrier:
+		n = len(barrierAlgos)
+	default:
+		panic(fmt.Sprintf("rts: unknown collective kind %d", kind))
+	}
+	names := make([]string, n)
+	for i := range names {
+		switch kind {
+		case CollBcast:
+			names[i] = bcastAlgos[i].name
+		case CollGather:
+			names[i] = gatherAlgos[i].name
+		case CollAllGather:
+			names[i] = allGatherAlgos[i].name
+		case CollReduce:
+			names[i] = reduceAlgos[i].name
+		case CollBarrier:
+			names[i] = barrierAlgos[i].name
+		}
+	}
+	return names
+}
+
+// collDecision is one rank's resolved view of a collective call: the
+// agreed algorithm, whether this call runs the completion-witness
+// protocol (identical on every rank — it changes the message schedule),
+// and — on the picking rank only — the tuning key to observe under.
+type collDecision struct {
+	algo    int
+	witness bool
+	key     tune.Key
+	track   bool
+}
+
+// collDecider is the optional backend capability behind chooseColl. A
+// backend that implements it owns the cross-rank agreement for this
+// communicator; see the package comment above for the contract.
+type collDecider interface {
+	// decideColl returns the agreed decision for this rank's next call of
+	// kind. sized reports whether this rank knows the payload (bytes).
+	decideColl(kind CollKind, arms int, sized bool, bytes int) collDecision
+	// observeColl records one tracked call's latency against key/algo.
+	observeColl(key tune.Key, algo int, seconds float64)
+}
+
+// noDone is the shared no-op completion for untracked calls, so the
+// default path allocates nothing.
+var noDone = func(error) {}
+
+// chooseColl resolves the algorithm for one collective call and returns
+// the witness flag plus a completion hook to invoke with the call's
+// outcome (after the witness exchange, so tracked observations span the
+// full collective). Deadline calls (d != nil) and decider-less backends
+// pin algorithm 0, unwitnessed.
+func chooseColl(c Comm, d *dctx, kind CollKind, arms int, sized bool, bytes int) (int, bool, func(error)) {
+	if d != nil || arms <= 1 {
+		return 0, false, noDone
+	}
+	dec, ok := c.(collDecider)
+	if !ok {
+		return 0, false, noDone
+	}
+	cd := dec.decideColl(kind, arms, sized, bytes)
+	if cd.algo < 0 || cd.algo >= arms {
+		cd.algo = 0
+	}
+	if !cd.track {
+		return cd.algo, cd.witness, noDone
+	}
+	start := clockOf(c)
+	return cd.algo, cd.witness, func(err error) {
+		if err == nil {
+			dec.observeColl(cd.key, cd.algo, clockOf(c)-start)
+		}
+	}
+}
+
+// witnessedKind reports whether a kind needs the completion witness when
+// its probes are measured (see the package comment): only Bcast, whose
+// picker is the root.
+func witnessedKind(kind CollKind) bool { return kind == CollBcast }
+
+// collDecKey identifies one collective call in a decision log: the kind
+// plus the per-rank call sequence number (aligned across ranks by the
+// collective-call contract).
+type collDecKey struct {
+	kind CollKind
+	seq  uint64
+}
+
+// pubDec is a published decision: the algorithm plus whether the call
+// runs the witness protocol (every rank must agree — it is part of the
+// message schedule).
+type pubDec struct {
+	algo    int
+	witness bool
+}
+
+// collLog is the shared decision log of one communicator: the sized
+// first-arriver of call (kind, seq) publishes the pick, every rank reads
+// it, and the entry is deleted once all size ranks have. The embedding
+// backend provides the mutual exclusion and the waiting discipline.
+type collLog struct {
+	sel   *tune.Selector
+	seq   [collKinds][]uint64   // per-kind per-rank call counters
+	dec   map[collDecKey]pubDec // published decision per in-flight call
+	reads map[collDecKey]int    // ranks that have read the decision
+}
+
+func newCollLog(sel *tune.Selector, size int) *collLog {
+	l := &collLog{sel: sel, dec: map[collDecKey]pubDec{}, reads: map[collDecKey]int{}}
+	for k := range l.seq {
+		l.seq[k] = make([]uint64, size)
+	}
+	return l
+}
+
+// nextKey advances rank's call counter for kind and returns the call's log
+// key. Caller holds the backend's lock.
+func (l *collLog) nextKey(kind CollKind, rank int) collDecKey {
+	k := collDecKey{kind, l.seq[kind][rank]}
+	l.seq[kind][rank]++
+	return k
+}
+
+// read marks one rank's consumption of a published decision, deleting the
+// entry once every rank has seen it. Caller holds the backend's lock.
+func (l *collLog) read(k collDecKey, size int) {
+	l.reads[k]++
+	if l.reads[k] == size {
+		delete(l.dec, k)
+		delete(l.reads, k)
+	}
+}
+
+// pick publishes the first-arriver's decision for call k. For witnessed
+// kinds only probe picks are tracked (and witnessed); symmetric kinds
+// track every pick at zero message cost. Caller holds the backend's lock.
+func (l *collLog) pick(k collDecKey, kind CollKind, p, arms, bytes int) collDecision {
+	key := tune.Key{Op: collOpName[kind], P: p, Bucket: tune.Bucket(bytes)}
+	arm, probe := l.sel.Pick(key, arms)
+	cd := collDecision{algo: arm, key: key, track: true}
+	if witnessedKind(kind) {
+		cd.track = probe
+		cd.witness = probe
+	}
+	l.dec[k] = pubDec{algo: arm, witness: cd.witness}
+	return cd
+}

@@ -1,0 +1,264 @@
+package rts
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pardis/internal/tune"
+)
+
+// TestAllAlgorithmsByteIdentical is the property gate of the algorithm
+// registry: every registered algorithm of every collective kind must
+// produce byte-identical results — across random P in 2..16, random
+// roots, and nil/empty payloads — because the tuner may pick any of them
+// for any call.
+func TestAllAlgorithmsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 12; trial++ {
+		p := 2 + rng.Intn(15)
+		root := rng.Intn(p)
+		payloads := make([][]byte, p)
+		for r := range payloads {
+			switch rng.Intn(4) {
+			case 0:
+				payloads[r] = nil
+			case 1:
+				payloads[r] = []byte{}
+			default:
+				b := make([]byte, 1+rng.Intn(300))
+				rng.Read(b)
+				payloads[r] = b
+			}
+		}
+		name := fmt.Sprintf("trial%d/P%d/root%d", trial, p, root)
+
+		for algo, a := range bcastAlgos {
+			algo := algo
+			NewChanGroup("prop", p).Run(func(th Thread) {
+				var d []byte
+				if th.Rank() == root {
+					d = payloads[root]
+				}
+				if got := BcastWith(algo, th, root, d); !bytes.Equal(got, payloads[root]) {
+					panic(fmt.Sprintf("%s: bcast/%s corrupted on rank %d", name, a.name, th.Rank()))
+				}
+			})
+		}
+		for algo, a := range gatherAlgos {
+			algo := algo
+			NewChanGroup("prop", p).Run(func(th Thread) {
+				parts := GatherWith(algo, th, root, payloads[th.Rank()])
+				if th.Rank() == root {
+					for r, b := range parts {
+						if !bytes.Equal(b, payloads[r]) {
+							panic(fmt.Sprintf("%s: gather/%s misplaced rank %d's block", name, a.name, r))
+						}
+					}
+				} else if parts != nil {
+					panic(fmt.Sprintf("%s: gather/%s gave a non-root data", name, a.name))
+				}
+			})
+		}
+		for algo, a := range allGatherAlgos {
+			algo := algo
+			NewChanGroup("prop", p).Run(func(th Thread) {
+				for r, b := range AllGatherWith(algo, th, payloads[th.Rank()]) {
+					if !bytes.Equal(b, payloads[r]) {
+						panic(fmt.Sprintf("%s: allgather/%s misplaced rank %d's block at rank %d", name, a.name, r, th.Rank()))
+					}
+				}
+			})
+		}
+		for algo, a := range reduceAlgos {
+			algo := algo
+			want := uint64(0)
+			for r := 0; r < p; r++ {
+				want += uint64(r+1) * 7
+			}
+			NewChanGroup("prop", p).Run(func(th Thread) {
+				mine := u64bytes(uint64(th.Rank()+1) * 7)
+				got := ReduceWith(algo, th, root, mine, sumOp)
+				if th.Rank() == root {
+					if v := binary.LittleEndian.Uint64(got); v != want {
+						panic(fmt.Sprintf("%s: reduce/%s = %d, want %d", name, a.name, v, want))
+					}
+				} else if got != nil {
+					panic(fmt.Sprintf("%s: reduce/%s gave a non-root data", name, a.name))
+				}
+			})
+		}
+		for algo := range barrierAlgos {
+			algo := algo
+			// Completion is the assertion: a schedule mismatch deadlocks.
+			NewChanGroup("prop", p).Run(func(th Thread) {
+				BarrierWith(algo, th)
+				BarrierWith(algo, th) // back-to-back on shared tags
+			})
+		}
+	}
+}
+
+// TestChainBcastSegmentation exercises the chain broadcast's pipelined
+// multi-segment path (payload far above bcastSegSize) and the k == 1
+// aliasing path, on every rank count the segment boundaries care about.
+func TestChainBcastSegmentation(t *testing.T) {
+	algo := -1
+	for i, a := range bcastAlgos {
+		if a.name == "chain" {
+			algo = i
+		}
+	}
+	if algo < 0 {
+		t.Fatal("chain bcast not registered")
+	}
+	for _, p := range []int{2, 3, 8} {
+		for _, n := range []int{0, 1, bcastSegSize, bcastSegSize + 1, 3*bcastSegSize + 17} {
+			payload := make([]byte, n)
+			rng := rand.New(rand.NewSource(int64(n)))
+			rng.Read(payload)
+			NewChanGroup("chain", p).Run(func(th Thread) {
+				var d []byte
+				if th.Rank() == 1%p {
+					d = payload
+				}
+				if got := BcastWith(algo, th, 1%p, d); !bytes.Equal(got, payload) {
+					panic(fmt.Sprintf("chain bcast P%d n%d corrupted on rank %d", p, n, th.Rank()))
+				}
+			})
+		}
+	}
+}
+
+// TestAllGatherRingBufferOwnership extends the PR 3 retention contract to
+// the ring path: a thread's own block comes back as the very slice it
+// passed, and a retained result stays byte-stable while later ring rounds
+// reuse the single ring tag.
+func TestAllGatherRingBufferOwnership(t *testing.T) {
+	NewChanGroup("own", 4).Run(func(th Thread) {
+		mine := []byte{0xB0, byte(th.Rank()), 0x0B}
+		all := AllGatherRing(th, mine)
+		if &all[th.Rank()][0] != &mine[0] {
+			panic("own AllGatherRing block is not the caller's own slice")
+		}
+		snapshot := make([][]byte, len(all))
+		for r, b := range all {
+			snapshot[r] = append([]byte(nil), b...)
+		}
+		// Drive more rings (and tag-sharing neighbors) with fresh buffers:
+		// the retained blocks must not be recycled underneath the caller.
+		for i := 0; i < 5; i++ {
+			AllGatherRing(th, []byte{byte(i), byte(th.Rank())})
+			AllGather(th, []byte{byte(i)})
+		}
+		for r := range all {
+			if !bytes.Equal(all[r], snapshot[r]) {
+				panic(fmt.Sprintf("retained ring block of rank %d was clobbered", r))
+			}
+		}
+	})
+}
+
+// TestChanGroupTunedCollectives drives every collective kind through the
+// online-tuned chan backend: the decision-log agreement must keep all
+// ranks on one algorithm per call (any mismatch deadlocks or corrupts),
+// results must stay correct across whatever algorithms the tuner probes,
+// and the selector must end up with learned state.
+func TestChanGroupTunedCollectives(t *testing.T) {
+	const p = 6
+	sel := tune.New(17)
+	g := NewChanGroup("tuned", p)
+	g.EnableTuning(sel)
+	payload := func(r, i int) []byte { return []byte(fmt.Sprintf("r%d-i%d", r, i)) }
+	g.Run(func(th Thread) {
+		for i := 0; i < 40; i++ {
+			root := i % p
+			var d []byte
+			if th.Rank() == root {
+				d = payload(root, i)
+			}
+			if got := Bcast(th, root, d); !bytes.Equal(got, payload(root, i)) {
+				panic(fmt.Sprintf("tuned bcast iter %d corrupted: %q", i, got))
+			}
+			for r, b := range AllGather(th, payload(th.Rank(), i)) {
+				if !bytes.Equal(b, payload(r, i)) {
+					panic(fmt.Sprintf("tuned allgather iter %d misplaced rank %d", i, r))
+				}
+			}
+			if parts := Gather(th, root, payload(th.Rank(), i)); th.Rank() == root {
+				for r, b := range parts {
+					if !bytes.Equal(b, payload(r, i)) {
+						panic(fmt.Sprintf("tuned gather iter %d misplaced rank %d", i, r))
+					}
+				}
+			}
+			mine := u64bytes(uint64(th.Rank() + i))
+			want := uint64(0)
+			for r := 0; r < p; r++ {
+				want += uint64(r + i)
+			}
+			if v := binary.LittleEndian.Uint64(AllReduce(th, mine, sumOp)); v != want {
+				panic(fmt.Sprintf("tuned allreduce iter %d = %d, want %d", i, v, want))
+			}
+			th.Barrier()
+		}
+	})
+	snap := sel.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("tuner learned nothing from 40 tuned rounds")
+	}
+	ops := map[string]bool{}
+	for _, ks := range snap {
+		ops[ks.Key.Op] = true
+		if ks.Picks == 0 {
+			t.Errorf("key %+v snapshotted with zero picks", ks.Key)
+		}
+	}
+	for _, op := range []string{"bcast", "gather", "allgather", "reduce", "barrier"} {
+		if !ops[op] {
+			t.Errorf("no tuning key recorded for %s", op)
+		}
+	}
+	// The decision log must drain: every decision read by all ranks.
+	if n := len(g.tlog.dec); n != 0 {
+		t.Errorf("%d undrained decisions left in the log", n)
+	}
+}
+
+// TestDeadlineCollectivesPinDefault: deadline variants must never consult
+// the decider — their sequence counters stay untouched so mixed
+// plain/deadline call sequences keep every rank aligned.
+func TestDeadlineCollectivesPinDefault(t *testing.T) {
+	const p = 4
+	sel := tune.New(3)
+	g := NewChanGroup("dl", p)
+	g.EnableTuning(sel)
+	g.Run(func(th Thread) {
+		// Alternate deadline and plain calls; any decider participation by
+		// the deadline path would desynchronize the per-rank seq counters
+		// and deadlock the plain calls that follow.
+		for i := 0; i < 6; i++ {
+			var d []byte
+			if th.Rank() == 0 {
+				d = []byte{byte(i)}
+			}
+			if _, err := BcastDeadline(th, 0, d, 5); err != nil {
+				panic(err)
+			}
+			if got := Bcast(th, 0, d); th.Rank() == 0 && !bytes.Equal(got, []byte{byte(i)}) {
+				panic("plain bcast after deadline bcast corrupted")
+			}
+			if err := BarrierDeadline(th, 5); err != nil {
+				panic(err)
+			}
+			th.Barrier()
+		}
+	})
+	for _, ks := range sel.Snapshot() {
+		if ks.Key.Op == "bcast" && ks.Picks > 6 {
+			t.Errorf("bcast picks = %d, want <= 6 (deadline calls must not pick)", ks.Picks)
+		}
+	}
+}

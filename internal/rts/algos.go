@@ -1,0 +1,251 @@
+// Alternative collective algorithms. Each is a drop-in core for its kind:
+// identical results and buffer-ownership semantics to the index-0 default,
+// different message schedule — so the tuner can trade latency terms
+// against bandwidth terms per payload size and P.
+//
+// The flat algorithms are the latency-optimal stars: one hop instead of
+// ⌈log₂P⌉ chained rounds, at the price of concentrating P-1 messages on
+// one rank's NIC. They win when payloads are small enough that per-message
+// latency dominates wire occupancy. The chain broadcast is the
+// bandwidth-optimal opposite: segments pipeline down a P-node chain, so
+// the root transmits the payload once (vs ⌈log₂P⌉ subtree copies) and
+// large payloads stream at wire speed regardless of P.
+package rts
+
+import "pardis/internal/cdr"
+
+// bcastFlat: root sends the payload directly to every other rank. One
+// latency term total, but the root's NIC serializes P-1 copies.
+func bcastFlat(c Comm, d *dctx, root int, data []byte) ([]byte, error) {
+	size := c.Size()
+	rtsRounds.Inc()
+	if c.Rank() == root {
+		for i := 1; i < size; i++ {
+			c.Send((root+i)%size, tagBcastFlat, data)
+		}
+		return data, nil
+	}
+	m, err := recvD(c, d, root, tagBcastFlat)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// bcastSegSize is the chain broadcast's pipeline segment: small enough
+// that the pipeline fills quickly (per-hop latency is paid only until the
+// first segment lands), large enough that per-message overhead stays
+// negligible against wire occupancy.
+const bcastSegSize = 16 << 10
+
+// bcastChain: the payload streams down the chain root → root+1 → … in
+// segments, each rank forwarding a segment as soon as it arrives. A
+// 4-byte count frame precedes the segments so receivers can assemble
+// without a trailing sentinel; the whole stream rides one (src, tag) FIFO.
+func bcastChain(c Comm, d *dctx, root int, data []byte) ([]byte, error) {
+	size := c.Size()
+	rel := (c.Rank() - root + size) % size
+	next := -1
+	if rel+1 < size {
+		next = (c.Rank() + 1) % size
+	}
+	if rel == 0 {
+		segs := (len(data) + bcastSegSize - 1) / bcastSegSize
+		if segs == 0 {
+			segs = 1 // empty payload still ships one (empty) segment
+		}
+		rtsRounds.Add(uint64(segs))
+		e := cdr.NewEncoder(4)
+		e.PutLong(int32(segs))
+		c.Send(next, tagBcastChain, e.Bytes())
+		for i := 0; i < segs; i++ {
+			end := (i + 1) * bcastSegSize
+			if end > len(data) {
+				end = len(data)
+			}
+			c.Send(next, tagBcastChain, data[i*bcastSegSize:end])
+		}
+		return data, nil
+	}
+	prev := (c.Rank() - 1 + size) % size
+	cnt, err := recvD(c, d, prev, tagBcastChain)
+	if err != nil {
+		return nil, err
+	}
+	dec := cdr.NewDecoder(cnt.Data)
+	segs := int(dec.GetLong())
+	if dec.Err() != nil || segs <= 0 {
+		panic("rts: corrupt chain-bcast count frame")
+	}
+	rtsRounds.Add(uint64(segs))
+	if next >= 0 {
+		c.Send(next, tagBcastChain, cnt.Data)
+	}
+	if segs == 1 {
+		// Single segment: alias the frame, same as the tree paths.
+		m, err := recvD(c, d, prev, tagBcastChain)
+		if err != nil {
+			return nil, err
+		}
+		if next >= 0 {
+			c.Send(next, tagBcastChain, m.Data)
+		}
+		return m.Data, nil
+	}
+	parts := make([][]byte, segs)
+	total := 0
+	for i := 0; i < segs; i++ {
+		m, err := recvD(c, d, prev, tagBcastChain)
+		if err != nil {
+			return nil, err
+		}
+		if next >= 0 {
+			c.Send(next, tagBcastChain, m.Data) // forward before assembling: keep the pipe full
+		}
+		parts[i] = m.Data
+		total += len(m.Data)
+	}
+	out := make([]byte, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// gatherFlat: every rank sends its block straight to root; root receives
+// P-1 blocks in rank order. One hop, root-side serialization.
+func gatherFlat(c Comm, d *dctx, root int, data []byte) ([][]byte, error) {
+	size, rank := c.Size(), c.Rank()
+	rtsRounds.Inc()
+	if rank != root {
+		c.Send(root, tagGatherFlat, data)
+		return nil, nil
+	}
+	out := make([][]byte, size)
+	out[rank] = data
+	for i := 1; i < size; i++ {
+		src := (root + i) % size
+		m, err := recvD(c, d, src, tagGatherFlat)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = m.Data
+	}
+	return out, nil
+}
+
+// allGatherFlat: direct exchange — every rank sends its block to every
+// other rank, then collects P-1 blocks. All sends are issued before any
+// receive, so nothing chains: completion is one latency term plus the
+// NIC-serialized occupancy of P-1 copies.
+func allGatherFlat(c Comm, d *dctx, data []byte) ([][]byte, error) {
+	size, rank := c.Size(), c.Rank()
+	rtsRounds.Inc()
+	out := make([][]byte, size)
+	out[rank] = data
+	for i := 1; i < size; i++ {
+		c.Send((rank+i)%size, tagAllGatherFlat, data)
+	}
+	for i := 1; i < size; i++ {
+		src := (rank - i + size) % size
+		m, err := recvD(c, d, src, tagAllGatherFlat)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = m.Data
+	}
+	return out, nil
+}
+
+// reduceFlat: every rank sends its contribution to root, which folds them
+// in ring order from root+1. The fold order differs from the binomial
+// tree's subtree order — covered by the ReduceOp associativity and
+// commutativity contract.
+func reduceFlat(c Comm, d *dctx, root int, data []byte, op ReduceOp) ([]byte, error) {
+	size, rank := c.Size(), c.Rank()
+	rtsRounds.Inc()
+	if rank != root {
+		c.Send(root, tagReduceFlat, data)
+		return nil, nil
+	}
+	acc := data
+	for i := 1; i < size; i++ {
+		m, err := recvD(c, d, (root+i)%size, tagReduceFlat)
+		if err != nil {
+			return nil, err
+		}
+		acc = op(acc, m.Data)
+	}
+	return acc, nil
+}
+
+// barrierFlat: a star barrier — everyone reports to rank 0, rank 0
+// releases everyone. Two latency terms against the dissemination
+// barrier's ⌈log₂P⌉, at the cost of 2(P-1) messages through one rank.
+func barrierFlat(c Comm, d *dctx) error {
+	size, rank := c.Size(), c.Rank()
+	rtsRounds.Add(2)
+	if rank != 0 {
+		c.Send(0, tagBarrierIn, nil)
+		_, err := recvD(c, d, 0, tagBarrierOut)
+		return err
+	}
+	for i := 1; i < size; i++ {
+		if _, err := recvD(c, d, i, tagBarrierIn); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < size; i++ {
+		c.Send(i, tagBarrierOut, nil)
+	}
+	return nil
+}
+
+// Explicit-algorithm entry points, bypassing selection: the property tests
+// assert byte-identical results across every registered algorithm, and the
+// benchmark harness measures each fixed algorithm against the tuned path.
+// algo indexes CollAlgoNames(kind); all ranks must pass the same algo.
+
+// BcastWith runs Bcast with a pinned algorithm.
+func BcastWith(algo int, c Comm, root int, data []byte) []byte {
+	CheckRank(c, root)
+	if c.Size() == 1 {
+		return data
+	}
+	out, _ := bcastAlgos[algo].run(c, nil, root, data)
+	return out
+}
+
+// GatherWith runs Gather with a pinned algorithm.
+func GatherWith(algo int, c Comm, root int, data []byte) [][]byte {
+	CheckRank(c, root)
+	if c.Size() == 1 {
+		return [][]byte{data}
+	}
+	out, _ := gatherAlgos[algo].run(c, nil, root, data)
+	return out
+}
+
+// AllGatherWith runs AllGather with a pinned algorithm.
+func AllGatherWith(algo int, c Comm, data []byte) [][]byte {
+	out, _ := allGatherAlgos[algo].run(c, nil, data)
+	return out
+}
+
+// ReduceWith runs Reduce with a pinned algorithm.
+func ReduceWith(algo int, c Comm, root int, data []byte, op ReduceOp) []byte {
+	CheckRank(c, root)
+	if c.Size() == 1 {
+		return data
+	}
+	out, _ := reduceAlgos[algo].run(c, nil, root, data, op)
+	return out
+}
+
+// BarrierWith runs a barrier with a pinned algorithm.
+func BarrierWith(algo int, c Comm) {
+	if c.Size() == 1 {
+		return
+	}
+	_ = barrierAlgos[algo].run(c, nil)
+}

@@ -80,6 +80,7 @@ func AllGatherDeadline(c Comm, data []byte, seconds float64) ([][]byte, error) {
 
 // AllGatherRingDeadline is AllGatherRing with bounded receives.
 func AllGatherRingDeadline(c Comm, data []byte, seconds float64) ([][]byte, error) {
+	rtsAllGatherRing.Inc()
 	return allGatherRingD(c, newDctx(c, "allgather-ring", seconds), data)
 }
 

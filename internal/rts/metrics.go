@@ -21,6 +21,25 @@ var (
 	rtsRounds = obs.Default.MustCounter("rts_collective_rounds_total")
 )
 
+// Per-collective payload-size histograms: the observed size distribution
+// is both the tuner's input domain (payload buckets) and a standalone
+// answer to "what does this workload actually send". Bcast sizes are
+// recorded at the root (the only rank that knows them); the symmetric
+// collectives record each rank's local contribution.
+var (
+	rtsBcastBytes     = obs.Default.MustHistogram("rts_bcast_payload_bytes")
+	rtsGatherBytes    = obs.Default.MustHistogram("rts_gather_payload_bytes")
+	rtsAllGatherBytes = obs.Default.MustHistogram("rts_allgather_payload_bytes")
+	rtsReduceBytes    = obs.Default.MustHistogram("rts_reduce_payload_bytes")
+)
+
+// observeBytes records a byte count on a power-of-two histogram, mapping
+// one byte to the histogram's base unit (1 ns), so bucket i holds payloads
+// of bit length i and snapshot quantiles read as bytes × 1e-9.
+func observeBytes(h *obs.Histogram, n int) {
+	h.Observe(float64(n) * 1e-9)
+}
+
 // treeRounds is ⌈log₂ size⌉ — the round count of the binomial and
 // dissemination schedules.
 func treeRounds(size int) uint64 {

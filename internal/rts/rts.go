@@ -147,24 +147,53 @@ func CheckRank(c Comm, dst int) {
 //     equivalent on the wire — a peer's nil contribution may surface as an
 //     empty non-nil slice.
 
-// Bcast distributes root's data to every thread along a binomial tree
-// (⌈log₂P⌉ rounds, P-1 messages); each thread passes its own (possibly nil
-// for non-roots) data and receives root's. Collective.
+// Bcast distributes root's data to every thread; each thread passes its
+// own (possibly nil for non-roots) data and receives root's. The default
+// algorithm is a binomial tree (⌈log₂P⌉ rounds, P-1 messages); a
+// communicator with a tuner or decision table attached may select the
+// flat or segmented-chain algorithm per call (see algo.go). Collective.
 func Bcast(c Comm, root int, data []byte) []byte {
 	CheckRank(c, root)
 	out, _ := bcastD(c, nil, root, data)
 	return out
 }
 
-// bcastD is Bcast's core; with a nil deadline context every receive is the
-// plain blocking Recv (byte-identical behavior and cost to the original),
-// with one it is the abort-aware recvD.
+// bcastD is Bcast's dispatcher; with a nil deadline context every receive
+// is the plain blocking Recv (byte-identical behavior and cost to the
+// original), with one it is the abort-aware recvD and the algorithm is
+// pinned to the binomial default.
 func bcastD(c Comm, d *dctx, root int, data []byte) ([]byte, error) {
 	size := c.Size()
 	rtsBcasts.Inc()
+	if c.Rank() == root {
+		observeBytes(rtsBcastBytes, len(data))
+	}
 	if size == 1 {
 		return data, nil
 	}
+	// Only the root knows the payload; every other rank learns the agreed
+	// algorithm from the communicator's decision log.
+	algo, witness, done := chooseColl(c, d, CollBcast, len(bcastAlgos), c.Rank() == root, len(data))
+	out, err := bcastAlgos[algo].run(c, d, root, data)
+	if err == nil && witness {
+		// Completion witness (probe calls only, see algo.go): relative rank
+		// P-1 acks the root, so the tracked observation spans collective
+		// completion rather than the root's injection cost.
+		rel := (c.Rank() - root + size) % size
+		switch {
+		case rel == size-1:
+			c.Send(root, tagBcastAck, nil)
+		case c.Rank() == root:
+			c.Recv((root+size-1)%size, tagBcastAck)
+		}
+	}
+	done(err)
+	return out, err
+}
+
+// bcastBinomial is the default (algorithm 0) broadcast core.
+func bcastBinomial(c Comm, d *dctx, root int, data []byte) ([]byte, error) {
+	size := c.Size()
 	rtsRounds.Add(treeRounds(size))
 	rel := (c.Rank() - root + size) % size
 	// Receive from the parent — the node whose relative rank clears my
@@ -208,9 +237,19 @@ func Gather(c Comm, root int, data []byte) [][]byte {
 func gatherD(c Comm, d *dctx, root int, data []byte) ([][]byte, error) {
 	size := c.Size()
 	rtsGathers.Inc()
+	observeBytes(rtsGatherBytes, len(data))
 	if size == 1 {
 		return [][]byte{data}, nil
 	}
+	algo, _, done := chooseColl(c, d, CollGather, len(gatherAlgos), true, len(data))
+	out, err := gatherAlgos[algo].run(c, d, root, data)
+	done(err)
+	return out, err
+}
+
+// gatherBinomial is the default (algorithm 0) gather core.
+func gatherBinomial(c Comm, d *dctx, root int, data []byte) ([][]byte, error) {
+	size := c.Size()
 	rtsRounds.Add(treeRounds(size))
 	rel := (c.Rank() - root + size) % size
 	// acc[i] is the block of relative rank rel+i: a binomial subtree covers
@@ -269,8 +308,21 @@ func AllGather(c Comm, data []byte) [][]byte {
 }
 
 func allGatherD(c Comm, d *dctx, data []byte) ([][]byte, error) {
-	size, rank := c.Size(), c.Rank()
+	size := c.Size()
 	rtsAllGathers.Inc()
+	observeBytes(rtsAllGatherBytes, len(data))
+	if size == 1 {
+		return [][]byte{data}, nil
+	}
+	algo, _, done := chooseColl(c, d, CollAllGather, len(allGatherAlgos), true, len(data))
+	out, err := allGatherAlgos[algo].run(c, d, data)
+	done(err)
+	return out, err
+}
+
+// allGatherBruck is the default (algorithm 0) all-gather core.
+func allGatherBruck(c Comm, d *dctx, data []byte) ([][]byte, error) {
+	size, rank := c.Size(), c.Rank()
 	rtsRounds.Add(treeRounds(size))
 	out := make([][]byte, size)
 	out[rank] = data
@@ -318,16 +370,22 @@ func allGatherD(c Comm, d *dctx, data []byte) ([][]byte, error) {
 // AllGatherRing is the bandwidth-optimal all-gather for large payloads:
 // P-1 rounds around a ring, each rank forwarding one raw block to its
 // successor, so no block is ever re-framed and per-rank traffic is exactly
-// the result size. Latency grows with P — prefer AllGather (log-depth) for
-// small control payloads. Collective.
+// the result size. Latency grows with P — prefer AllGather, which defaults
+// to log-depth Bruck and may select this ring per call when a tuner is
+// attached; this entry point is the explicit pin. Collective.
 func AllGatherRing(c Comm, data []byte) [][]byte {
+	rtsAllGatherRing.Inc()
 	out, _ := allGatherRingD(c, nil, data)
 	return out
 }
 
+// allGatherRingD is the ring core — algorithm 1 of the AllGather registry
+// and the body of the explicit AllGatherRing pin.
 func allGatherRingD(c Comm, d *dctx, data []byte) ([][]byte, error) {
 	size, rank := c.Size(), c.Rank()
-	rtsAllGatherRing.Inc()
+	if size == 1 {
+		return [][]byte{data}, nil
+	}
 	rtsRounds.Add(uint64(size - 1))
 	out := make([][]byte, size)
 	out[rank] = data
@@ -366,9 +424,19 @@ func Reduce(c Comm, root int, data []byte, op ReduceOp) []byte {
 func reduceD(c Comm, d *dctx, root int, data []byte, op ReduceOp) ([]byte, error) {
 	size := c.Size()
 	rtsReduces.Inc()
+	observeBytes(rtsReduceBytes, len(data))
 	if size == 1 {
 		return data, nil
 	}
+	algo, _, done := chooseColl(c, d, CollReduce, len(reduceAlgos), true, len(data))
+	out, err := reduceAlgos[algo].run(c, d, root, data, op)
+	done(err)
+	return out, err
+}
+
+// reduceBinomial is the default (algorithm 0) reduce core.
+func reduceBinomial(c Comm, d *dctx, root int, data []byte, op ReduceOp) ([]byte, error) {
+	size := c.Size()
 	rtsRounds.Add(treeRounds(size))
 	rel := (c.Rank() - root + size) % size
 	acc := data
@@ -407,19 +475,30 @@ func allReduceD(c Comm, d *dctx, data []byte, op ReduceOp) ([]byte, error) {
 	return bcastD(c, d, 0, acc)
 }
 
-// runBarrier is the dissemination barrier every backend's Barrier method
-// delegates to: in round k each rank signals the peer 2^k ahead and waits
-// for the peer 2^k behind, so after ⌈log₂P⌉ rounds every rank has
-// transitively heard from every other. Layering it on Send/Recv keeps the
-// three Comm backends' semantics identical and gives the simulated fabric
-// log-depth modeled latency for free.
+// runBarrier is the barrier every backend's Barrier method delegates to.
+// The default algorithm is dissemination: in round k each rank signals the
+// peer 2^k ahead and waits for the peer 2^k behind, so after ⌈log₂P⌉
+// rounds every rank has transitively heard from every other. Layering it
+// on Send/Recv keeps the three Comm backends' semantics identical and
+// gives the simulated fabric log-depth modeled latency for free.
 func runBarrier(c Comm) {
 	_ = barrierD(c, nil)
 }
 
 func barrierD(c Comm, d *dctx) error {
-	size, rank := c.Size(), c.Rank()
 	rtsBarriers.Inc()
+	if c.Size() == 1 {
+		return nil
+	}
+	algo, _, done := chooseColl(c, d, CollBarrier, len(barrierAlgos), true, 0)
+	err := barrierAlgos[algo].run(c, d)
+	done(err)
+	return err
+}
+
+// barrierDissemination is the default (algorithm 0) barrier core.
+func barrierDissemination(c Comm, d *dctx) error {
+	size, rank := c.Size(), c.Rank()
 	rtsRounds.Add(treeRounds(size))
 	round := 0
 	for dist := 1; dist < size; dist <<= 1 {

@@ -1,0 +1,83 @@
+package tune
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"pardis/internal/obs"
+)
+
+// The debug registry names every live Selector so the introspection
+// endpoint can show what the runtime has decided and why. Registration is
+// by role ("rts", "fanout", "dispatch", ...); re-registering a name
+// replaces the previous selector (test harnesses swap selectors freely).
+var (
+	debugMu  sync.Mutex
+	selByRef = map[string]*Selector{}
+)
+
+// Register exposes sel under name on /debug/tuner. A nil sel removes the
+// name.
+func Register(name string, sel *Selector) {
+	debugMu.Lock()
+	defer debugMu.Unlock()
+	if sel == nil {
+		delete(selByRef, name)
+		return
+	}
+	selByRef[name] = sel
+}
+
+// selectorDoc is one selector's entry in the /debug/tuner document.
+type selectorDoc struct {
+	Name  string     `json:"name"`
+	Fixed bool       `json:"fixed"`
+	Keys  []KeyState `json:"keys"`
+}
+
+// WriteJSON writes the full tuner-state document: every registered
+// selector with its per-key decision state, sorted for stable output.
+func WriteJSON(w http.ResponseWriter) {
+	debugMu.Lock()
+	names := make([]string, 0, len(selByRef))
+	for n := range selByRef {
+		names = append(names, n)
+	}
+	sels := make([]*Selector, len(names))
+	sort.Strings(names)
+	for i, n := range names {
+		sels[i] = selByRef[n]
+	}
+	debugMu.Unlock()
+
+	doc := make([]selectorDoc, len(names))
+	for i, n := range names {
+		keys := sels[i].Snapshot()
+		sort.Slice(keys, func(a, b int) bool {
+			ka, kb := keys[a].Key, keys[b].Key
+			if ka.Op != kb.Op {
+				return ka.Op < kb.Op
+			}
+			if ka.P != kb.P {
+				return ka.P < kb.P
+			}
+			return ka.Bucket < kb.Bucket
+		})
+		doc[i] = selectorDoc{Name: n, Fixed: sels[i].Fixed(), Keys: keys}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// Mounting happens through obs' debug-page hook so obs (the bottom layer)
+// never imports tune: linking this package is what makes /debug/tuner
+// exist on every obs.Handler.
+func init() {
+	obs.RegisterDebugPage("/debug/tuner", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w)
+	})
+}

@@ -1,0 +1,339 @@
+// Package tune is PARDIS' self-tuning substrate: an online algorithm
+// selector that closes the loop from the observability layer back into the
+// runtime's own choices. PR 3 froze one algorithm per collective and PR 2
+// froze the transfer fan-out and dispatch-pool widths at configuration
+// time; this package lets the runtime pick among registered candidates per
+// decision key — (operation, communicator size, payload-size bucket) —
+// from observed per-call latencies, the way production MPI implementations
+// switch collective algorithms by message size and process count.
+//
+// # Policy
+//
+// Selection is greedy with bounded exploration and hysteresis:
+//
+//   - Cold start: every arm of a key is probed MinProbes times, in a
+//     per-key order derived from the selector's seed, before any greedy
+//     choice is made. The seeded order makes the probe schedule — and with
+//     it the whole decision sequence on a deterministic fabric — exactly
+//     reproducible.
+//   - Steady state: the arm with the lowest latency estimate is chosen.
+//     Every probeGap calls one non-chosen arm is re-probed so a regime
+//     change (payload growth, host load) is eventually noticed; the gap
+//     doubles each time the probe confirms the incumbent (up to
+//     MaxProbeGap) so a converged key pays asymptotically nothing for
+//     exploration, and resets on a switch so an unstable key is watched
+//     closely.
+//   - Hysteresis: the incumbent is evicted only when a challenger's
+//     estimate beats it by more than Hysteresis (relative), so one noisy
+//     sample cannot flap the decision.
+//
+// Latency estimates are exponentially-weighted moving averages, so a
+// bounded, fixed amount of state per (key, arm) absorbs any number of
+// observations and tracks drift.
+//
+// # Deterministic mode
+//
+// NewFixed builds a selector that answers from a fixed decision table and
+// ignores observations entirely: the choice is a pure function of the key,
+// identical on every rank and every run. The sim fabric uses it by default
+// so every virtual-time test and scaling gate stays byte-for-byte
+// reproducible; the seeded online mode remains available there for tuner
+// experiments (vtime's deterministic scheduler makes even online probing
+// reproducible).
+package tune
+
+import (
+	"math/rand"
+	"sync"
+
+	"pardis/internal/obs"
+)
+
+// Key identifies one tuning decision point. P is the parallelism the
+// decision is taken at (communicator size, destination count); Bucket is
+// the payload-size bucket from Bucket(), 0 for unsized decisions.
+type Key struct {
+	Op     string
+	P      int
+	Bucket int
+}
+
+// Bucket maps a payload byte count to a coarse power-of-two bucket: 0 for
+// empty, else the bit length of the count. Distinct buckets are a factor
+// of two apart — fine enough to separate the latency- and bandwidth-bound
+// regimes every crossover lives between, coarse enough that a handful of
+// cells cover any workload. Collective callers bucket the per-rank payload
+// (the schedule-relevant size, mirroring the dist schedule keys).
+func Bucket(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	b := 0
+	for n := uint64(bytes); n != 0; n >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Process-wide tuner instruments, shared by every Selector (per-selector
+// attribution lives in the /debug/tuner document, not metric names).
+var (
+	tuneDecisions = obs.Default.MustCounter("tune_decisions_total")
+	tuneProbes    = obs.Default.MustCounter("tune_probes_total")
+	tuneSwitches  = obs.Default.MustCounter("tune_switches_total")
+)
+
+// Defaults for the online policy.
+const (
+	defaultMinProbes   = 2
+	defaultProbeGap    = 16
+	defaultMaxProbeGap = 1024
+	// defaultHysteresis bounds the steady-state regret: a challenger up to
+	// this much better than the incumbent is tolerated without a switch, so
+	// it must stay well inside the tuned-within-5%-of-best acceptance gate
+	// while still absorbing EWMA jitter between near-equal arms.
+	defaultHysteresis = 0.03
+	defaultMaxKeys    = 1024
+	ewmaAlpha         = 0.25
+)
+
+// armStat is the bounded per-(key, arm) latency estimate.
+type armStat struct {
+	count uint64
+	mean  float64 // EWMA seconds
+}
+
+// cell is the decision state of one key.
+type cell struct {
+	arms     []armStat
+	order    []uint8 // seeded probe order over the arms
+	chosen   int
+	calls    uint64 // Picks since the last probe
+	probeGap uint64 // calls between re-probes (doubles while stable)
+	probeIdx int    // next position in order to re-probe
+	probes   uint64
+	switches uint64
+	picks    uint64
+}
+
+// Selector picks among the candidate arms of each key. Safe for concurrent
+// use; Pick and Observe are allocation-free for keys already seen.
+type Selector struct {
+	// MinProbes is the per-arm sample floor before greedy choice; Hysteresis
+	// the relative improvement a challenger needs to evict the incumbent.
+	// Both may be set before first use; zero values take the defaults.
+	MinProbes  int
+	Hysteresis float64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	fixed   func(Key) int
+	cells   map[Key]*cell
+	maxKeys int
+}
+
+// New creates an online selector whose probe order derives from seed. The
+// same seed over the same call sequence yields the same decisions — on the
+// vtime fabric that makes online tuning fully reproducible.
+func New(seed int64) *Selector {
+	return &Selector{
+		rng:     rand.New(rand.NewSource(seed)),
+		cells:   map[Key]*cell{},
+		maxKeys: defaultMaxKeys,
+	}
+}
+
+// NewFixed creates a deterministic selector: Pick answers decide(key) —
+// clamped into range, with nil or out-of-range answers falling back to arm
+// 0 — and observations are ignored. The decision is a pure function of the
+// key, so every rank of a parallel program computes it identically with no
+// shared state.
+func NewFixed(decide func(Key) int) *Selector {
+	return &Selector{fixed: decide, cells: map[Key]*cell{}, maxKeys: defaultMaxKeys}
+}
+
+// Fixed reports whether the selector is in fixed-table mode.
+func (s *Selector) Fixed() bool { return s.fixed != nil }
+
+func (s *Selector) minProbes() uint64 {
+	if s.MinProbes > 0 {
+		return uint64(s.MinProbes)
+	}
+	return defaultMinProbes
+}
+
+func (s *Selector) hysteresis() float64 {
+	if s.Hysteresis > 0 {
+		return s.Hysteresis
+	}
+	return defaultHysteresis
+}
+
+// Pick returns the arm to use for this call of key, given arms candidates,
+// and whether the pick is an exploratory probe. arms must be stable per
+// key; it is clamped to at least 1.
+func (s *Selector) Pick(k Key, arms int) (arm int, probe bool) {
+	if arms <= 1 {
+		return 0, false
+	}
+	tuneDecisions.Inc()
+	if s.fixed != nil {
+		a := s.fixed(k)
+		if a < 0 || a >= arms {
+			a = 0
+		}
+		return a, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cells[k]
+	if c == nil {
+		if len(s.cells) >= s.maxKeys {
+			// Bounded state: beyond the key budget, fall back to the
+			// default arm rather than grow without limit.
+			return 0, false
+		}
+		c = s.newCell(arms)
+		s.cells[k] = c
+	}
+	c.picks++
+	// Cold start: cycle the seeded order until every arm has MinProbes
+	// samples.
+	min := s.minProbes()
+	for i := 0; i < len(c.arms); i++ {
+		a := int(c.order[(c.probeIdx+i)%len(c.order)])
+		if c.arms[a].count < min {
+			c.probeIdx = (c.probeIdx + i + 1) % len(c.order)
+			c.probes++
+			tuneProbes.Inc()
+			return a, true
+		}
+	}
+	// Steady state: greedy with periodic re-probe of a non-chosen arm.
+	c.calls++
+	if c.calls >= c.probeGap {
+		c.calls = 0
+		for i := 0; i < len(c.order); i++ {
+			a := int(c.order[c.probeIdx])
+			c.probeIdx = (c.probeIdx + 1) % len(c.order)
+			if a != c.chosen {
+				c.probes++
+				tuneProbes.Inc()
+				return a, true
+			}
+		}
+	}
+	return c.chosen, false
+}
+
+func (s *Selector) newCell(arms int) *cell {
+	c := &cell{
+		arms:     make([]armStat, arms),
+		order:    make([]uint8, arms),
+		probeGap: defaultProbeGap,
+	}
+	for i := range c.order {
+		c.order[i] = uint8(i)
+	}
+	// The seeded shuffle is the only randomness in the selector: it fixes
+	// the probe order of this key for the selector's lifetime.
+	s.rng.Shuffle(arms, func(i, j int) { c.order[i], c.order[j] = c.order[j], c.order[i] })
+	return c
+}
+
+// Observe records one measured latency (seconds) for an arm of key and
+// re-evaluates the choice: the incumbent is replaced only by a fully probed
+// challenger that improves on it by more than the hysteresis margin. A
+// confirming re-probe widens the probe gap (up to MaxProbeGap); a switch
+// resets it.
+func (s *Selector) Observe(k Key, arm int, seconds float64) {
+	if s.fixed != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cells[k]
+	if c == nil || arm < 0 || arm >= len(c.arms) {
+		return
+	}
+	st := &c.arms[arm]
+	st.count++
+	if st.count == 1 {
+		st.mean = seconds
+	} else {
+		st.mean += (seconds - st.mean) * ewmaAlpha
+	}
+	// Re-evaluate: the best fully-probed arm.
+	min := s.minProbes()
+	best := c.chosen
+	for i := range c.arms {
+		if c.arms[i].count >= min && c.arms[i].mean < c.arms[best].mean {
+			best = i
+		}
+	}
+	if best != c.chosen && c.arms[best].mean < c.arms[c.chosen].mean*(1-s.hysteresis()) {
+		c.chosen = best
+		c.switches++
+		c.probeGap = defaultProbeGap
+		tuneSwitches.Inc()
+	} else if arm != c.chosen && c.probeGap < defaultMaxProbeGap {
+		// The probe confirmed the incumbent: back off exploration.
+		c.probeGap *= 2
+	}
+}
+
+// Chosen returns the current choice for key (0 if unseen), for tests and
+// introspection.
+func (s *Selector) Chosen(k Key) int {
+	if s.fixed != nil {
+		a := s.fixed(k)
+		if a < 0 {
+			return 0
+		}
+		return a
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.cells[k]; c != nil {
+		return c.chosen
+	}
+	return 0
+}
+
+// ArmState is one arm's estimate in a KeyState snapshot.
+type ArmState struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_seconds"`
+}
+
+// KeyState is the introspectable decision state of one key.
+type KeyState struct {
+	Key      Key        `json:"key"`
+	Chosen   int        `json:"chosen"`
+	Picks    uint64     `json:"picks"`
+	Probes   uint64     `json:"probes"`
+	Switches uint64     `json:"switches"`
+	ProbeGap uint64     `json:"probe_gap"`
+	Arms     []ArmState `json:"arms"`
+}
+
+// Snapshot returns the selector's per-key state (empty in fixed mode —
+// there is nothing learned to introspect). Allocation happens here, on the
+// scrape path, never in Pick/Observe.
+func (s *Selector) Snapshot() []KeyState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]KeyState, 0, len(s.cells))
+	for k, c := range s.cells {
+		ks := KeyState{
+			Key: k, Chosen: c.chosen, Picks: c.picks,
+			Probes: c.probes, Switches: c.switches, ProbeGap: c.probeGap,
+			Arms: make([]ArmState, len(c.arms)),
+		}
+		for i, a := range c.arms {
+			ks.Arms[i] = ArmState{Count: a.count, Mean: a.mean}
+		}
+		out = append(out, ks)
+	}
+	return out
+}

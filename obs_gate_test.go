@@ -129,6 +129,15 @@ func TestMetricNameHygiene(t *testing.T) {
 		"nexus_tcp_coalesced_flushes_total",
 		"nexus_tcp_coalesced_frames_total",
 		"orb_pipeline_depth",
+		"rts_bcast_payload_bytes",
+		"rts_gather_payload_bytes",
+		"rts_allgather_payload_bytes",
+		"rts_reduce_payload_bytes",
+		"tune_decisions_total",
+		"tune_probes_total",
+		"tune_switches_total",
+		"poa_dispatch_pool_workers",
+		"poa_dispatch_pool_resizes_total",
 	} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)

@@ -1,0 +1,34 @@
+// Self-tuning gate: on every cell of the (op, P, payload) grid the online
+// selector must land within 5% of the best fixed algorithm, and on the
+// cells where the default algorithm is genuinely wrong — large-payload
+// AllGather (ring's serial rounds) and small-payload Bcast (the chain's
+// serial hops) — it must strictly beat the worst fixed algorithm. The grid
+// runs on the virtual clock, so these margins are deterministic: a failure
+// here is a policy regression, not noise.
+package pardis_test
+
+import (
+	"testing"
+
+	"pardis/internal/bench"
+)
+
+func TestTunerGate(t *testing.T) {
+	pts := bench.TunerGrid([]int{8, 16}, []int{64, 131072}, 64, 128)
+	const small, large = 64, 131072
+	for _, pt := range pts {
+		best, worst := pt.BestFixed(), pt.WorstFixed()
+		t.Logf("%-9s P=%-2d S=%-6d tuned=%.6f chosen=%-9s best=%.6f worst=%.6f",
+			pt.Op, pt.P, pt.Bytes, pt.Tuned, pt.Chosen, best, worst)
+		if pt.Tuned > best*1.05 {
+			t.Errorf("%s P=%d S=%d: tuned %.6fs exceeds best fixed %.6fs by %.1f%% (gate: 5%%)",
+				pt.Op, pt.P, pt.Bytes, pt.Tuned, best, 100*(pt.Tuned/best-1))
+		}
+		crossCell := (pt.Op == "allgather" && pt.Bytes == large) ||
+			(pt.Op == "bcast" && pt.Bytes == small)
+		if crossCell && pt.Tuned >= worst {
+			t.Errorf("%s P=%d S=%d: tuned %.6fs does not strictly beat worst fixed %.6fs",
+				pt.Op, pt.P, pt.Bytes, pt.Tuned, worst)
+		}
+	}
+}
