@@ -47,6 +47,13 @@ go test -run TestFaninGate -count=1 .
 go run ./cmd/pardis-bench -fig tuner -quick -json > tuner-summary.json
 go test -run TestTunerGate -count=1 .
 
+# Stream lane: staged vs chunked segment transfer as a JSON artifact, plus
+# the gate asserting bounded memory (peak per-move encoder residency <= 2x
+# the chunk on a 64 MiB transfer) and no small-payload regression (<= 64 KiB
+# round trips within 5% of the unchunked baseline).
+go run ./cmd/pardis-bench -fig stream -quick -json > stream-summary.json
+go test -run TestStreamGate -count=1 .
+
 # Observability lane: a tracing-enabled bench run must complete and export
 # a non-empty Chrome trace (the 4-rank SPMD section runs first, so its
 # spans are always captured); the overhead guard must hold — allocs/op

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pardis-bench [-fig 2|4|5|ablations|all] [-quick] [-json]
+//	pardis-bench [-fig 2|4|5|ablations|stream|all] [-quick] [-json]
 //	             [-trace FILE] [-debug ADDR]
 //
 // -quick trims the sweeps for a fast smoke run. -json replaces the tables
@@ -38,6 +38,7 @@ type summary struct {
 	Collectives []bench.CollectivePoint `json:"collectives,omitempty"`
 	Fanin       []bench.FaninPoint      `json:"fanin,omitempty"`
 	Tuner       []bench.TunerPoint      `json:"tuner,omitempty"`
+	Stream      []bench.StreamPoint     `json:"stream,omitempty"`
 }
 
 type transferSection struct {
@@ -51,7 +52,7 @@ type ablationSection struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, fanin, tuner, all")
+	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, fanin, tuner, stream, all")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of tables")
 	traceFile := flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
@@ -90,6 +91,8 @@ func main() {
 		out.Fanin = fanin(*quick, *asJSON)
 	case "tuner":
 		out.Tuner = tuner(*quick, *asJSON)
+	case "stream":
+		out.Stream = stream(*quick, *asJSON)
 	case "all":
 		out.Figure2 = figure2(*quick, *asJSON)
 		out.Figure4 = figure4(*quick, *asJSON)
@@ -99,6 +102,7 @@ func main() {
 		out.Collectives = collectives(*quick, *asJSON)
 		out.Fanin = fanin(*quick, *asJSON)
 		out.Tuner = tuner(*quick, *asJSON)
+		out.Stream = stream(*quick, *asJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "pardis-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -289,6 +293,30 @@ func tuner(quick, silent bool) []bench.TunerPoint {
 	for _, p := range pts {
 		fmt.Printf("%-9s %3d  %9d  %10.6f  %-13s %10.6f  %10.6f\n",
 			p.Op, p.P, p.Bytes, p.Tuned, p.Chosen, p.BestFixed(), p.WorstFixed())
+	}
+	fmt.Println()
+	return pts
+}
+
+// stream compares the staged segment sender against the chunked streaming
+// pipeline across payload sizes: wall-clock throughput plus the peak
+// payload-encoder residency each mode reached (the bounded-memory claim).
+// Real goroutines and wall clocks; compare modes within one run.
+func stream(quick, silent bool) []bench.StreamPoint {
+	payloads, iters := bench.StreamPayloads, 5
+	if quick {
+		payloads, iters = bench.StreamQuickPayloads, 3
+	}
+	pts := bench.Stream(payloads, iters)
+	if silent {
+		return pts
+	}
+	fmt.Println("== Stream: staged vs chunked segment transfer (wall clock) ==")
+	fmt.Println("mode      payload_MiB  chunk_KiB     seconds    MiB_per_s   peak_buffer_KiB  frames")
+	for _, p := range pts {
+		fmt.Printf("%-8s  %11d  %9d  %10.4f  %11.1f  %16d  %6d\n",
+			p.Mode, p.PayloadBytes>>20, p.ChunkBytes>>10, p.Seconds,
+			p.MBPerSec, p.PeakBuffer>>10, p.ChunkFrames)
 	}
 	fmt.Println()
 	return pts

@@ -63,6 +63,14 @@ type ORB struct {
 	// destination count and payload size from observed transfer times
 	// (core.FanWidth); negative forces the serial single-threaded path.
 	TransferWorkers int
+
+	// StreamChunkBytes bounds the payload bytes per ArgStream frame of one
+	// distributed-argument move: when > 0 it pins the chunk size, 0 (the
+	// default) self-tunes it per destination count and payload size on
+	// concurrency-safe fabrics (fixed default size elsewhere), and negative
+	// disables chunking — each move travels as a single staged frame, the
+	// pre-streaming behavior (core.StreamChunk).
+	StreamChunkBytes int
 }
 
 // NewORB creates the ORB state for one computing thread. r is the thread's
@@ -546,41 +554,32 @@ func (o *ORB) dropPending(id uint32) {
 
 // sendSegments ships one distributed in-argument's local elements to the
 // owning server threads. The exchange schedule comes from the process-wide
-// cache (repeated invocations with the same shapes skip construction), and
-// the per-destination moves fan out across a worker width that is either
-// pinned by TransferWorkers or — by default — tuned online per destination
-// count and payload size (core.FanWidth).
+// cache (repeated invocations with the same shapes skip construction); the
+// per-destination moves fan out across a worker width that is either
+// pinned by TransferWorkers or tuned online (core.FanWidth), and each move
+// streams as bounded chunks sized by StreamChunkBytes / core.StreamChunk —
+// encode of chunk k+1 overlapping the send of chunk k, so no move ever
+// stages its whole payload in one encoder.
 func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dseq.Distributed, server dist.Layout) error {
 	sched := dist.Cached(holder.DLayout(), server)
 	moves := sched.From(o.rank())
-	workers, done := FanWidth(o.TransferWorkers, o.r.ConcurrentSendSafe(), moves)
-	// Only the two stream-key scalars are captured, not req itself: the
+	safe := o.r.ConcurrentSendSafe()
+	elemSize := holder.ElemSizeHint()
+	workers, done := FanWidth(o.TransferWorkers, safe, moves)
+	chunk, streamDone := StreamChunk(o.StreamChunkBytes, safe, len(moves), MoveBytes(moves, elemSize))
+	// Only scalar stream-key fields are captured, not req itself: the
 	// closure outlives the frame (worker goroutines), and capturing req
 	// would force every InvokeNB's request header to the heap — including
 	// invocations with no distributed arguments at all.
-	bindingID, seqNo := req.BindingID, req.SeqNo
-	sender := int32(o.rank())
+	spec := StreamSpec{
+		BindingID: req.BindingID,
+		SeqNo:     req.SeqNo,
+		Param:     int32(param),
+		Dir:       pgiop.DirIn,
+		Sender:    int32(o.rank()),
+	}
 	err := FanOutMoves(workers, moves, func(m *dist.Move, iov *[2][]byte) error {
-		// Pooled payload and header encoders; the vectored send frames them
-		// without a concatenating copy, and neither is retained after it.
-		enc := cdr.GetEncoder(m.Elements() * 8)
-		holder.EncodeRuns(enc, m.Runs)
-		as := &pgiop.ArgStream{
-			BindingID: bindingID,
-			SeqNo:     seqNo,
-			Param:     int32(param),
-			Dir:       pgiop.DirIn,
-			Sender:    sender,
-			Runs:      wireRuns(m.Runs),
-			Payload:   enc.Bytes(),
-		}
-		hdr := cdr.GetEncoder(128)
-		pgiop.AppendArgStream(hdr, as)
-		iov[0], iov[1] = hdr.Bytes(), as.Payload
-		err := o.r.SendV(nexus.Addr(b.ior.Addrs[m.To]), iov[:]...)
-		iov[0], iov[1] = nil, nil
-		hdr.Release()
-		enc.Release()
+		err := StreamMove(o.r, nexus.Addr(b.ior.Addrs[m.To]), holder, m, spec, chunk, elemSize, safe, iov)
 		if err != nil {
 			return fmt.Errorf("core: argument %d segment to thread %d: %w", param, m.To, err)
 		}
@@ -588,16 +587,9 @@ func (o *ORB) sendSegments(b *Binding, req *pgiop.Request, param int, holder dse
 	})
 	if err == nil {
 		done()
+		streamDone()
 	}
 	return err
-}
-
-func wireRuns(runs []dist.Run) []pgiop.Run {
-	out := make([]pgiop.Run, len(runs))
-	for i, r := range runs {
-		out[i] = pgiop.Run{Global: int32(r.Global), Len: int32(r.Len), DstOff: int32(r.DstOff)}
-	}
-	return out
 }
 
 // pump processes incoming client-bound messages on the client thread — the

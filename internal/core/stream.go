@@ -1,0 +1,280 @@
+package core
+
+import (
+	"time"
+
+	"pardis/internal/cdr"
+	"pardis/internal/dist"
+	"pardis/internal/dseq"
+	"pardis/internal/nexus"
+	"pardis/internal/obs"
+	"pardis/internal/pgiop"
+	"pardis/internal/tune"
+)
+
+// Streamed segment transfer. PR 1's zero-copy path still staged a whole
+// move in one encoder before its first byte reached the wire; this file
+// streams each move as bounded chunks instead, double-buffering pooled
+// encoders so chunk k's vectored send overlaps chunk k+1's encode. Peak
+// per-move encoder residency is O(chunk) regardless of sequence size —
+// the ROADMAP's "a multi-GB sequence never materializes in one buffer".
+// Both segment senders (ORB in-arguments, POA out-results) funnel through
+// StreamMove; receivers already decode each ArgStream chunk positionally
+// into place, so no staging exists on that side either.
+
+// streamChunkBytes is the candidate chunk-size arm set. The smallest arm
+// doubles as the chunking threshold: payloads at or below it always take
+// the single-frame fast path, which keeps small-payload round trips
+// byte-identical in cost to the pre-streaming sender.
+var streamChunkBytes = [...]int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// defaultStreamArm indexes the chunk size used wherever online tuning is
+// unavailable (256 KiB: large enough to amortize per-frame cost, small
+// enough that double-buffered residency stays well under a megabyte).
+const defaultStreamArm = 1
+
+// DefaultStreamChunk is the fixed chunk size of untuned streamed transfers.
+var DefaultStreamChunk = streamChunkBytes[defaultStreamArm]
+
+// streamSel learns chunk sizes from observed wall-clock transfer times,
+// keyed per (destination count, total payload bucket) — the same
+// process-wide pattern as the fan-out width selector.
+var streamSel = tune.New(0x57e4)
+
+// streamFixed answers chunk decisions on fabrics where wall-clock timing
+// is meaningless (the virtual-time sim): a fixed table pinning every key
+// to the default arm, so sim schedules stay byte-for-byte reproducible.
+var streamFixed = tune.NewFixed(func(tune.Key) int { return defaultStreamArm })
+
+func init() { tune.Register("stream", streamSel) }
+
+var (
+	streamChunks = obs.Default.MustCounter("stream_chunks_total")
+	// streamPeakBuffer is a high-watermark gauge: the largest per-move
+	// payload-encoder residency (bytes encoded but not yet released to the
+	// pool) any streamed transfer has reached. Tests reset it around a
+	// transfer to assert the O(chunk) bound.
+	streamPeakBuffer = obs.Default.MustGauge("stream_peak_buffer_bytes")
+)
+
+// ResetStreamPeak clears the peak-residency watermark (benchmarks and the
+// CI stream gate isolate one transfer's peak this way).
+func ResetStreamPeak() { streamPeakBuffer.Set(0) }
+
+// StreamPeakBytes reads the peak-residency watermark.
+func StreamPeakBytes() int64 { return streamPeakBuffer.Load() }
+
+// StreamChunksTotal reads the cumulative chunk-frame count.
+func StreamChunksTotal() uint64 { return streamChunks.Load() }
+
+// StreamChunk resolves the chunk byte size for one segment transfer of
+// totalBytes spread over dests destinations, and returns a completion hook
+// for success paths (errored transfers teach the tuner nothing).
+//
+//	pin > 0  — explicit chunk size in bytes (the StreamChunkBytes override)
+//	pin == 0 — auto: tuned per (destinations, payload bucket) on fabrics
+//	           whose sends are concurrency-safe (wall clocks are
+//	           meaningful there); the fixed default size otherwise
+//	pin < 0  — disable chunking: whole-move frames, the staged path
+//
+// A zero return means "no chunking". Transfers at or below the smallest
+// arm cannot chunk whatever the decision, so they skip tuner state
+// entirely — small payloads stay off the selector's hot path.
+func StreamChunk(pin int, safe bool, dests, totalBytes int) (int, func()) {
+	if pin > 0 {
+		return pin, noFanDone
+	}
+	if pin < 0 {
+		return 0, noFanDone
+	}
+	if totalBytes <= streamChunkBytes[0] {
+		return streamChunkBytes[0], noFanDone
+	}
+	sel := streamSel
+	if !safe {
+		sel = streamFixed
+	}
+	k := tune.Key{Op: "stream", P: dests, Bucket: tune.Bucket(totalBytes)}
+	arm, _ := sel.Pick(k, len(streamChunkBytes))
+	size := streamChunkBytes[arm]
+	if sel.Fixed() {
+		return size, noFanDone
+	}
+	start := time.Now()
+	return size, func() {
+		sel.Observe(k, arm, time.Since(start).Seconds())
+	}
+}
+
+// StreamSpec carries the constant ArgStream header fields of one move's
+// chunk stream. It holds only scalars (never the request itself), so
+// capturing it in fan-out closures does not drag a whole request header to
+// the heap.
+type StreamSpec struct {
+	BindingID string
+	SeqNo     uint32
+	ReqID     uint32
+	Param     int32
+	Dir       byte
+	Sender    int32
+}
+
+// StreamMove ships one move's elements to addr as ArgStream chunks of at
+// most chunkBytes payload each (chunkBytes <= 0 streams the whole move as
+// one frame). Chunks decode positionally — each carries its own runs — so
+// the receiver needs no reassembly buffer; with overlap set (concurrency-
+// safe fabrics) the previous chunk's vectored send runs on a goroutine
+// while the next chunk encodes, bounding live payload encoders at two.
+// Frames of one stream are still issued in order: each send is launched
+// only after the previous one returned, which the ≤2-chunk residency bound
+// depends on as much as the transport's per-connection FIFO does.
+func StreamMove(r *Router, addr nexus.Addr, holder dseq.Distributed, m *dist.Move,
+	spec StreamSpec, chunkBytes, elemSize int, overlap bool, iov *[2][]byte) error {
+
+	elems := m.Elements()
+	chunkElems := dist.ChunkElems(chunkBytes, elemSize)
+	if chunkElems <= 0 || elems <= chunkElems {
+		// Single-frame fast path: the pre-streaming sender, byte for byte
+		// (plus the constant v3 header fields).
+		enc := cdr.GetEncoder(elems * elemSize)
+		holder.EncodeRuns(enc, m.Runs)
+		streamChunks.Inc()
+		streamPeakBuffer.Max(int64(enc.Len()))
+		as := &pgiop.ArgStream{
+			BindingID: spec.BindingID,
+			SeqNo:     spec.SeqNo,
+			ReqID:     spec.ReqID,
+			Param:     spec.Param,
+			Dir:       spec.Dir,
+			Sender:    spec.Sender,
+			Runs:      wireRuns(m.Runs),
+			Payload:   enc.Bytes(),
+		}
+		hdr := cdr.GetEncoder(128)
+		pgiop.AppendArgStream(hdr, as)
+		iov[0], iov[1] = hdr.Bytes(), as.Payload
+		err := r.SendV(addr, iov[:]...)
+		iov[0], iov[1] = nil, nil
+		hdr.Release()
+		enc.Release()
+		return err
+	}
+
+	// Chunked pipeline. All bookkeeping runs on this goroutine; the send
+	// goroutine (overlap mode) only performs the vectored write and reports
+	// through errc, so residency accounting needs no atomics.
+	var (
+		errc              chan error
+		inFlight          bool
+		flightPay         *cdr.Encoder
+		flightHdr         *cdr.Encoder
+		resident, peak    int
+		subRuns           []dist.Run
+		firstErr, sendErr error
+	)
+	if overlap {
+		errc = make(chan error, 1)
+	}
+	// wait retires the in-flight chunk: collects its send result, releases
+	// both encoders back to the pool and drops their bytes from residency.
+	wait := func() error {
+		if !inFlight {
+			return nil
+		}
+		err := <-errc
+		inFlight = false
+		resident -= flightPay.Len()
+		flightPay.Release()
+		flightHdr.Release()
+		flightPay, flightHdr = nil, nil
+		return err
+	}
+	for off := 0; off < elems; off += chunkElems {
+		n := chunkElems
+		if off+n > elems {
+			n = elems - off
+		}
+		subRuns = dist.SplitRuns(m.Runs, off, n, subRuns[:0])
+		pay := cdr.GetEncoder(n * elemSize)
+		holder.EncodeRuns(pay, subRuns)
+		streamChunks.Inc()
+		resident += pay.Len()
+		if resident > peak {
+			peak = resident
+		}
+		as := &pgiop.ArgStream{
+			BindingID: spec.BindingID,
+			SeqNo:     spec.SeqNo,
+			ReqID:     spec.ReqID,
+			Param:     spec.Param,
+			Dir:       spec.Dir,
+			Sender:    spec.Sender,
+			ChunkOff:  uint32(off),
+			More:      off+n < elems,
+			Runs:      wireRuns(subRuns),
+			Payload:   pay.Bytes(),
+		}
+		hdr := cdr.GetEncoder(128)
+		pgiop.AppendArgStream(hdr, as)
+		// This chunk was encoded while the previous one was on the wire;
+		// retire that send before issuing the next.
+		if err := wait(); err != nil {
+			resident -= pay.Len()
+			pay.Release()
+			hdr.Release()
+			firstErr = err
+			break
+		}
+		if overlap {
+			inFlight = true
+			flightPay, flightHdr = pay, hdr
+			go func(pay, hdr *cdr.Encoder) {
+				siov := iovPool.Get().(*[2][]byte)
+				siov[0], siov[1] = hdr.Bytes(), pay.Bytes()
+				err := r.SendV(addr, siov[:]...)
+				siov[0], siov[1] = nil, nil
+				iovPool.Put(siov)
+				errc <- err
+			}(pay, hdr)
+			continue
+		}
+		iov[0], iov[1] = hdr.Bytes(), pay.Bytes()
+		err := r.SendV(addr, iov[:]...)
+		iov[0], iov[1] = nil, nil
+		resident -= pay.Len()
+		hdr.Release()
+		pay.Release()
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	sendErr = wait()
+	streamPeakBuffer.Max(int64(peak))
+	if firstErr != nil {
+		return firstErr
+	}
+	return sendErr
+}
+
+// wireRuns converts schedule runs to their wire form. A fresh slice
+// per chunk is deliberate: the ArgStream (and with it the runs) may be
+// referenced until the header encoder has serialized them, and the slices
+// are small next to the payload they describe.
+func wireRuns(runs []dist.Run) []pgiop.Run {
+	out := make([]pgiop.Run, len(runs))
+	for i, r := range runs {
+		out[i] = pgiop.Run{Global: int32(r.Global), Len: int32(r.Len), DstOff: int32(r.DstOff)}
+	}
+	return out
+}
+
+// MoveBytes totals the payload bytes of a move set at the given element
+// size — the payload-bucket input of chunk-size tuning.
+func MoveBytes(moves []dist.Move, elemSize int) int {
+	elems := 0
+	for i := range moves {
+		elems += moves[i].Elements()
+	}
+	return elems * elemSize
+}

@@ -21,6 +21,10 @@ type Codec[T any] interface {
 	// DecodeInto reads exactly len(dst) elements directly into dst — the
 	// zero-allocation receive path for segment transfers.
 	DecodeInto(d *cdr.Decoder, dst []T) error
+	// ElemSize is the fixed encoded size of one element in bytes, or 0 when
+	// elements are variable-size (strings, nested sequences). Transfer
+	// paths use it to size encoder buffers and cut chunk boundaries.
+	ElemSize() int
 	// TypeCode describes the element type.
 	TypeCode() *typecode.TypeCode
 }
@@ -44,6 +48,9 @@ func (Float64Codec) DecodeInto(d *cdr.Decoder, dst []float64) error {
 	return d.Err()
 }
 
+// ElemSize implements Codec.
+func (Float64Codec) ElemSize() int { return 8 }
+
 // TypeCode implements Codec.
 func (Float64Codec) TypeCode() *typecode.TypeCode { return typecode.TCDouble }
 
@@ -66,6 +73,9 @@ func (Int32Codec) DecodeInto(d *cdr.Decoder, dst []int32) error {
 	return d.Err()
 }
 
+// ElemSize implements Codec.
+func (Int32Codec) ElemSize() int { return 4 }
+
 // TypeCode implements Codec.
 func (Int32Codec) TypeCode() *typecode.TypeCode { return typecode.TCLong }
 
@@ -87,6 +97,9 @@ func (Float32Codec) DecodeInto(d *cdr.Decoder, dst []float32) error {
 	d.GetFloatsInto(dst)
 	return d.Err()
 }
+
+// ElemSize implements Codec.
+func (Float32Codec) ElemSize() int { return 4 }
 
 // TypeCode implements Codec.
 func (Float32Codec) TypeCode() *typecode.TypeCode { return typecode.TCFloat }
@@ -122,6 +135,9 @@ func (OctetCodec) DecodeInto(d *cdr.Decoder, dst []byte) error {
 	return nil
 }
 
+// ElemSize implements Codec.
+func (OctetCodec) ElemSize() int { return 1 }
+
 // TypeCode implements Codec.
 func (OctetCodec) TypeCode() *typecode.TypeCode { return typecode.TCOctet }
 
@@ -148,6 +164,9 @@ func (StringCodec) DecodeInto(d *cdr.Decoder, dst []string) error {
 	}
 	return d.Err()
 }
+
+// ElemSize implements Codec: strings are variable-size.
+func (StringCodec) ElemSize() int { return 0 }
 
 // TypeCode implements Codec.
 func (StringCodec) TypeCode() *typecode.TypeCode { return typecode.TCString }
@@ -186,6 +205,21 @@ func (c AnyCodec) DecodeInto(d *cdr.Decoder, dst []any) error {
 		dst[i] = v
 	}
 	return nil
+}
+
+// ElemSize implements Codec: fixed for primitive element kinds, 0
+// (variable) for everything typecode-driven marshaling may size per value.
+func (c AnyCodec) ElemSize() int {
+	switch c.TC.Kind {
+	case typecode.Double:
+		return 8
+	case typecode.Float, typecode.Long:
+		return 4
+	case typecode.Octet, typecode.Char:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // TypeCode implements Codec.

@@ -224,10 +224,53 @@ func Scatter[T any](comm rts.Comm, root int, full []T, n int, tmpl dist.Template
 	return &DSeq[T]{comm: comm, layout: dst, local: local, codec: codec}
 }
 
+// ExchangeChunkBytes bounds the payload of one redistribution message:
+// moves larger than this are streamed as several chunks instead of staged
+// in one full-move buffer, so peak encoder residency during a
+// redistribution is O(chunk) regardless of sequence size. <= 0 disables
+// chunking (the pre-streaming staged path). The size is a fixed constant
+// rather than the ORB's tuned one: redistribution runs on all three rts
+// backends including the virtual-time sim fabric, where wall-clock tuning
+// is meaningless, and a deterministic cut keeps sim schedules exactly
+// reproducible. Chunks are self-describing (each message carries its own
+// offset and count), so the value need not agree across ranks.
+var ExchangeChunkBytes = 256 << 10
+
+// chunkHdrBytes over-covers the off/count/more chunk header plus the
+// payload's alignment padding when sizing chunk encoders.
+const chunkHdrBytes = 16
+
+// sendCopies reports whether comm's Send serializes data before returning
+// (the rts.SendCopier capability). When it does, a pooled encoder buffer
+// may be reused immediately after Send; when it does not (the chan and sim
+// backends deliver the caller's slice to the receiver by reference), every
+// chunk needs a buffer whose ownership transfers with the message.
+func sendCopies(c rts.Comm) bool {
+	sc, ok := c.(rts.SendCopier)
+	return ok && sc.SendCopies()
+}
+
+// exchMove tracks the streaming progress of one move of an exchange: done
+// counts elements already sent (outgoing moves) or decoded (incoming).
+type exchMove struct {
+	m     dist.Move
+	elems int
+	done  int
+}
+
 // exchange moves elements of one parallel program from layout src to layout
-// dst through the run-time system interface. Collective over comm. All
-// sends complete before any receive is posted; both backends buffer sends,
-// so the symmetric pattern cannot deadlock.
+// dst through the run-time system interface. Collective over comm.
+//
+// Large moves are streamed in chunks of at most ExchangeChunkBytes, and
+// the progress loop interleaves sends and receives across peers: each
+// round posts the next chunk of every outgoing move, then decodes one
+// arriving chunk of every incoming move straight into place, so outbound
+// encode overlaps inbound decode instead of running as two serial phases.
+// Deadlock freedom is inductive on rounds: sends are buffered (they never
+// block on the receiver), every rank posts all its round-i chunks before
+// blocking on any round-i receive, and a rank reaches round i once its
+// round-(i-1) receives complete — so the chunk a receiver waits on has
+// always been posted.
 func exchange[T any](comm rts.Comm, codec Codec[T], src, dst dist.Layout, in []T) []T {
 	rank := commRank(comm)
 	// Redistributions of one shape recur (every iteration of a program's
@@ -235,8 +278,9 @@ func exchange[T any](comm rts.Comm, codec Codec[T], src, dst dist.Layout, in []T
 	// schedule cache; the per-rank indexes avoid rescanning sched.Moves.
 	sched := dist.Cached(src, dst)
 	out := make([]T, dst.Count(rank))
-	// Local copies and sends, in schedule order (one message per
-	// destination thread).
+	// Local copies first — they need no messaging and free in for reading
+	// below regardless of chunk order.
+	var sends, recvs []exchMove
 	for _, m := range sched.From(rank) {
 		if m.To == rank {
 			for _, r := range m.Runs {
@@ -244,32 +288,91 @@ func exchange[T any](comm rts.Comm, codec Codec[T], src, dst dist.Layout, in []T
 			}
 			continue
 		}
-		if comm == nil {
-			continue
+		if comm != nil {
+			sends = append(sends, exchMove{m: m, elems: m.Elements()})
 		}
-		e := cdr.NewEncoder(m.Elements() * 8)
-		for _, r := range m.Runs {
-			codec.Encode(e, in[r.SrcOff:r.SrcOff+r.Len])
-		}
-		comm.Send(m.To, rts.TagDSeq, e.Bytes())
 	}
 	if comm == nil {
 		return out
 	}
-	// Receives, in schedule order (per-peer FIFO matches them up).
 	for _, m := range sched.To(rank) {
-		if m.From == rank {
-			continue
-		}
-		msg := comm.Recv(m.From, rts.TagDSeq)
-		d := cdr.NewDecoder(msg.Data)
-		for _, r := range m.Runs {
-			if err := codec.DecodeInto(d, out[r.DstOff:r.DstOff+r.Len]); err != nil {
-				panic(fmt.Sprintf("dseq: corrupt redistribution segment from %d: %v", m.From, err))
-			}
+		if m.From != rank {
+			recvs = append(recvs, exchMove{m: m, elems: m.Elements()})
 		}
 	}
-	return out
+	elemSize := codec.ElemSize()
+	if elemSize <= 0 {
+		elemSize = 8
+	}
+	chunkElems := dist.ChunkElems(ExchangeChunkBytes, elemSize)
+	copies := sendCopies(comm)
+	var scratch []dist.Run
+	for {
+		pending := false
+		for i := range sends {
+			s := &sends[i]
+			if s.done >= s.elems {
+				continue
+			}
+			pending = true
+			n := s.elems - s.done
+			if chunkElems > 0 && n > chunkElems {
+				n = chunkElems
+			}
+			scratch = dist.SplitRuns(s.m.Runs, s.done, n, scratch[:0])
+			var e *cdr.Encoder
+			if copies {
+				// The backend serializes before Send returns, so a pooled
+				// encoder is reusable the moment the call completes.
+				e = cdr.GetEncoder(chunkHdrBytes + n*elemSize)
+			} else {
+				// By-reference delivery: the receiver will alias this exact
+				// buffer, so it is allocated per chunk and ownership travels
+				// with the message.
+				e = cdr.NewEncoder(chunkHdrBytes + n*elemSize)
+			}
+			e.PutULong(uint32(s.done))
+			e.PutULong(uint32(n))
+			e.PutBool(s.done+n < s.elems)
+			for _, r := range scratch {
+				codec.Encode(e, in[r.SrcOff:r.SrcOff+r.Len])
+			}
+			comm.Send(s.m.To, rts.TagDSeq, e.Bytes())
+			if copies {
+				e.Release()
+			}
+			s.done += n
+		}
+		for i := range recvs {
+			r := &recvs[i]
+			if r.done >= r.elems {
+				continue
+			}
+			pending = true
+			msg := comm.Recv(r.m.From, rts.TagDSeq)
+			d := cdr.GetDecoder(msg.Data)
+			off := int(d.GetULong())
+			cnt := int(d.GetULong())
+			d.GetBool() // more flag: informational, progress is counted
+			// Chunks of one move arrive in offset order on the peer's FIFO
+			// channel; anything else is corruption.
+			if d.Err() != nil || off != r.done || cnt <= 0 || r.done+cnt > r.elems {
+				panic(fmt.Sprintf("dseq: corrupt redistribution chunk from %d: off %d count %d at %d/%d",
+					r.m.From, off, cnt, r.done, r.elems))
+			}
+			scratch = dist.SplitRuns(r.m.Runs, off, cnt, scratch[:0])
+			for _, run := range scratch {
+				if err := codec.DecodeInto(d, out[run.DstOff:run.DstOff+run.Len]); err != nil {
+					panic(fmt.Sprintf("dseq: corrupt redistribution segment from %d: %v", r.m.From, err))
+				}
+			}
+			d.Release()
+			r.done += cnt
+		}
+		if !pending {
+			return out
+		}
+	}
 }
 
 // --- ORB transfer interface -------------------------------------------------
@@ -294,6 +397,11 @@ type Distributed interface {
 	// DecodeRuns reads elements of the given runs into local storage at
 	// their DstOff positions.
 	DecodeRuns(d *cdr.Decoder, runs []dist.Run) error
+	// ElemSizeHint estimates one element's encoded size in bytes (never
+	// zero): the codec's fixed size, or a default for variable-size
+	// elements. Transfer paths size encoder buffers and cut chunk
+	// boundaries with it.
+	ElemSizeHint() int
 	// ElemTypeCode describes the element type.
 	ElemTypeCode() *typecode.TypeCode
 }
@@ -332,6 +440,15 @@ func (s *DSeq[T]) DecodeRuns(d *cdr.Decoder, runs []dist.Run) error {
 		}
 	}
 	return nil
+}
+
+// ElemSizeHint implements Distributed: the codec's fixed element size,
+// falling back to an 8-byte estimate for variable-size elements.
+func (s *DSeq[T]) ElemSizeHint() int {
+	if n := s.codec.ElemSize(); n > 0 {
+		return n
+	}
+	return 8
 }
 
 // ElemTypeCode implements Distributed.

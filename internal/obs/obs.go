@@ -49,6 +49,18 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
+// Max raises the gauge to n when n exceeds the current value — the
+// high-watermark update (e.g. peak buffer residency), lock-free under
+// concurrent writers.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // GaugeFunc is a read-on-scrape gauge: the function is called at exposition
 // time, so mutex-guarded state (cache entry counts, queue depths) can be
 // reported without mirroring it into an atomic on every update.

@@ -38,10 +38,11 @@ const (
 )
 
 // Version is the protocol version this build emits in every message.
-// Version 2 added the TraceID/SpanID pair to Request; decoders accept any
+// Version 2 added the TraceID/SpanID pair to Request; version 3 added the
+// ChunkOff/More chunk-framing pair to ArgStream. Decoders accept any
 // version in [MinVersion, Version] and read version-gated fields only when
-// the frame's own version carries them, so v1 frames still decode.
-const Version byte = 2
+// the frame's own version carries them, so v1 and v2 frames still decode.
+const Version byte = 3
 
 // MinVersion is the oldest protocol version decoders still accept.
 const MinVersion byte = 1
@@ -150,9 +151,18 @@ type ArgStream struct {
 	// in-direction, server rank for out-direction). Receivers account
 	// arriving elements per sender, which is what lets a deadline failure
 	// name the rank whose share never arrived.
-	Sender  int32
-	Runs    []Run
-	Payload []byte
+	Sender int32
+	// ChunkOff/More are the streamed-transfer chunk framing (version >= 3;
+	// both zero on older frames). ChunkOff is this chunk's element offset
+	// within the sender's move and More reports whether further chunks of
+	// the same (param, sender) stream follow. Chunks are positionally
+	// self-describing — every one carries its own Runs — so receivers need
+	// neither field for correctness; they serve run accounting, metrics,
+	// and diagnostics of a stream cut short.
+	ChunkOff uint32
+	More     bool
+	Runs     []Run
+	Payload  []byte
 }
 
 // LocateRequest asks whether a server hosts the object.
@@ -425,6 +435,10 @@ func AppendArgStream(e *cdr.Encoder, a *ArgStream) {
 	e.PutLong(a.Param)
 	e.PutOctet(a.Dir)
 	e.PutLong(a.Sender)
+	// v3 chunk framing: always emitted (zero/false for unchunked sends) so
+	// the wire format is constant per protocol version.
+	e.PutULong(a.ChunkOff)
+	e.PutBool(a.More)
 	e.PutSeqLen(len(a.Runs))
 	for _, r := range a.Runs {
 		e.PutLong(r.Global)
@@ -457,6 +471,12 @@ func DecodeArgStream(frame []byte) (*ArgStream, error) {
 		Param:     d.GetLong(),
 		Dir:       d.GetOctet(),
 		Sender:    d.GetLong(),
+	}
+	// Chunk framing exists only from protocol v3 on; a v2 frame's next
+	// field is the run count, and ChunkOff/More stay zero.
+	if FrameVersion(frame) >= 3 {
+		a.ChunkOff = d.GetULong()
+		a.More = d.GetBool()
 	}
 	n := d.GetSeqLen(4)
 	if n > 0 {

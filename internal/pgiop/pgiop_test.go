@@ -187,6 +187,76 @@ func TestV1FrameStillDecodes(t *testing.T) {
 	}
 }
 
+// encodeArgStreamV2 hand-builds a protocol-v2 ArgStream frame — the
+// pre-chunking layout, with no ChunkOff/More between Sender and the run
+// count — exactly as a v2 peer would emit it.
+func encodeArgStreamV2(a *ArgStream) []byte {
+	e := cdr.NewEncoder(64 + len(a.Payload))
+	e.PutOctet(magic[0])
+	e.PutOctet(magic[1])
+	e.PutOctet(2) // protocol version 2
+	e.PutOctet(byte(MsgArgStream))
+	e.PutString(a.BindingID)
+	e.PutULong(a.SeqNo)
+	e.PutULong(a.ReqID)
+	e.PutLong(a.Param)
+	e.PutOctet(a.Dir)
+	e.PutLong(a.Sender)
+	e.PutSeqLen(len(a.Runs))
+	for _, r := range a.Runs {
+		e.PutLong(r.Global)
+		e.PutLong(r.Len)
+		e.PutLong(r.DstOff)
+	}
+	e.PutSeqLen(len(a.Payload))
+	e.PutRaw(a.Payload)
+	return e.Bytes()
+}
+
+// TestV2ArgStreamStillDecodes is the chunk-framing version-gating contract:
+// an ArgStream from a v2 peer (no ChunkOff/More) must decode on this build
+// with zero chunk framing and every other field intact.
+func TestV2ArgStreamStillDecodes(t *testing.T) {
+	in := &ArgStream{
+		BindingID: "legacy", SeqNo: 4, ReqID: 12, Param: 1, Dir: DirIn, Sender: 3,
+		Runs:    []Run{{Global: 8, Len: 4, DstOff: 0}},
+		Payload: []byte{1, 2, 3},
+	}
+	fr := encodeArgStreamV2(in)
+	if v := FrameVersion(fr); v != 2 {
+		t.Fatalf("test frame version = %d, want 2", v)
+	}
+	out, err := DecodeArgStream(fr)
+	if err != nil {
+		t.Fatalf("v2 frame rejected: %v", err)
+	}
+	if out.ChunkOff != 0 || out.More {
+		t.Fatalf("v2 frame produced chunk framing %d/%v, want 0/false", out.ChunkOff, out.More)
+	}
+	if out.BindingID != "legacy" || out.SeqNo != 4 || out.Sender != 3 ||
+		len(out.Runs) != 1 || out.Runs[0] != (Run{8, 4, 0}) ||
+		string(out.Payload) != string(in.Payload) {
+		t.Fatalf("v2 frame fields corrupted: %+v", out)
+	}
+}
+
+// TestChunkFramingRoundTrip: the v3 chunk fields survive encode/decode.
+func TestChunkFramingRoundTrip(t *testing.T) {
+	in := &ArgStream{
+		BindingID: "b", SeqNo: 1, Param: 0, Dir: DirIn, Sender: 2,
+		ChunkOff: 4096, More: true,
+		Runs:    []Run{{Global: 4096, Len: 16, DstOff: 96}},
+		Payload: []byte{5},
+	}
+	out, err := DecodeArgStream(EncodeArgStream(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ChunkOff != 4096 || !out.More {
+		t.Fatalf("chunk framing lost: got %d/%v", out.ChunkOff, out.More)
+	}
+}
+
 // TestFutureVersionRejected: frames newer than this build's Version are
 // refused outright rather than misparsed.
 func TestFutureVersionRejected(t *testing.T) {

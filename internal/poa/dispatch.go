@@ -606,33 +606,28 @@ func (p *POA) encodeResults(enc *cdr.Encoder, op *core.Operation, ret any, outs 
 		// Same-shape replies reuse the cached transfer schedule, and the
 		// per-destination moves fan out from the worker pool: each client
 		// thread's segment stream is an independent (binding, seqno, param)
-		// key, so reordering sends across destinations is safe.
+		// key, so reordering sends across destinations is safe. Each move
+		// streams as bounded chunks (core.StreamMove), encode overlapping
+		// send, so a large result never stages whole in one encoder.
 		sched := dist.Cached(holder.DLayout(), clientLayout)
 		outMoves := sched.From(p.th.Rank())
-		workers, fanDone := core.FanWidth(p.TransferWorkers, p.r.ConcurrentSendSafe(), outMoves)
+		safe := p.r.ConcurrentSendSafe()
+		elemSize := holder.ElemSizeHint()
+		workers, fanDone := core.FanWidth(p.TransferWorkers, safe, outMoves)
+		chunk, streamDone := core.StreamChunk(p.StreamChunkBytes, safe, len(outMoves), core.MoveBytes(outMoves, elemSize))
 		param := i
 		err := core.FanOutMoves(workers, outMoves, func(mv *dist.Move, iov *[2][]byte) error {
-			// Pooled payload + header, framed by one vectored send; the
-			// transport retains neither buffer.
-			pay := cdr.GetEncoder(mv.Elements() * 8)
-			holder.EncodeRuns(pay, mv.Runs)
-			as := &pgiop.ArgStream{
+			// The chunk-stream header is per destination here: each client
+			// thread matches out-segments by its own request ID.
+			spec := core.StreamSpec{
 				BindingID: req.BindingID,
 				SeqNo:     req.SeqNo,
 				ReqID:     clients[mv.To].ReqID,
 				Param:     int32(param),
 				Dir:       pgiop.DirOut,
 				Sender:    int32(p.th.Rank()),
-				Runs:      wireRuns(mv.Runs),
-				Payload:   pay.Bytes(),
 			}
-			hdr := cdr.GetEncoder(128)
-			pgiop.AppendArgStream(hdr, as)
-			iov[0], iov[1] = hdr.Bytes(), as.Payload
-			serr := p.r.SendV(nexus.Addr(clients[mv.To].Addr), iov[:]...)
-			iov[0], iov[1] = nil, nil
-			hdr.Release()
-			pay.Release()
+			serr := core.StreamMove(p.r, nexus.Addr(clients[mv.To].Addr), holder, mv, spec, chunk, elemSize, safe, iov)
 			if serr != nil {
 				return fmt.Errorf("out segment to client %d: %v", mv.To, serr)
 			}
@@ -642,15 +637,8 @@ func (p *POA) encodeResults(enc *cdr.Encoder, op *core.Operation, ret any, outs 
 			return nil, nil, err
 		}
 		fanDone()
+		streamDone()
 		outLens = append(outLens, pgiop.OutLen{Param: int32(i), N: int32(holder.GlobalLen()), Layout: holder.DLayout()})
 	}
 	return enc.Bytes(), outLens, nil
-}
-
-func wireRuns(runs []dist.Run) []pgiop.Run {
-	out := make([]pgiop.Run, len(runs))
-	for i, r := range runs {
-		out[i] = pgiop.Run{Global: int32(r.Global), Len: int32(r.Len), DstOff: int32(r.DstOff)}
-	}
-	return out
 }

@@ -164,6 +164,14 @@ type POA struct {
 	// take effect only on fabrics whose sends are concurrency-safe
 	// (Router.ConcurrentSendSafe).
 	TransferWorkers int
+
+	// StreamChunkBytes bounds the payload bytes per ArgStream frame of one
+	// distributed out-argument move: > 0 pins the chunk size, 0 (the
+	// default) self-tunes it per destination count and payload size on
+	// concurrency-safe fabrics (fixed default size elsewhere), negative
+	// disables chunking and ships each move as one staged frame
+	// (core.StreamChunk).
+	StreamChunkBytes int
 }
 
 // New creates the adapter for one computing thread. table (optional)

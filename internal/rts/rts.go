@@ -103,6 +103,17 @@ type Comm interface {
 	Barrier()
 }
 
+// SendCopier is an optional Comm capability: a backend whose Send
+// serializes (copies) data onto the wire before returning implements it
+// with true, telling senders that a pooled buffer may be reused the moment
+// Send completes. Backends that deliver the caller's slice to the receiver
+// by reference (chan, sim — see the buffer-ownership rules below) leave it
+// unimplemented, and senders must hand buffer ownership over with the
+// message.
+type SendCopier interface {
+	SendCopies() bool
+}
+
 // Thread is the execution context handed to SPMD application code: the
 // communication interface plus a cost model for local computation. On the
 // real-time backend Compute is a no-op (the code does real work); on the

@@ -249,6 +249,11 @@ func (t *TCPThread) Endpoint() nexus.Endpoint { return t.ep }
 // Send implements Comm. The payload is never copied into the frame: a small
 // pooled header (type, rank, tag, length prefix) and the caller's payload go
 // out as one vectored send.
+// SendCopies implements rts.SendCopier: Send below serializes data through
+// the endpoint's vectored write before returning, so callers may recycle
+// their buffer immediately.
+func (t *TCPThread) SendCopies() bool { return true }
+
 func (t *TCPThread) Send(dst int, tag Tag, data []byte) {
 	CheckRank(t, dst)
 	e := cdr.GetEncoder(16)

@@ -138,6 +138,8 @@ func TestMetricNameHygiene(t *testing.T) {
 		"tune_switches_total",
 		"poa_dispatch_pool_workers",
 		"poa_dispatch_pool_resizes_total",
+		"stream_chunks_total",
+		"stream_peak_buffer_bytes",
 	} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)
