@@ -54,6 +54,16 @@ go test -run TestTunerGate -count=1 .
 go run ./cmd/pardis-bench -fig stream -quick -json > stream-summary.json
 go test -run TestStreamGate -count=1 .
 
+# Serve lane: the replicated-group serving figure (healthy / replica-killed
+# / overload with and without POA admission control) as a JSON artifact,
+# plus the gate asserting >= 99% idempotent completion through a mid-run
+# kill, dead-member expiry within the registry TTL, and shed p99 strictly
+# under the no-admission p99. The chaos soak repeats the wall-clock
+# kill/failover scenario under the race detector with the leak check.
+go run ./cmd/pardis-bench -fig serve -quick -json > serve-summary.json
+go test -run TestServeGate -count=1 .
+go test -race -run TestGroupChaosFailoverSoak -count=3 .
+
 # Observability lane: a tracing-enabled bench run must complete and export
 # a non-empty Chrome trace (the 4-rank SPMD section runs first, so its
 # spans are always captured); the overhead guard must hold — allocs/op

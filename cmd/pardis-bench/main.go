@@ -39,6 +39,7 @@ type summary struct {
 	Fanin       []bench.FaninPoint      `json:"fanin,omitempty"`
 	Tuner       []bench.TunerPoint      `json:"tuner,omitempty"`
 	Stream      []bench.StreamPoint     `json:"stream,omitempty"`
+	Serve       []bench.ServePoint      `json:"serve,omitempty"`
 }
 
 type transferSection struct {
@@ -52,7 +53,7 @@ type ablationSection struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, fanin, tuner, stream, all")
+	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, fanin, tuner, stream, serve, all")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of tables")
 	traceFile := flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
@@ -93,6 +94,8 @@ func main() {
 		out.Tuner = tuner(*quick, *asJSON)
 	case "stream":
 		out.Stream = stream(*quick, *asJSON)
+	case "serve":
+		out.Serve = serve(*quick, *asJSON)
 	case "all":
 		out.Figure2 = figure2(*quick, *asJSON)
 		out.Figure4 = figure4(*quick, *asJSON)
@@ -103,6 +106,7 @@ func main() {
 		out.Fanin = fanin(*quick, *asJSON)
 		out.Tuner = tuner(*quick, *asJSON)
 		out.Stream = stream(*quick, *asJSON)
+		out.Serve = serve(*quick, *asJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "pardis-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -317,6 +321,26 @@ func stream(quick, silent bool) []bench.StreamPoint {
 		fmt.Printf("%-8s  %11d  %9d  %10.4f  %11.1f  %16d  %6d\n",
 			p.Mode, p.PayloadBytes>>20, p.ChunkBytes>>10, p.Seconds,
 			p.MBPerSec, p.PeakBuffer>>10, p.ChunkFrames)
+	}
+	fmt.Println()
+	return pts
+}
+
+// serve runs the replicated-group serving cells on the simulated testbed:
+// a 4-replica group behind the registry's load-balancing resolve, healthy
+// and with a replica killed mid-run, plus an overload cell with and without
+// POA admission control. Virtual clock, so the table is deterministic.
+func serve(quick, silent bool) []bench.ServePoint {
+	pts := bench.FigureServe(quick)
+	if silent {
+		return pts
+	}
+	fmt.Println("== Serve: replicated group, failover and admission control (virtual clock) ==")
+	fmt.Println("scenario         clients  invocations  completed  p50_ms  p95_ms  p99_ms  failovers  sheds  drop_ms")
+	for _, p := range pts {
+		fmt.Printf("%-15s  %7d  %11d  %9d  %6.1f  %6.1f  %6.1f  %9d  %5d  %7.1f\n",
+			p.Scenario, p.Clients, p.Invocations, p.Completed,
+			p.P50*1000, p.P95*1000, p.P99*1000, p.Failovers, p.Sheds, p.DropSeconds*1000)
 	}
 	fmt.Println()
 	return pts

@@ -5,19 +5,27 @@
 //
 // Usage:
 //
-//	pardis-reg [-listen host:port] [-debug host:port]
+//	pardis-reg [-listen host:port] [-debug host:port] [-member-ttl s] [-sweep s]
 //
 // The printed bootstrap address is what servers and clients pass to
 // registry.Open. -debug additionally serves the live introspection
 // endpoint (/metrics Prometheus text, /debug/vars expvar JSON,
-// /debug/trace Chrome trace events — see DESIGN.md §11); without it the
+// /debug/trace Chrome trace events, /debug/groups replicated-group
+// membership and load reports — see DESIGN.md §11, §15); without it the
 // daemon exposes nothing.
+//
+// Replicated object groups (registry.Client.RegisterMember/ReportLoad) age
+// out when their heartbeats stop: -member-ttl is the expiry horizon (set it
+// to 2× the replicas' heartbeat period) and -sweep is how often the daemon
+// prunes expired members even while nobody resolves.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"time"
 
 	"pardis/internal/core"
 	"pardis/internal/nexus"
@@ -29,10 +37,21 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7934", "TCP listen address")
-	debugAddr := flag.String("debug", "", "serve /metrics, /debug/vars and /debug/trace on this address")
+	debugAddr := flag.String("debug", "", "serve /metrics, /debug/vars, /debug/trace and /debug/groups on this address")
+	memberTTL := flag.Float64("member-ttl", registry.DefaultMemberTTL, "group member expiry horizon, seconds (2x the replica heartbeat period)")
+	sweep := flag.Float64("sweep", 0, "expired-member sweep period, seconds (0 = member-ttl/2)")
 	flag.Parse()
 
+	repo := registry.NewRepository()
+	repo.SetMemberTTL(*memberTTL)
+
 	if *debugAddr != "" {
+		obs.RegisterDebugPage("/debug/groups", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, g := range repo.GroupsSnapshot() {
+				fmt.Fprintln(w, g)
+			}
+		})
 		bound, stop, err := obs.Serve(*debugAddr, obs.Default, obs.DefaultTracer)
 		if err != nil {
 			log.Fatal(err)
@@ -41,6 +60,27 @@ func main() {
 		fmt.Printf("pardis-reg: debug endpoint at http://%s\n", bound)
 	}
 
+	// Background sweep: dead members must disappear on schedule, not only
+	// when the next resolve happens to age the group.
+	period := *sweep
+	if period <= 0 {
+		period = *memberTTL / 2
+	}
+	sweepStop := make(chan struct{})
+	defer close(sweepStop)
+	go func() {
+		tick := time.NewTicker(time.Duration(period * float64(time.Second)))
+		defer tick.Stop()
+		for {
+			select {
+			case <-sweepStop:
+				return
+			case <-tick.C:
+				repo.SweepExpired()
+			}
+		}
+	}()
+
 	ep, err := nexus.NewTCPEndpoint(*listen)
 	if err != nil {
 		log.Fatal(err)
@@ -48,7 +88,7 @@ func main() {
 	th := rts.NewChanGroup("registry-host", 1).Thread(0)
 	router := core.NewRouter(ep)
 	adapter := poa.New(th, router, nil)
-	if _, err := adapter.RegisterSingle(registry.RepositoryKey, registry.Iface(), registry.NewRepository()); err != nil {
+	if _, err := adapter.RegisterSingle(registry.RepositoryKey, registry.Iface(), repo); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pardis-reg: repository serving at %s\n", router.Addr())

@@ -40,6 +40,29 @@ func (e *InvokeError) Error() string {
 
 func (e *InvokeError) Unwrap() error { return e.Err }
 
+// ErrOverloaded marks an invocation refused at a server's admission
+// watermark (StatusOverloaded on the wire) after any retry budget was
+// exhausted. Test with errors.Is; the wrapping ShedError carries the
+// server's backoff hint.
+var ErrOverloaded = errors.New("core: server overloaded")
+
+// ShedError is the structured failure of a shed invocation: the server
+// answered immediately that it would not queue the request, and suggested
+// when to try again. A group binding treats it as a failover signal; a
+// plain binding with retries parks for the hint and re-issues.
+type ShedError struct {
+	Op string
+	// RetryAfter is the server's backoff hint, seconds (0 when the server
+	// sent none).
+	RetryAfter float64
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("core: %s: %v (retry after %.0fms)", e.Op, ErrOverloaded, e.RetryAfter*1000)
+}
+
+func (e *ShedError) Unwrap() error { return ErrOverloaded }
+
 // RetryPolicy governs automatic client-side re-issue of a failed or
 // timed-out invocation. Retries apply only where re-execution is safe and
 // attribution is simple:

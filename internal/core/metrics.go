@@ -21,6 +21,13 @@ var (
 	// are then in flight to that request's server connection — the
 	// pipelining depth the multiplexed transport sustains.
 	orbPipelineDepth = obs.Default.MustHistogram("orb_pipeline_depth")
+	// orbSheds counts StatusOverloaded replies received — each one a server
+	// refusing at its admission watermark rather than queueing.
+	orbSheds = obs.Default.MustCounter("orb_sheds_total")
+	// groupFailovers counts group-binding member switches: a shed reply or
+	// an idempotent-invocation timeout sending the next attempt to a
+	// different replica of the object group.
+	groupFailovers = obs.Default.MustCounter("group_failovers_total")
 )
 
 // ServeDebug starts the opt-in introspection endpoint (Prometheus text at

@@ -492,9 +492,17 @@ func deadlineMS(seconds float64) uint32 {
 	return uint32(ms)
 }
 
-// park schedules a claimed retryable request for re-issue after backoff.
+// park schedules a claimed retryable request for re-issue after the
+// policy's exponential backoff.
 func (o *ORB) park(p *pendingReq) {
-	p.resendAt = o.now() + p.policy.backoff(p.attempt, p.rng)
+	o.parkAfter(p, p.policy.backoff(p.attempt, p.rng))
+}
+
+// parkAfter schedules a claimed retryable request for re-issue after an
+// explicit delay — the server's shed hint when one arrived, the policy
+// backoff otherwise.
+func (o *ORB) parkAfter(p *pendingReq, delay float64) {
+	p.resendAt = o.now() + delay
 	p.deadlineAt = 0
 	o.mu.Lock()
 	o.backoff = append(o.backoff, p)
@@ -825,6 +833,28 @@ func (o *ORB) handleReply(r *pgiop.Reply) {
 	o.mu.Unlock()
 	if p == nil || p.reply != nil {
 		return // cancelled, duplicate, or unknown
+	}
+	if r.Status == pgiop.StatusOverloaded {
+		// Admission shed: the server refused to queue the request and hinted
+		// when to retry. A retryable request parks for exactly that hint
+		// (backing off per the server's own estimate beats re-guessing);
+		// otherwise the shed surfaces as a ShedError for the caller — a
+		// group binding fails it over to another member.
+		orbSheds.Inc()
+		if o.claim(r.ReqID) == nil {
+			return // timed out or cancelled first
+		}
+		hint := float64(r.RetryAfterMS) / 1000
+		if p.retryable() && p.attempt < p.policy.attempts() {
+			delay := hint
+			if delay <= 0 {
+				delay = p.policy.backoff(p.attempt, p.rng)
+			}
+			o.parkAfter(p, delay)
+			return
+		}
+		o.resolve(p, nil, &ShedError{Op: p.op.Name, RetryAfter: hint})
+		return
 	}
 	if r.Status != pgiop.StatusOK {
 		if o.claim(r.ReqID) == nil {

@@ -39,10 +39,12 @@ const (
 
 // Version is the protocol version this build emits in every message.
 // Version 2 added the TraceID/SpanID pair to Request; version 3 added the
-// ChunkOff/More chunk-framing pair to ArgStream. Decoders accept any
+// ChunkOff/More chunk-framing pair to ArgStream; version 4 added the
+// RetryAfterMS admission-control hint to Reply. Decoders accept any
 // version in [MinVersion, Version] and read version-gated fields only when
-// the frame's own version carries them, so v1 and v2 frames still decode.
-const Version byte = 3
+// the frame's own version carries them, so v1 through v3 frames still
+// decode.
+const Version byte = 4
 
 // MinVersion is the oldest protocol version decoders still accept.
 const MinVersion byte = 1
@@ -56,6 +58,10 @@ var ErrBadMessage = errors.New("pgiop: bad message")
 const (
 	StatusOK        byte = 0
 	StatusException byte = 1
+	// StatusOverloaded is the admission-control shed: the server refused to
+	// queue the request and the client should retry after Reply.RetryAfterMS
+	// — here or on another member of the object's group.
+	StatusOverloaded byte = 2
 )
 
 // Directions for ArgStream.
@@ -124,11 +130,15 @@ type OutLen struct {
 
 // Reply completes an invocation for one client thread.
 type Reply struct {
-	ReqID   uint32
-	Status  byte
-	Error   string // exception reason when Status != StatusOK
-	Body    []byte // return value + non-distributed out/inout arguments
-	OutLens []OutLen
+	ReqID  uint32
+	Status byte
+	Error  string // exception reason when Status != StatusOK
+	// RetryAfterMS is the server's backoff hint in milliseconds when Status
+	// is StatusOverloaded (version >= 4; zero otherwise or when the frame
+	// predates v4).
+	RetryAfterMS uint32
+	Body         []byte // return value + non-distributed out/inout arguments
+	OutLens      []OutLen
 }
 
 // Run describes one contiguous piece of an ArgStream in receiver
@@ -367,6 +377,9 @@ func AppendReply(e *cdr.Encoder, r *Reply) {
 	e.PutULong(r.ReqID)
 	e.PutOctet(r.Status)
 	e.PutString(r.Error)
+	// v4 admission hint: always emitted (zero for non-shed replies) so the
+	// wire format is constant per protocol version.
+	e.PutULong(r.RetryAfterMS)
 	e.PutSeqLen(len(r.OutLens))
 	for _, o := range r.OutLens {
 		e.PutLong(o.Param)
@@ -405,6 +418,11 @@ func DecodeReplyInto(r *Reply, frame []byte) error {
 		ReqID:  d.GetULong(),
 		Status: d.GetOctet(),
 		Error:  d.GetString(),
+	}
+	// The admission hint exists only from protocol v4 on; a v3 frame's next
+	// field is the OutLens length, and RetryAfterMS stays zero.
+	if FrameVersion(frame) >= 4 {
+		r.RetryAfterMS = d.GetULong()
 	}
 	n := d.GetSeqLen(4)
 	for i := 0; i < n; i++ {

@@ -240,6 +240,68 @@ func TestV2ArgStreamStillDecodes(t *testing.T) {
 	}
 }
 
+// encodeReplyV3 hand-builds a protocol-v3 Reply frame — the pre-admission
+// layout, with no RetryAfterMS between Error and the OutLens count —
+// exactly as a v3 peer would emit it.
+func encodeReplyV3(r *Reply) []byte {
+	e := cdr.NewEncoder(64 + len(r.Body))
+	e.PutOctet(magic[0])
+	e.PutOctet(magic[1])
+	e.PutOctet(3) // protocol version 3
+	e.PutOctet(byte(MsgReply))
+	e.PutULong(r.ReqID)
+	e.PutOctet(r.Status)
+	e.PutString(r.Error)
+	e.PutSeqLen(len(r.OutLens))
+	for _, o := range r.OutLens {
+		e.PutLong(o.Param)
+		e.PutLong(o.N)
+		dist.EncodeLayout(e, o.Layout)
+	}
+	e.PutSeqLen(len(r.Body))
+	e.PutRaw(r.Body)
+	return e.Bytes()
+}
+
+// TestV3ReplyStillDecodes is the admission-hint version-gating contract: a
+// Reply from a v3 peer (no RetryAfterMS) must decode on this build with a
+// zero hint and every other field intact.
+func TestV3ReplyStillDecodes(t *testing.T) {
+	in := &Reply{
+		ReqID: 31, Status: StatusException, Error: "boom",
+		Body:    []byte{4, 5},
+		OutLens: []OutLen{{Param: 0, N: 8, Layout: dist.BlockTemplate().Layout(8, 2)}},
+	}
+	fr := encodeReplyV3(in)
+	if v := FrameVersion(fr); v != 3 {
+		t.Fatalf("test frame version = %d, want 3", v)
+	}
+	out, err := DecodeReply(fr)
+	if err != nil {
+		t.Fatalf("v3 frame rejected: %v", err)
+	}
+	if out.RetryAfterMS != 0 {
+		t.Fatalf("v3 frame produced retry hint %d, want 0", out.RetryAfterMS)
+	}
+	if out.ReqID != 31 || out.Status != StatusException || out.Error != "boom" ||
+		string(out.Body) != string(in.Body) ||
+		len(out.OutLens) != 1 || !out.OutLens[0].Layout.Equal(in.OutLens[0].Layout) {
+		t.Fatalf("v3 frame fields corrupted: %+v", out)
+	}
+}
+
+// TestRetryHintRoundTrip: the v4 admission hint survives encode/decode.
+func TestRetryHintRoundTrip(t *testing.T) {
+	in := &Reply{ReqID: 2, Status: StatusOverloaded, Error: "overloaded", RetryAfterMS: 15}
+	out, err := DecodeReply(EncodeReply(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != StatusOverloaded || out.RetryAfterMS != 15 {
+		t.Fatalf("retry hint lost: %+v", out)
+	}
+}
+
 // TestChunkFramingRoundTrip: the v3 chunk fields survive encode/decode.
 func TestChunkFramingRoundTrip(t *testing.T) {
 	in := &ArgStream{

@@ -1,0 +1,77 @@
+package poa
+
+import (
+	"pardis/internal/cdr"
+	"pardis/internal/nexus"
+	"pardis/internal/pgiop"
+)
+
+// shedErrorMsg is the constant exception reason of a shed reply. A constant
+// — not fmt output — because the shed path runs when the server is already
+// saturated and must not spend allocations describing that fact.
+const shedErrorMsg = "poa: admission queue full"
+
+// SetAdmission arms admission control for single-object dispatch: when more
+// than limit accepted requests are queued or executing, further arrivals are
+// refused immediately with a StatusOverloaded reply carrying retryAfter
+// (seconds, rounded up to whole milliseconds; <= 0 defaults to 1ms) as the
+// client's backoff hint. Oneway arrivals over the watermark are dropped.
+//
+// The shed happens at routing time, before any dispatch state is built, so
+// an overloaded adapter answers in transport time rather than queue time —
+// the graceful-degradation contract a replicated group's failover relies
+// on. limit <= 0 disables admission control (the default). Call from the
+// POA's owning thread, like every configuration method.
+func (p *POA) SetAdmission(limit int, retryAfter float64) {
+	p.admitLimit = limit
+	ms := retryAfter * 1000
+	if ms < 1 {
+		ms = 1
+	}
+	p.shedHintMS = uint32(ms)
+}
+
+// overAdmission reports whether accepting one more single-object request
+// would cross the admission watermark.
+func (p *POA) overAdmission() bool {
+	return p.admitLimit > 0 && int(p.admitted.Load()) >= p.admitLimit
+}
+
+// shed refuses a single-object request at the admission watermark. The
+// reply is assembled from constants and POA-owned scratch — no body decode,
+// no operation lookup, no dispatch context — so shedding N requests costs N
+// sends and nothing else.
+func (p *POA) shed(req *pgiop.Request) {
+	poaSheds.Inc()
+	p.shedCount.Add(1)
+	if req.Oneway {
+		return
+	}
+	p.shedScratch = pgiop.Reply{
+		ReqID:        req.ReqID,
+		Status:       pgiop.StatusOverloaded,
+		Error:        shedErrorMsg,
+		RetryAfterMS: p.shedHintMS,
+	}
+	hdr := cdr.GetEncoder(64)
+	pgiop.AppendReply(hdr, &p.shedScratch)
+	_ = p.r.Send(nexus.Addr(req.ReplyAddr), hdr.Bytes())
+	hdr.Release()
+}
+
+// LoadReport snapshots this adapter's load signal for a registry heartbeat:
+// the p95 single-object dispatch latency (seconds) observed so far and the
+// number of accepted requests currently queued or executing. Safe to call
+// from any goroutine — both quantities are atomics — so a heartbeat loop
+// never synchronizes with the dispatch path.
+func (p *POA) LoadReport() (p95 float64, depth int) {
+	return p.loadLat.Snapshot().P95, int(p.admitted.Load())
+}
+
+// ShedCount reports how many requests this adapter has refused at the
+// admission watermark, distinct from the process-wide poa_shed_total so a
+// harness hosting several adapters can attribute sheds per replica. Safe to
+// call from any goroutine.
+func (p *POA) ShedCount() uint64 {
+	return p.shedCount.Load()
+}

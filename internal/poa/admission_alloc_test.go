@@ -1,0 +1,50 @@
+package poa
+
+import (
+	"testing"
+
+	"pardis/internal/core"
+	"pardis/internal/nexus"
+	"pardis/internal/pgiop"
+	"pardis/internal/rts"
+)
+
+// TestShedPathAllocs bounds the refusal path's allocation cost: shedding is
+// what the adapter does when it is already saturated, so it must not spend
+// allocations describing the refusal. The reply header is POA-owned
+// scratch, the encoder is pooled and the reason is a constant — the only
+// allocations left are the transport's own frame handoff.
+func TestShedPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	fab := nexus.NewInproc()
+	sink := fab.NewEndpoint("shed-sink")
+	p := New(rts.NewChanGroup("shed-alloc", 1).Thread(0),
+		core.NewRouter(fab.NewEndpoint("shed-server")), nil)
+	p.SetAdmission(1, 0.01)
+
+	req := &pgiop.Request{
+		ReqID:     42,
+		ReplyAddr: string(sink.Addr()),
+		ObjectKey: "obj-1",
+		Operation: "work",
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for i := 0; i < 200; i++ {
+			if _, err := sink.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	allocs := testing.AllocsPerRun(200, func() { p.shed(req) })
+	// The inproc fabric copies each frame on Send (one alloc) and wraps it
+	// in a queue node; everything the shed path itself touches is pooled.
+	if allocs > 4 {
+		t.Fatalf("shed path allocates %.1f objects per refusal, want <= 4", allocs)
+	}
+	<-drained
+}

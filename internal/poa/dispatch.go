@@ -231,7 +231,9 @@ func (p *POA) serveSingle(e *entry, req *pgiop.Request, iov *[2][]byte, pooled b
 	}
 	p.singleDispatch(e, req, iov, pooled, decodeSpan)
 	end := obs.NowNS()
-	poaDispatchLatency.Observe(float64(end-start) / 1e9)
+	sec := float64(end-start) / 1e9
+	poaDispatchLatency.Observe(sec)
+	p.loadLat.Observe(sec)
 	if decodeSpan != 0 {
 		obs.DefaultTracer.Record(obs.Span{
 			Trace: req.TraceID, ID: obs.NewID(), Parent: decodeSpan,

@@ -25,6 +25,10 @@ var (
 	// poaDispatchLatency observes routing-to-reply time of every dispatch,
 	// single and SPMD.
 	poaDispatchLatency = obs.Default.MustHistogram("poa_dispatch_latency_seconds")
+	// poaSheds counts requests refused at the admission watermark (see
+	// SetAdmission) — each one answered with StatusOverloaded and a retry
+	// hint rather than queued.
+	poaSheds = obs.Default.MustCounter("poa_shed_total")
 )
 
 // ServeDebug starts the opt-in introspection endpoint (Prometheus text at

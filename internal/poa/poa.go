@@ -25,11 +25,13 @@ package poa
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"pardis/internal/core"
 	"pardis/internal/dist"
 	"pardis/internal/nexus"
+	"pardis/internal/obs"
 	"pardis/internal/pgiop"
 	"pardis/internal/rts"
 )
@@ -114,6 +116,24 @@ type POA struct {
 	// pool, when non-nil, pipelines single-object dispatch across worker
 	// goroutines (see SetDispatchWorkers). SPMD dispatch never uses it.
 	pool *dispatchPool
+
+	// Admission control (see SetAdmission): admitted counts single-object
+	// requests accepted but not yet finished — queued in localQ, queued to
+	// the pool, or executing. It is atomic (not owning-thread state) because
+	// pool workers decrement it and LoadReport reads it from heartbeat
+	// goroutines. shedScratch is the reusable shed reply header, touched
+	// only from the owning thread at routing time.
+	admitLimit  int
+	shedHintMS  uint32
+	admitted    atomic.Int64
+	shedCount   atomic.Uint64
+	shedScratch pgiop.Reply
+
+	// loadLat is the adapter's own single-object dispatch latency histogram
+	// — the per-replica load signal LoadReport exports, kept separate from
+	// the process-wide poa_dispatch_latency_seconds so co-hosted replicas
+	// report their own saturation, not each other's.
+	loadLat obs.Histogram
 
 	// ctx is the reusable invocation context handed to servants: it is
 	// valid only for the duration of one Invoke call (saved and restored
@@ -389,6 +409,7 @@ func (p *POA) ProcessRequests() int {
 			p.pool.reqs <- lr
 		} else {
 			p.serveSingle(lr.e, lr.req, &p.sendIov, false)
+			p.admitted.Add(-1)
 		}
 		count++
 		p.drain()
@@ -457,6 +478,13 @@ func (p *POA) routeRequest(req *pgiop.Request) {
 		return
 	}
 	if !e.spmd {
+		// Admission watermark: refuse before any dispatch state is built,
+		// so an overloaded adapter answers in transport time.
+		if p.overAdmission() {
+			p.shed(req)
+			return
+		}
+		p.admitted.Add(1)
 		// Capture the entry now so pool workers never read the object
 		// table concurrently with the owning thread.
 		p.localQ = append(p.localQ, localReq{e: e, req: req})

@@ -1,0 +1,5 @@
+//go:build race
+
+package poa
+
+const raceEnabled = true

@@ -77,6 +77,7 @@ func (pl *dispatchPool) run(p *POA) {
 			return // retirement pill
 		}
 		p.serveSingle(lr.e, lr.req, &iov, true)
+		p.admitted.Add(-1)
 		pl.depth.Add(-1)
 		poaPoolDepth.Add(-1)
 	}

@@ -1,0 +1,64 @@
+package registry
+
+import (
+	"time"
+
+	"pardis/internal/core"
+)
+
+// Heartbeat is a background reporter pushing one replica's load snapshots
+// to a repository on a fixed period. It is the real-fabric helper (its loop
+// sleeps wall time); simulation programs pace their own vtime loops and
+// call Client.ReportLoad directly.
+type Heartbeat struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartHeartbeat registers the member and then reports load() every period
+// seconds until Stop. The Client must be dedicated to the heartbeat
+// goroutine — bindings are owned by one thread — and its deadline is set to
+// the period so a dead repository costs one beat, never a wedge. A report
+// answered with "unknown member" (the repository expired us during a
+// partition) re-registers on the next beat. Errors are absorbed: a replica
+// that cannot reach its repository keeps serving and keeps trying.
+func StartHeartbeat(c *Client, name, memberID string, ior core.IOR, period float64, load func() (p95 float64, depth int)) *Heartbeat {
+	c.SetDeadline(period)
+	h := &Heartbeat{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		registered := false
+		if err := c.RegisterMember(name, memberID, ior); err == nil {
+			registered = true
+		}
+		tick := time.NewTicker(time.Duration(period * float64(time.Second)))
+		defer tick.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+			}
+			if !registered {
+				if err := c.RegisterMember(name, memberID, ior); err != nil {
+					continue
+				}
+				registered = true
+			}
+			p95, depth := load()
+			known, err := c.ReportLoad(name, memberID, p95, depth)
+			if err == nil && !known {
+				registered = false
+			}
+		}
+	}()
+	return h
+}
+
+// Stop ends the reporting loop and waits for it to exit. The member is left
+// registered; it ages out of the repository after the TTL (or is removed
+// explicitly with UnregisterMember).
+func (h *Heartbeat) Stop() {
+	close(h.stop)
+	<-h.done
+}

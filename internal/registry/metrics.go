@@ -1,0 +1,17 @@
+package registry
+
+import "pardis/internal/obs"
+
+// Process-wide repository instruments: group-membership churn and resolve
+// traffic of every Repository servant hosted in this process.
+var (
+	// groupMembers is the current member count across all groups.
+	groupMembers = obs.Default.MustGauge("group_members")
+	// groupResolves counts resolve_group calls that found a live group.
+	groupResolves = obs.Default.MustCounter("group_resolves_total")
+	// groupLoadReports counts accepted heartbeat load reports.
+	groupLoadReports = obs.Default.MustCounter("group_load_reports_total")
+	// groupExpired counts members dropped because their reports stopped for
+	// longer than the TTL.
+	groupExpired = obs.Default.MustCounter("group_expired_total")
+)

@@ -1,0 +1,66 @@
+package registry
+
+import "math/rand"
+
+// MemberLoad is one group member's load signal as the pick policy sees it.
+type MemberLoad struct {
+	// Load orders members (lower is better); the repository feeds it the
+	// reported p95 dispatch latency with queue depth as a tiebreak.
+	Load float64
+	// Stale marks a member whose last report is older than the staleness
+	// horizon — its Load no longer reflects reality.
+	Stale bool
+}
+
+// Picker is the group pick policy: least-loaded by power-of-two-choices
+// over members with fresh reports, degrading to plain round-robin when
+// every report is stale (no signal means no basis to prefer anyone, and
+// round-robin at least spreads the guesses). Seeded, so a repository's pick
+// sequence is reproducible. Not thread-safe — the repository calls it under
+// its own lock.
+type Picker struct {
+	rng *rand.Rand
+	rr  int
+}
+
+// NewPicker creates a pick policy with the given sampling seed.
+func NewPicker(seed int64) *Picker {
+	return &Picker{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick chooses one member index. Power-of-two-choices draws two distinct
+// fresh members and keeps the less loaded (ties to the lower index): almost
+// the load spread of full least-loaded selection, without every resolve
+// stampeding the single currently-best member between load reports.
+func (p *Picker) Pick(members []MemberLoad) int {
+	if len(members) == 0 {
+		return -1
+	}
+	fresh := make([]int, 0, len(members))
+	for i := range members {
+		if !members[i].Stale {
+			fresh = append(fresh, i)
+		}
+	}
+	switch len(fresh) {
+	case 0:
+		i := p.rr % len(members)
+		p.rr++
+		return i
+	case 1:
+		return fresh[0]
+	}
+	// Two distinct draws: the second samples the remaining indices and
+	// shifts past the first.
+	i := p.rng.Intn(len(fresh))
+	j := p.rng.Intn(len(fresh) - 1)
+	if j >= i {
+		j++
+	}
+	a, b := fresh[i], fresh[j]
+	if members[b].Load < members[a].Load ||
+		(members[b].Load == members[a].Load && b < a) {
+		return b
+	}
+	return a
+}

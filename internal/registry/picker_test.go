@@ -1,0 +1,178 @@
+package registry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// freshAll builds an all-fresh load vector.
+func freshAll(loads ...float64) []MemberLoad {
+	out := make([]MemberLoad, len(loads))
+	for i, l := range loads {
+		out[i] = MemberLoad{Load: l}
+	}
+	return out
+}
+
+func TestPickEmptyAndSingle(t *testing.T) {
+	p := NewPicker(1)
+	if got := p.Pick(nil); got != -1 {
+		t.Fatalf("empty pick = %d, want -1", got)
+	}
+	if got := p.Pick(freshAll(0.7)); got != 0 {
+		t.Fatalf("single pick = %d, want 0", got)
+	}
+	// One fresh among stale members: always the fresh one.
+	members := []MemberLoad{{Load: 0.1, Stale: true}, {Load: 9, Stale: false}, {Load: 0.2, Stale: true}}
+	for i := 0; i < 100; i++ {
+		if got := p.Pick(members); got != 1 {
+			t.Fatalf("pick %d chose %d, want the only fresh member 1", i, got)
+		}
+	}
+}
+
+// TestPickTwoFreshIsLeastLoaded: with exactly two fresh members the two
+// distinct draws always cover both, so power-of-two-choices degenerates to
+// exact least-loaded selection.
+func TestPickTwoFreshIsLeastLoaded(t *testing.T) {
+	p := NewPicker(3)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10_000; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		want := 0
+		if b < a {
+			want = 1
+		}
+		if got := p.Pick(freshAll(a, b)); got != want {
+			t.Fatalf("iter %d: loads (%.3f, %.3f) picked %d, want %d", i, a, b, got, want)
+		}
+	}
+}
+
+// pickTable is the property-test grid: member counts and load spreads the
+// aggregate assertions run over.
+var pickTable = []struct {
+	name    string
+	n       int
+	seed    int64
+	loadGen func(rng *rand.Rand) float64
+}{
+	{"n4-uniform", 4, 101, func(rng *rand.Rand) float64 { return rng.Float64() }},
+	{"n8-uniform", 8, 102, func(rng *rand.Rand) float64 { return rng.Float64() }},
+	{"n16-heavy-tail", 16, 103, func(rng *rand.Rand) float64 { return rng.ExpFloat64() }},
+}
+
+// TestPickLeastLoadedWithinTolerance: over 10k picks with redrawn random
+// loads, the mean picked load must sit well below the population mean —
+// power-of-two-choices approximates least-loaded — and every member must be
+// picked at least once (no starvation).
+func TestPickLeastLoadedWithinTolerance(t *testing.T) {
+	const picks = 10_000
+	for _, tc := range pickTable {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPicker(tc.seed)
+			rng := rand.New(rand.NewSource(tc.seed * 7))
+			var sumPicked, sumAll float64
+			counts := make([]int, tc.n)
+			for i := 0; i < picks; i++ {
+				members := make([]MemberLoad, tc.n)
+				for m := range members {
+					members[m] = MemberLoad{Load: tc.loadGen(rng)}
+					sumAll += members[m].Load
+				}
+				got := p.Pick(members)
+				if got < 0 || got >= tc.n {
+					t.Fatalf("pick %d out of range: %d", i, got)
+				}
+				counts[got]++
+				sumPicked += members[got].Load
+			}
+			meanPicked := sumPicked / picks
+			meanAll := sumAll / float64(picks*tc.n)
+			// Min-of-two-uniform has mean 2/3 of the population's; demand at
+			// least a 20% improvement to leave the seeds room.
+			if meanPicked > 0.8*meanAll {
+				t.Fatalf("mean picked load %.4f not clearly below population mean %.4f", meanPicked, meanAll)
+			}
+			for m, c := range counts {
+				if c == 0 {
+					t.Fatalf("member %d starved over %d picks (counts %v)", m, picks, counts)
+				}
+			}
+		})
+	}
+}
+
+// TestPickAllStaleRoundRobin: with no fresh report anywhere the policy has
+// no load signal and must degrade to round-robin, not keep trusting stale
+// numbers.
+func TestPickAllStaleRoundRobin(t *testing.T) {
+	p := NewPicker(9)
+	members := []MemberLoad{
+		{Load: 5, Stale: true}, {Load: 0.1, Stale: true}, {Load: 2, Stale: true},
+	}
+	for i := 0; i < 30; i++ {
+		if got, want := p.Pick(members), i%len(members); got != want {
+			t.Fatalf("stale pick %d = %d, want round-robin %d", i, got, want)
+		}
+	}
+	// Fresh reports resume: the round-robin cursor stops mattering and stale
+	// members are excluded again.
+	members[1].Stale = false
+	members[2].Stale = false
+	for i := 0; i < 100; i++ {
+		if got := p.Pick(members); got == 0 {
+			t.Fatalf("pick %d chose stale member 0 while fresh members exist", i)
+		}
+	}
+}
+
+// TestPickStaleNeverPreferred: fresh members exist, so stale ones must
+// never be chosen no matter how good their last report looked.
+func TestPickStaleNeverPreferred(t *testing.T) {
+	p := NewPicker(17)
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 10_000; i++ {
+		n := 2 + rng.Intn(8)
+		members := make([]MemberLoad, n)
+		anyFresh := false
+		for m := range members {
+			members[m] = MemberLoad{Load: rng.Float64(), Stale: rng.Intn(2) == 0}
+			// Stale members advertise impossibly good loads.
+			if members[m].Stale {
+				members[m].Load = 0
+			} else {
+				anyFresh = true
+			}
+		}
+		if !anyFresh {
+			members[0].Stale = false
+		}
+		got := p.Pick(members)
+		if members[got].Stale {
+			t.Fatalf("iter %d: picked stale member %d of %v", i, got, members)
+		}
+	}
+}
+
+// TestPickDeterministic: the same seed must reproduce the same pick
+// sequence — the property every seeded failover test depends on.
+func TestPickDeterministic(t *testing.T) {
+	run := func() []int {
+		p := NewPicker(23)
+		rng := rand.New(rand.NewSource(24))
+		out := make([]int, 1000)
+		for i := range out {
+			members := freshAll(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+			out[i] = p.Pick(members)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

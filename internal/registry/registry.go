@@ -44,7 +44,15 @@ const AgentKeyPrefix = "PARDIS:agent:"
 //	    void   list(out sequence<string> names);
 //	    void   register_impl(in string name, in string agent_ior);
 //	    long   lookup_impl(in string name, out string agent_ior);
+//	    void   register_member(in string name, in string member_id, in string ior);
+//	    void   unregister_member(in string name, in string member_id);
+//	    long   report_load(in string name, in string member_id, in double p95, in long depth);
+//	    long   resolve_group(in string name, out sequence<string> iors);
 //	};
+//
+// The group operations are idempotent: re-registering a member upserts,
+// re-reporting overwrites, and resolve_group is a read — so clients may arm
+// retries (and group heartbeats survive a lost reply).
 func Iface() *core.InterfaceDef {
 	str := typecode.TCString
 	return &core.InterfaceDef{
@@ -72,6 +80,25 @@ func Iface() *core.InterfaceDef {
 				core.NewParam("name", core.In, str),
 				core.NewParam("agent_ior", core.Out, str),
 			}, Result: typecode.TCLong},
+			{Name: "register_member", Idempotent: true, Params: []core.Param{
+				core.NewParam("name", core.In, str),
+				core.NewParam("member_id", core.In, str),
+				core.NewParam("ior", core.In, str),
+			}},
+			{Name: "unregister_member", Idempotent: true, Params: []core.Param{
+				core.NewParam("name", core.In, str),
+				core.NewParam("member_id", core.In, str),
+			}},
+			{Name: "report_load", Idempotent: true, Params: []core.Param{
+				core.NewParam("name", core.In, str),
+				core.NewParam("member_id", core.In, str),
+				core.NewParam("p95", core.In, typecode.TCDouble),
+				core.NewParam("depth", core.In, typecode.TCLong),
+			}, Result: typecode.TCLong},
+			{Name: "resolve_group", Idempotent: true, Params: []core.Param{
+				core.NewParam("name", core.In, str),
+				core.NewParam("iors", core.Out, typecode.SequenceOf(str, 0)),
+			}, Result: typecode.TCLong},
 		},
 	}
 }
@@ -92,18 +119,31 @@ func AgentIface() *core.InterfaceDef {
 	}
 }
 
-// Repository is the servant holding both naming tables. Thread-safe: the
-// repository may also be queried through a LocalTable bypass from other
-// goroutines of the same process.
+// Repository is the servant holding both naming tables and the group
+// membership tables. Thread-safe: the repository may also be queried
+// through a LocalTable bypass from other goroutines of the same process,
+// and SweepExpired/GroupsSnapshot run from daemon timers.
 type Repository struct {
 	mu    sync.Mutex
 	objs  map[string]string // name -> stringified IOR
 	impls map[string]string // name -> stringified agent IOR
+
+	// Group state (see group.go): name -> replica set, the pick policy,
+	// the member expiry horizon, and the clock member ages are measured on.
+	groups map[string]*group
+	picker *Picker
+	ttl    float64
+	clock  func() float64
 }
 
 // NewRepository creates empty tables.
 func NewRepository() *Repository {
-	return &Repository{objs: map[string]string{}, impls: map[string]string{}}
+	return &Repository{
+		objs:   map[string]string{},
+		impls:  map[string]string{},
+		groups: map[string]*group{},
+		picker: NewPicker(1),
+	}
 }
 
 // Invoke implements poa.Servant.
@@ -122,7 +162,12 @@ func (r *Repository) Invoke(_ *poa.Context, op string, in []any) (any, []any, er
 		ior, ok := r.objs[in[0].(string)]
 		return boolLong(ok), []any{ior}, nil
 	case "unregister":
-		delete(r.objs, in[0].(string))
+		// Unregistering a name clears both its plain binding and its whole
+		// group — the name is gone, not one replica of it (that is
+		// unregister_member).
+		name := in[0].(string)
+		delete(r.objs, name)
+		r.dropGroupLocked(name)
 		return nil, nil, nil
 	case "list":
 		names := make([]string, 0, len(r.objs))
@@ -137,6 +182,22 @@ func (r *Repository) Invoke(_ *poa.Context, op string, in []any) (any, []any, er
 	case "lookup_impl":
 		ior, ok := r.impls[in[0].(string)]
 		return boolLong(ok), []any{ior}, nil
+	case "register_member":
+		name := in[0].(string)
+		if name == "" {
+			return nil, nil, errors.New("empty name")
+		}
+		r.registerMemberLocked(name, in[1].(string), in[2].(string))
+		return nil, nil, nil
+	case "unregister_member":
+		r.unregisterMemberLocked(in[0].(string), in[1].(string))
+		return nil, nil, nil
+	case "report_load":
+		ok := r.reportLoadLocked(in[0].(string), in[1].(string), in[2].(float64), int(in[3].(int32)))
+		return boolLong(ok), nil, nil
+	case "resolve_group":
+		iors := r.resolveGroupLocked(in[0].(string))
+		return int32(len(iors)), []any{iors}, nil
 	}
 	return nil, nil, fmt.Errorf("repository: no operation %s", op)
 }
@@ -206,6 +267,71 @@ func (c *Client) List() ([]string, error) {
 	return vals[0].([]string), nil
 }
 
+// SetDeadline bounds every subsequent repository call (seconds; 0 restores
+// unbounded waiting) — heartbeat loops set it to their period so a dead or
+// partitioned repository never wedges a replica.
+func (c *Client) SetDeadline(seconds float64) { c.b.SetDeadline(seconds) }
+
+// SetRetryPolicy arms retries on the repository binding. Every group
+// operation is idempotent, so retrying through a lossy fabric is safe.
+func (c *Client) SetRetryPolicy(rp core.RetryPolicy) { c.b.SetRetryPolicy(rp) }
+
+// RegisterMember adds (or refreshes) one replica of the named group.
+// memberID distinguishes replicas; re-registering an id upserts its IOR.
+func (c *Client) RegisterMember(name, memberID string, ior core.IOR) error {
+	_, err := c.b.Invoke("register_member", []any{name, memberID, ior.String()})
+	return err
+}
+
+// UnregisterMember removes one replica; the group disappears with its last
+// member. The whole name is removed by Unregister.
+func (c *Client) UnregisterMember(name, memberID string) error {
+	_, err := c.b.Invoke("unregister_member", []any{name, memberID})
+	return err
+}
+
+// ReportLoad pushes one replica's load snapshot (p95 dispatch latency in
+// seconds, accepted-queue depth). The false return means the repository no
+// longer knows the member — it expired — and the replica should
+// re-register before the next report.
+func (c *Client) ReportLoad(name, memberID string, p95 float64, depth int) (bool, error) {
+	vals, err := c.b.Invoke("report_load", []any{name, memberID, p95, int32(depth)})
+	if err != nil {
+		return false, err
+	}
+	return vals[0].(int32) != 0, nil
+}
+
+// ResolveGroup resolves a group name to its live members, best first (the
+// repository's pick policy chooses the head; the rest is the failover
+// order). ErrNotFound when the name has no live group.
+func (c *Client) ResolveGroup(name string) ([]core.IOR, error) {
+	vals, err := c.b.Invoke("resolve_group", []any{name, nil})
+	if err != nil {
+		return nil, err
+	}
+	if vals[0].(int32) == 0 {
+		return nil, fmt.Errorf("%w: group %s", ErrNotFound, name)
+	}
+	strs := vals[1].([]string)
+	iors := make([]core.IOR, 0, len(strs))
+	for _, s := range strs {
+		ior, perr := core.ParseIOR(s)
+		if perr != nil {
+			return nil, fmt.Errorf("registry: group %s member: %w", name, perr)
+		}
+		iors = append(iors, ior)
+	}
+	return iors, nil
+}
+
+// GroupResolver adapts ResolveGroup to the ORB's group-binding resolver:
+// orb.BindGroup(c.GroupResolver("service"), iface) gives a reference whose
+// failover path re-consults this repository on every member switch.
+func (c *Client) GroupResolver(name string) core.GroupResolver {
+	return func() ([]core.IOR, error) { return c.ResolveGroup(name) }
+}
+
 // RegisterImpl records the activation agent able to start the named
 // (non-persistent) server — the paper's register facility.
 func (c *Client) RegisterImpl(name string, agent core.IOR) error {
@@ -229,9 +355,22 @@ func (c *Client) LookupImpl(name string) (core.IOR, error) {
 // implementation entry exists, asks the activation agent to start the
 // server and retries — the bind-time activation path. hostFilter, when
 // non-empty, requires the resolved object to live on the given host.
+//
+// A name registered as a group resolves too: the pick-policy head when no
+// hostFilter is set, otherwise the best member on the requested host (a
+// plain registration's host mismatch stays an error — there is only one
+// candidate to disagree with).
 func (c *Client) Resolve(orb *core.ORB, name, hostFilter string) (core.IOR, error) {
 	ior, err := c.Lookup(name)
 	if errors.Is(err, ErrNotFound) {
+		if members, gerr := c.ResolveGroup(name); gerr == nil {
+			for _, m := range members {
+				if hostFilter == "" || m.Host == "" || strings.EqualFold(m.Host, hostFilter) {
+					return m, nil
+				}
+			}
+			return core.IOR{}, fmt.Errorf("registry: no member of group %s on host %q", name, hostFilter)
+		}
 		agentIOR, aerr := c.LookupImpl(name)
 		if aerr != nil {
 			return core.IOR{}, err // original not-found is the real story

@@ -140,6 +140,12 @@ func TestMetricNameHygiene(t *testing.T) {
 		"poa_dispatch_pool_resizes_total",
 		"stream_chunks_total",
 		"stream_peak_buffer_bytes",
+		"poa_shed_total",
+		"group_failovers_total",
+		"group_members",
+		"group_resolves_total",
+		"group_load_reports_total",
+		"group_expired_total",
 	} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)

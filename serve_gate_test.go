@@ -1,0 +1,77 @@
+// Replicated-service gate: the serve figure re-runs in-process (quick grid,
+// virtual clock — deterministic, so these margins are regression gates, not
+// noise). Killing one of four replicas mid-run must not cost idempotent
+// clients their invocations: the group bindings fail the work over and at
+// least 99% completes. And under overload, admission control must buy tail
+// latency — the shed cell's p99 has to beat the no-admission cell's p99,
+// or shedding is pure loss.
+package pardis_test
+
+import (
+	"testing"
+
+	"pardis/internal/bench"
+)
+
+func TestServeGate(t *testing.T) {
+	pts := bench.FigureServe(true)
+	byScenario := make(map[string]bench.ServePoint, len(pts))
+	for _, pt := range pts {
+		byScenario[pt.Scenario] = pt
+		t.Logf("%-15s clients=%-2d inv=%-4d done=%-4d rate=%.3f p50=%.1fms p99=%.1fms failovers=%d sheds=%d drop=%.1fms",
+			pt.Scenario, pt.Clients, pt.Invocations, pt.Completed, pt.CompletionRate,
+			pt.P50*1e3, pt.P99*1e3, pt.Failovers, pt.Sheds, pt.DropSeconds*1e3)
+	}
+	for _, name := range []string{"healthy", "killed", "overload-shed", "overload-noshed"} {
+		if _, ok := byScenario[name]; !ok {
+			t.Fatalf("serve figure missing scenario %q", name)
+		}
+	}
+
+	healthy := byScenario["healthy"]
+	if healthy.CompletionRate != 1 {
+		t.Errorf("healthy completion %.4f, want 1.0 — the baseline cell must be loss-free",
+			healthy.CompletionRate)
+	}
+
+	killed := byScenario["killed"]
+	if killed.CompletionRate < 0.99 {
+		t.Errorf("killed completion %.4f, want >= 0.99: failover is not recovering the dead member's share",
+			killed.CompletionRate)
+	}
+	if killed.Failovers == 0 {
+		t.Error("killed scenario saw no failovers: the kill never bit, gate is vacuous")
+	}
+	// Membership hygiene: the corpse must age out of resolve_group within
+	// the TTL of two heartbeat periods (2 x 50ms), plus the controller's
+	// polling quantum.
+	const ttl, pollSlack = 0.100, 0.025
+	if killed.DropSeconds <= 0 {
+		t.Error("killed scenario never observed the member drop")
+	} else if killed.DropSeconds > ttl+pollSlack {
+		t.Errorf("dead member resolvable for %.1fms, want <= %.1fms (TTL + poll quantum)",
+			killed.DropSeconds*1e3, (ttl+pollSlack)*1e3)
+	}
+
+	shed, noshed := byScenario["overload-shed"], byScenario["overload-noshed"]
+	if shed.Sheds == 0 {
+		t.Error("overload-shed scenario shed nothing: admission control never engaged")
+	}
+	if shed.P99 >= noshed.P99 {
+		t.Errorf("admission control lost its own gate: shed p99 %.1fms >= no-admission p99 %.1fms",
+			shed.P99*1e3, noshed.P99*1e3)
+	}
+	// Under sustained overload the shed cell trades completion for bounded
+	// latency: an invocation that is refused by every member within its
+	// attempt budget fails explicitly rather than queueing. The majority
+	// must still get through — admission control sheds the excess, it does
+	// not collapse the service.
+	if shed.CompletionRate < 0.7 {
+		t.Errorf("overload-shed completion %.4f, want >= 0.7 — shedding is rejecting far more than the excess",
+			shed.CompletionRate)
+	}
+	if noshed.CompletionRate != 1 {
+		t.Errorf("overload-noshed completion %.4f, want 1.0 — without admission control everything queues and completes",
+			noshed.CompletionRate)
+	}
+}
