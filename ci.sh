@@ -72,3 +72,11 @@ go test -race -run TestGroupChaosFailoverSoak -count=3 .
 go run ./cmd/pardis-bench -fig transfer -quick -trace trace.json > /dev/null
 test -s trace.json
 PARDIS_OVERHEAD_GATE=1 go test -run 'TestTracingOverheadGate|TestMetricNameHygiene' -count=1 .
+
+# Obs-plane lane: the flight-recorder / federation figure (recording
+# overhead by interesting fraction, tail-retention recall under a mixed
+# load, federation-page scrape cost) as a JSON artifact, plus the gate
+# asserting >= 95% of interesting traces retained, the boring bulk
+# recycled, and the retained set within its configured bound.
+go run ./cmd/pardis-bench -fig obs -quick -json > obs-summary.json
+go test -run TestObsPlaneGate -count=1 .

@@ -40,6 +40,7 @@ type summary struct {
 	Tuner       []bench.TunerPoint      `json:"tuner,omitempty"`
 	Stream      []bench.StreamPoint     `json:"stream,omitempty"`
 	Serve       []bench.ServePoint      `json:"serve,omitempty"`
+	Obs         []bench.ObsPoint        `json:"obs,omitempty"`
 }
 
 type transferSection struct {
@@ -53,7 +54,7 @@ type ablationSection struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, fanin, tuner, stream, serve, all")
+	fig := flag.String("fig", "all", "which experiment: 2, 4, 5, ablations, transfer, collectives, fanin, tuner, stream, serve, obs, all")
 	quick := flag.Bool("quick", false, "trimmed sweeps")
 	asJSON := flag.Bool("json", false, "emit a JSON summary instead of tables")
 	traceFile := flag.String("trace", "", "record spans and write a Chrome trace-event JSON to this file")
@@ -96,6 +97,8 @@ func main() {
 		out.Stream = stream(*quick, *asJSON)
 	case "serve":
 		out.Serve = serve(*quick, *asJSON)
+	case "obs":
+		out.Obs = obsPlane(*quick, *asJSON)
 	case "all":
 		out.Figure2 = figure2(*quick, *asJSON)
 		out.Figure4 = figure4(*quick, *asJSON)
@@ -107,6 +110,7 @@ func main() {
 		out.Tuner = tuner(*quick, *asJSON)
 		out.Stream = stream(*quick, *asJSON)
 		out.Serve = serve(*quick, *asJSON)
+		out.Obs = obsPlane(*quick, *asJSON)
 	default:
 		fmt.Fprintf(os.Stderr, "pardis-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -341,6 +345,34 @@ func serve(quick, silent bool) []bench.ServePoint {
 		fmt.Printf("%-15s  %7d  %11d  %9d  %6.1f  %6.1f  %6.1f  %9d  %5d  %7.1f\n",
 			p.Scenario, p.Clients, p.Invocations, p.Completed,
 			p.P50*1000, p.P95*1000, p.P99*1000, p.Failovers, p.Sheds, p.DropSeconds*1000)
+	}
+	fmt.Println()
+	return pts
+}
+
+// obsPlane prices the observability plane itself: recorder overhead on the
+// round trip across interesting fractions, tail-retention recall on a mixed
+// load, and the federation page's render cost. Wall clock; compare modes
+// within one run.
+func obsPlane(quick, silent bool) []bench.ObsPoint {
+	pts := bench.FigureObs(quick)
+	if silent {
+		return pts
+	}
+	fmt.Println("== Obs: flight recorder and metrics federation (wall clock) ==")
+	for _, p := range pts {
+		switch p.Cell {
+		case "overhead":
+			fmt.Printf("overhead   mode=%-8s interesting=%5.1f%%  %8.0f ns/op  (n=%d)\n",
+				p.Mode, p.InterestingFrac*100, p.NsPerOp, p.Invocations)
+		case "retention":
+			fmt.Printf("retention  interesting=%d/%d recall=%.3f boring_retained=%d retained=%d/%d recycled=%d\n",
+				p.Interesting, p.Invocations, p.Recall, p.BoringRetained,
+				p.RetainedCount, p.RetainedBound, p.Recycled)
+		case "scrape":
+			fmt.Printf("scrape     groups=%d members=%d  %8.0f ns/render  page=%d bytes\n",
+				p.Groups, p.Members, p.ScrapeNs, p.PageBytes)
+		}
 	}
 	fmt.Println()
 	return pts

@@ -11,8 +11,10 @@
 // registry.Open. -debug additionally serves the live introspection
 // endpoint (/metrics Prometheus text, /debug/vars expvar JSON,
 // /debug/trace Chrome trace events, /debug/groups replicated-group
-// membership and load reports — see DESIGN.md §11, §15); without it the
-// daemon exposes nothing.
+// membership and load reports, /debug/cluster per-group rollups of the
+// heartbeat metrics digests as JSON, /debug/federate the same rollups as a
+// Prometheus federation page, plus /healthz and /debug/pprof — see
+// DESIGN.md §11, §15, §16); without it the daemon exposes nothing.
 //
 // Replicated object groups (registry.Client.RegisterMember/ReportLoad) age
 // out when their heartbeats stop: -member-ttl is the expiry horizon (set it
@@ -21,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -51,6 +54,16 @@ func main() {
 			for _, g := range repo.GroupsSnapshot() {
 				fmt.Fprintln(w, g)
 			}
+		})
+		obs.RegisterDebugPage("/debug/cluster", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(repo.ClusterSnapshot())
+		})
+		obs.RegisterDebugPage("/debug/federate", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			repo.WriteFederation(w)
 		})
 		bound, stop, err := obs.Serve(*debugAddr, obs.Default, obs.DefaultTracer)
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"pardis/internal/core"
 	"pardis/internal/nexus"
+	"pardis/internal/obs"
 	"pardis/internal/obs/leaktest"
 	"pardis/internal/poa"
 	"pardis/internal/registry"
@@ -122,6 +123,16 @@ func TestGroupChaosFailoverSoak(t *testing.T) {
 		victim   = 0
 	)
 
+	// The whole soak runs with the flight recorder on: at the end the
+	// deterministic kill→failover below must survive as one retained trace
+	// holding both sides of the invocation.
+	obs.DefaultTracer.EnableRecorder(obs.RecorderConfig{})
+	defer func() {
+		obs.DefaultTracer.Reset()
+		obs.DefaultTracer.DisableRecorder()
+		obs.DefaultTracer.SetEnabled(false)
+	}()
+
 	fab := nexus.NewInproc()
 	fi := nexus.NewFaultInjector(77, nexus.FaultPlan{})
 	repoAddr, repoWait := startGroupRepo(t, fab, 2*hb)
@@ -137,9 +148,10 @@ func TestGroupChaosFailoverSoak(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		adapter := adapters[i]
-		beats[i] = registry.StartHeartbeat(hbClient, group, fmt.Sprintf("r%d", i),
-			iors[i], hb, adapter.LoadReport)
+		// Heartbeats carry the full metrics digest — the soak doubles as the
+		// federation path's integration exercise.
+		beats[i] = registry.StartHeartbeatDigest(hbClient, group, fmt.Sprintf("r%d", i),
+			iors[i], hb, registry.AdapterDigest(adapters[i]))
 	}
 
 	// Every client runs two phases of idempotent invocations with the kill
@@ -189,6 +201,7 @@ func TestGroupChaosFailoverSoak(t *testing.T) {
 
 	// Deterministic failover: a binding whose resolver pins the corpse first
 	// must advance to the survivor and complete the idempotent invocation.
+	var failoverTrace uint64
 	{
 		orb := newGroupClient(fab, "gr-pinned")
 		gb := orb.BindGroup(func() ([]core.IOR, error) {
@@ -205,6 +218,10 @@ func TestGroupChaosFailoverSoak(t *testing.T) {
 		}
 		if gb.Failovers() != 1 {
 			t.Fatalf("Failovers = %d, want 1", gb.Failovers())
+		}
+		failoverTrace = gb.LastTrace()
+		if failoverTrace == 0 {
+			t.Fatal("group invocation under an enabled tracer minted no trace")
 		}
 	}
 
@@ -265,6 +282,41 @@ func TestGroupChaosFailoverSoak(t *testing.T) {
 	close(clientErrs)
 	for err := range clientErrs {
 		t.Error(err)
+	}
+
+	// The flight recorder must have kept the killed-replica failover as ONE
+	// trace — marked as a failover and holding both the client-side spans
+	// (stub/orb) and the surviving server's dispatch, a single cross-address-
+	// space timeline under the pinned TraceID.
+	{
+		obs.DefaultTracer.Flush()
+		var got *obs.RetainedTrace
+		for _, rt := range obs.DefaultTracer.Retained() {
+			if rt.Trace == failoverTrace {
+				rt := rt
+				if got != nil {
+					t.Fatal("failover trace retained twice")
+				}
+				got = &rt
+			}
+		}
+		if got == nil {
+			t.Fatalf("failover trace %d not retained (%d traces kept)",
+				failoverTrace, obs.DefaultTracer.RetainedCount())
+		}
+		if got.Marks&obs.RetainFailover == 0 {
+			t.Fatalf("failover trace marks = %v, want failover", got.Marks)
+		}
+		layers := map[string]bool{}
+		for _, sp := range got.Spans {
+			layers[sp.Layer] = true
+		}
+		if !layers[obs.LayerStub] && !layers[obs.LayerORB] {
+			t.Fatalf("failover trace has no client-side span (layers %v)", layers)
+		}
+		if !layers[obs.LayerPOA] && !layers[obs.LayerPGIOP] {
+			t.Fatalf("failover trace has no server-side span (layers %v)", layers)
+		}
 	}
 
 	// Teardown: heartbeats, replicas (the corpse still receives unwrapped

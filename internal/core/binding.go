@@ -26,6 +26,11 @@ type Binding struct {
 
 	deadline float64 // per-invocation deadline, seconds; 0 = unbounded
 	retry    RetryPolicy
+
+	// forceTrace, when nonzero, makes traced invocations reuse this TraceID
+	// instead of minting one — how a group binding pins a single trace
+	// across member attempts of one logical invocation.
+	forceTrace uint64
 }
 
 // Bind establishes a per-thread binding to the object (the paper's bind():

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"pardis/internal/obs"
 )
 
 // GroupResolver returns the group's current membership, best member first.
@@ -34,6 +36,7 @@ type GroupBinding struct {
 	b          *Binding // current member binding (nil until first use)
 	lastFailed string   // thread-0 address of the member that just failed
 	failovers  int
+	trace      uint64 // TraceID pinned across this invocation's member attempts
 }
 
 // BindGroup establishes a group binding over a membership resolver. Set a
@@ -66,6 +69,12 @@ func (g *GroupBinding) SetRetryPolicy(rp RetryPolicy) {
 
 // Failovers reports how many member switches this binding has performed.
 func (g *GroupBinding) Failovers() int { return g.failovers }
+
+// LastTrace returns the TraceID of the most recent traced invocation (0
+// when tracing was off). Every member attempt of that invocation shared
+// it, so a failover's whole story — first attempt, switch, second attempt
+// — is one trace in the flight recorder.
+func (g *GroupBinding) LastTrace() uint64 { return g.trace }
 
 // MemberAddr returns the thread-0 address of the currently bound member
 // ("" before the first invocation).
@@ -103,6 +112,7 @@ func (g *GroupBinding) rebind() error {
 	// One attempt per member: timeouts and sheds must surface here to drive
 	// the failover loop, not re-issue against the same member.
 	b.SetRetryPolicy(RetryPolicy{MaxAttempts: 1})
+	b.forceTrace = g.trace
 	g.b = b
 	return nil
 }
@@ -115,6 +125,9 @@ func (g *GroupBinding) advance() {
 	g.b = nil
 	g.failovers++
 	groupFailovers.Inc()
+	// The switch is the interesting event: retain the pinned trace so the
+	// failed attempt and the successor attempt survive as one timeline.
+	obs.DefaultTracer.MarkTrace(g.trace, obs.RetainFailover)
 }
 
 // idempotentOp reports whether op may be safely re-executed on another
@@ -132,6 +145,23 @@ func (g *GroupBinding) idempotentOp(op string) bool {
 // else, including a non-idempotent timeout's InvokeError, surfaces to the
 // caller unchanged.
 func (g *GroupBinding) Invoke(op string, args []any) ([]any, error) {
+	if obs.DefaultTracer.Enabled() {
+		// Pin one TraceID for the whole invocation: every member attempt's
+		// root span shares it, so the flight recorder sees a failover as one
+		// trace, not one-per-member. Cleared on return so the binding's next
+		// plain use mints fresh IDs.
+		g.trace = obs.NewID()
+		defer func() {
+			if g.b != nil {
+				g.b.forceTrace = 0
+			}
+		}()
+	} else {
+		g.trace = 0
+	}
+	if g.b != nil {
+		g.b.forceTrace = g.trace
+	}
 	attempts := g.retry.attempts()
 	var lastErr error
 	for attempt := 1; ; attempt++ {

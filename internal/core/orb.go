@@ -159,8 +159,15 @@ func (p *pendingReq) retryable() bool { return p.req != nil }
 // fails, no resolver runs, and nothing records.
 func (o *ORB) resolve(p *pendingReq, vals []any, err error) {
 	end := obs.NowNS()
-	orbLatency.Observe(float64(end-p.issuedNS) / 1e9)
+	sec := float64(end-p.issuedNS) / 1e9
+	orbLatency.Observe(sec)
+	orbSLO.Observe(p.op.Name, sec, err != nil)
 	if p.trace != 0 {
+		// Mark before recording the root: the root span completes the trace,
+		// and the retention decision must already see the error.
+		if err != nil {
+			obs.DefaultTracer.MarkTrace(p.trace, obs.RetainError)
+		}
 		obs.DefaultTracer.Record(obs.Span{
 			Trace: p.trace, ID: p.span, Layer: obs.LayerStub,
 			Name: "stub.invoke", Op: p.op.Name, Rank: int32(o.rank()),
@@ -312,8 +319,14 @@ func (b *Binding) InvokeNB(op string, args []any) (*future.Cell, error) {
 	if obs.DefaultTracer.Enabled() {
 		// Root trace context for this invocation: the TraceID every rank and
 		// layer will share, the stub span every attempt nests under, and the
-		// first attempt's send span (fresh per retry — see resend).
-		p.trace = obs.NewID()
+		// first attempt's send span (fresh per retry — see resend). A group
+		// binding pins one TraceID across member attempts (forceTrace), so a
+		// failover reads as a single timeline in the flight recorder.
+		if b.forceTrace != 0 {
+			p.trace = b.forceTrace
+		} else {
+			p.trace = obs.NewID()
+		}
 		p.span = obs.NewID()
 		req.TraceID = p.trace
 		req.SpanID = obs.NewID()
@@ -727,6 +740,7 @@ func (o *ORB) resend(p *pendingReq) {
 		// Same TraceID, fresh per-attempt SpanID: a straggler span from the
 		// superseded attempt can never masquerade as this one's.
 		p.req.SpanID = obs.NewID()
+		obs.DefaultTracer.MarkTrace(p.trace, obs.RetainRetry)
 	}
 
 	err := o.sendRequest(nexus.Addr(p.server0), p.req, p, true)
@@ -843,6 +857,9 @@ func (o *ORB) handleReply(r *pgiop.Reply) {
 		orbSheds.Inc()
 		if o.claim(r.ReqID) == nil {
 			return // timed out or cancelled first
+		}
+		if p.trace != 0 {
+			obs.DefaultTracer.MarkTrace(p.trace, obs.RetainShed)
 		}
 		hint := float64(r.RetryAfterMS) / 1000
 		if p.retryable() && p.attempt < p.policy.attempts() {

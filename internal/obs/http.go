@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 )
 
@@ -15,6 +16,22 @@ var (
 	pagesMu sync.Mutex
 	pages   = map[string]http.HandlerFunc{}
 )
+
+// The readiness probe behind /healthz. nil means "ready as soon as the
+// endpoint answers".
+var (
+	healthMu sync.Mutex
+	healthFn func() error
+)
+
+// RegisterHealth installs the readiness probe /healthz consults: return
+// nil for ready, an error (rendered with a 503) for not. Passing nil
+// restores the default always-ready probe.
+func RegisterHealth(f func() error) {
+	healthMu.Lock()
+	healthFn = f
+	healthMu.Unlock()
+}
 
 // RegisterDebugPage mounts h at path on every Handler built afterward.
 // Registering a path twice replaces the handler.
@@ -30,13 +47,36 @@ func RegisterDebugPage(path string, h http.HandlerFunc) {
 
 // Handler returns an http.Handler exposing reg and tracer:
 //
-//	/metrics      Prometheus text exposition
-//	/debug/vars   expvar-style JSON document
-//	/debug/trace  Chrome trace-event JSON of the recorded spans
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar-style JSON document
+//	/debug/trace   Chrome trace-event JSON of the recorded spans
+//	/debug/pprof/  the standard Go profiling endpoints
+//	/healthz       readiness probe (RegisterHealth; default always 200)
 //
 // Either argument may be nil, in which case its routes 404.
 func Handler(reg *Registry, tracer *Tracer) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		healthMu.Lock()
+		f := healthFn
+		healthMu.Unlock()
+		if f != nil {
+			if err := f(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	// CPU/heap profiles for the chaos soak and ops tooling. The pprof trace
+	// endpoint lives under /debug/pprof/trace; /debug/trace stays the Chrome
+	// span export.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")

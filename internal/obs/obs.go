@@ -169,7 +169,7 @@ func CheckName(name string) error {
 // registry lock.
 type Registry struct {
 	mu      sync.Mutex
-	metrics map[string]any // *Counter | *Gauge | *Histogram | GaugeFunc
+	metrics map[string]any // *Counter | *Gauge | *Histogram | GaugeFunc | *SLOSet
 	order   []string       // registration order, for stable exposition
 }
 
@@ -190,7 +190,7 @@ func (r *Registry) Register(name string, m any) error {
 		return err
 	}
 	switch m.(type) {
-	case *Counter, *Gauge, *Histogram, GaugeFunc:
+	case *Counter, *Gauge, *Histogram, GaugeFunc, *SLOSet:
 	default:
 		return fmt.Errorf("obs: metric %q has unsupported kind %T", name, m)
 	}
@@ -240,6 +240,16 @@ func (r *Registry) MustFunc(name string, f GaugeFunc) {
 	}
 }
 
+// MustSLOSet registers and returns a new SLO set whose operations default
+// to def (see MustCounter).
+func (r *Registry) MustSLOSet(name string, def SLOConfig) *SLOSet {
+	s := NewSLOSet(def)
+	if err := r.Register(name, s); err != nil {
+		panic(err)
+	}
+	return s
+}
+
 // Names returns the registered names in registration order.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
@@ -248,7 +258,7 @@ func (r *Registry) Names() []string {
 }
 
 // Each calls f for every registered metric in registration order. The
-// metric is one of *Counter, *Gauge, *Histogram, GaugeFunc.
+// metric is one of *Counter, *Gauge, *Histogram, GaugeFunc, *SLOSet.
 func (r *Registry) Each(f func(name string, m any)) {
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
@@ -288,6 +298,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			p("%s{quantile=\"0.99\"} %g\n", name, s.P99)
 			p("%s_sum %g\n", name, s.Sum)
 			p("%s_count %d\n", name, s.Count)
+		case *SLOSet:
+			if err == nil {
+				err = v.writePrometheus(w, name)
+			}
 		}
 	})
 	return err
@@ -312,6 +326,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				"count": s.Count, "sum": s.Sum,
 				"p50": s.P50, "p95": s.P95, "p99": s.P99,
 			}
+		case *SLOSet:
+			doc[name] = v.jsonValue()
 		}
 	})
 	// encoding/json sorts map keys, so the document is stable across scrapes.

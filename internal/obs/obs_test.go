@@ -213,35 +213,83 @@ func TestNewIDUniqueNonzero(t *testing.T) {
 func TestChromeTraceExport(t *testing.T) {
 	tr := obs.NewTracer(16)
 	tr.SetEnabled(true)
+	// Two ranks, so the export must label both process groups and stitch
+	// the cross-rank parent→child hop with a flow arrow.
 	tr.Record(obs.Span{Trace: 7, ID: 1, Parent: 0, Layer: obs.LayerStub, Name: "stub.invoke", Op: "scale", Rank: 0, Start: 1000, End: 9000})
 	tr.Record(obs.Span{Trace: 7, ID: 2, Parent: 1, Layer: obs.LayerORB, Name: "orb.send", Rank: 0, Start: 2000, End: 3000})
+	tr.Record(obs.Span{Trace: 7, ID: 3, Parent: 1, Layer: obs.LayerPOA, Name: "poa.dispatch", Op: "scale", Rank: 1, Start: 4000, End: 8000})
 
 	var buf bytes.Buffer
 	if err := tr.WriteChromeTrace(&buf); err != nil {
 		t.Fatal(err)
 	}
+	type event struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int32          `json:"pid"`
+		TID  int            `json:"tid"`
+		ID   uint64         `json:"id"`
+		Args map[string]any `json:"args"`
+	}
 	var doc struct {
-		TraceEvents []struct {
-			Name string         `json:"name"`
-			Ph   string         `json:"ph"`
-			TS   float64        `json:"ts"`
-			Dur  float64        `json:"dur"`
-			PID  int32          `json:"pid"`
-			Args map[string]any `json:"args"`
-		} `json:"traceEvents"`
+		TraceEvents []event `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("invalid chrome trace JSON: %v\n%s", err, buf.String())
 	}
-	if len(doc.TraceEvents) != 2 {
-		t.Fatalf("%d events, want 2", len(doc.TraceEvents))
+
+	var spans, meta, flows []event
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans = append(spans, ev)
+		case "M":
+			meta = append(meta, ev)
+		case "s", "f":
+			flows = append(flows, ev)
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
 	}
-	ev := doc.TraceEvents[0]
-	if ev.Name != "stub.invoke scale" || ev.Ph != "X" || ev.TS != 1.0 || ev.Dur != 8.0 {
-		t.Fatalf("event 0 = %+v, want stub.invoke scale X ts=1 dur=8", ev)
+	if len(spans) != 3 {
+		t.Fatalf("%d span events, want 3", len(spans))
 	}
-	if ev.Args["trace"] != float64(7) {
-		t.Fatalf("event 0 trace arg = %v, want 7", ev.Args["trace"])
+	ev := spans[0]
+	if ev.Name != "stub.invoke scale" || ev.TS != 1.0 || ev.Dur != 8.0 {
+		t.Fatalf("span 0 = %+v, want stub.invoke scale ts=1 dur=8", ev)
+	}
+	if ev.Args["trace"] != float64(7) || ev.Args["rank"] != float64(0) {
+		t.Fatalf("span 0 args = %v, want trace=7 rank=0", ev.Args)
+	}
+
+	// Stable lane names: a process_name per rank and a thread_name per
+	// (rank, layer) lane.
+	names := map[string]bool{}
+	for _, m := range meta {
+		if v, ok := m.Args["name"].(string); ok {
+			names[fmt.Sprintf("%s/%d=%s", m.Name, m.PID, v)] = true
+		}
+	}
+	for _, want := range []string{
+		"process_name/0=rank 0", "process_name/1=rank 1",
+		"thread_name/0=stub", "thread_name/0=orb", "thread_name/1=poa",
+	} {
+		if !names[want] {
+			t.Errorf("metadata missing %q (have %v)", want, names)
+		}
+	}
+
+	// The rank-0 → rank-1 hop must carry exactly one flow arrow pair bound
+	// to the child span's ID.
+	if len(flows) != 2 {
+		t.Fatalf("%d flow events, want 2 (s+f)", len(flows))
+	}
+	for _, f := range flows {
+		if f.ID != 3 {
+			t.Errorf("flow event bound to id %d, want child span 3", f.ID)
+		}
 	}
 }
 
@@ -283,5 +331,39 @@ func TestDebugEndpoint(t *testing.T) {
 	}
 	if body := get("/debug/trace"); !strings.Contains(body, "poa.dispatch") {
 		t.Fatalf("/debug/trace missing span:\n%s", body)
+	}
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %q, want ok", body)
+	}
+	// The pprof index must be mounted (profiling endpoints ride along on
+	// every debug listener).
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestHealthzProbe(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16)
+	addr, closeFn, err := obs.Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+
+	obs.RegisterHealth(func() error { return fmt.Errorf("load shed watermark stuck") })
+	defer obs.RegisterHealth(nil)
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("failing probe → status %d, want 503", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(b), "watermark") {
+		t.Fatalf("healthz body %q missing probe error", b)
 	}
 }

@@ -1,0 +1,501 @@
+// Tail-based flight recording: instead of retaining the first spans to
+// arrive and dropping the rest (the PR 5 ring, which systematically loses
+// the slow, shed, and failed-over invocations that matter), the recorder
+// buffers spans per trace and decides retention when the trace *completes*
+// — the Dapper tail-sampling rationale. A trace is kept iff it was slow
+// (over a per-operation moving threshold), or a layer marked it interesting
+// at a site that already counts the anomaly (error, shed, retry, failover).
+// Boring traces recycle their buffers through a pool, so the steady-state
+// boring path allocates nothing; the retained set is a bounded LRU ring.
+package obs
+
+// Mark is a retention-reason bitmask. Layers set marks on a live trace at
+// the sites that already count the corresponding anomaly; any nonzero mark
+// retains the trace at completion.
+type Mark uint32
+
+const (
+	// RetainSlow is set by the recorder itself when the root span's
+	// duration exceeds the operation's moving slow threshold.
+	RetainSlow Mark = 1 << iota
+	// RetainError marks an invocation that resolved with an error
+	// (server exception, deadline, transport failure, cancel).
+	RetainError
+	// RetainShed marks an invocation refused at an admission watermark
+	// (StatusOverloaded), on either side of the wire.
+	RetainShed
+	// RetainRetry marks an invocation that re-issued at least one attempt.
+	RetainRetry
+	// RetainFailover marks an invocation a group binding moved to another
+	// member.
+	RetainFailover
+)
+
+// String renders the mark set for debug pages ("slow|error|failover").
+func (m Mark) String() string {
+	if m == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  Mark
+		name string
+	}{
+		{RetainSlow, "slow"}, {RetainError, "error"}, {RetainShed, "shed"},
+		{RetainRetry, "retry"}, {RetainFailover, "failover"},
+	}
+	s := ""
+	for _, n := range names {
+		if m&n.bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	return s
+}
+
+// RecorderConfig bounds and tunes tail-based retention. The zero value of
+// any field selects the package default.
+type RecorderConfig struct {
+	// MaxTraces bounds the retained set: when full, retaining one more
+	// trace evicts the oldest retained one (LRU ring). Default 256.
+	MaxTraces int
+	// MaxLive bounds concurrently buffering traces; exceeding it finalizes
+	// the oldest live trace early (retained iff marked — a rootless trace
+	// has no duration to judge). Default 1024.
+	MaxLive int
+	// SpansPerTrace bounds one trace's buffer; further spans are dropped
+	// and counted. Default 64.
+	SpansPerTrace int
+	// Grace is how many younger traces must complete before a completed
+	// trace is finalized — the window in which server-side spans racing
+	// the client's root can still join their trace. Default 8.
+	Grace int
+	// SlowFactor scales the per-operation moving mean into the slow
+	// threshold. Default 4.
+	SlowFactor float64
+	// SlowFloorNS floors the adaptive threshold so microsecond-fast
+	// operations do not flag scheduler noise as slow. Default 1ms.
+	SlowFloorNS int64
+	// FixedSlowNS, when > 0, replaces the adaptive threshold with a fixed
+	// one for every operation — the deterministic setting tests use.
+	FixedSlowNS int64
+}
+
+func (c RecorderConfig) withDefaults() RecorderConfig {
+	if c.MaxTraces <= 0 {
+		c.MaxTraces = 256
+	}
+	if c.MaxLive <= 0 {
+		c.MaxLive = 1024
+	}
+	if c.SpansPerTrace <= 0 {
+		c.SpansPerTrace = 64
+	}
+	if c.Grace <= 0 {
+		c.Grace = 8
+	}
+	if c.SlowFactor <= 0 {
+		c.SlowFactor = 4
+	}
+	if c.SlowFloorNS <= 0 {
+		c.SlowFloorNS = 1e6
+	}
+	return c
+}
+
+// RetainedTrace is one kept trace: its ID, why it was kept, and its spans
+// (client and server side, every rank — whatever reached this tracer).
+type RetainedTrace struct {
+	Trace uint64
+	Marks Mark
+	Spans []Span
+}
+
+// traceBuf is one live or retained trace's span buffer. Buffers cycle
+// through a free pool so the boring path reuses storage instead of
+// allocating per trace.
+type traceBuf struct {
+	trace    uint64
+	seq      uint64 // creation order, for oldest-live eviction
+	spans    []Span
+	marks    Mark
+	rootDone bool
+	rootDur  int64 // root span duration, ns (valid when rootDone)
+	rootOp   string
+}
+
+// maxSlowOps bounds the per-operation threshold table.
+const maxSlowOps = 256
+
+// tombSize bounds the recently-recycled trace ID ring: a late span of a
+// recycled trace must be dropped, not resurrect the trace as a zombie.
+const tombSize = 1024
+
+// opStats is one operation's moving latency estimate. The threshold is
+// SlowFactor x an EWMA of the non-slow root durations (floored): tracking
+// the body of the distribution rather than the tail keeps a burst of slow
+// outliers from raising the bar and hiding itself, while a gradual shift
+// still adapts the threshold — "p99-style" in effect, at counter cost.
+type opStats struct{ mean float64 }
+
+// recorder is the tail-sampling state hanging off a Tracer, guarded by the
+// Tracer's mutex.
+type recorder struct {
+	cfg  RecorderConfig
+	seq  uint64
+	live map[uint64]*traceBuf
+
+	// lastBuf short-circuits the live-map lookup for the common case of
+	// consecutive spans belonging to one trace (a round trip records ~15
+	// spans back to back). Self-validating: a recycled buffer's trace is
+	// zeroed and a reused one carries its new trace, so a stale pointer
+	// never matches the wrong trace.
+	lastBuf *traceBuf
+
+	completed []uint64 // root-completed traces awaiting the grace window
+
+	retained []*traceBuf // oldest first
+	retIdx   map[uint64]*traceBuf
+
+	free []*traceBuf
+
+	tomb     map[uint64]struct{}
+	tombRing []uint64
+	tombHead int
+
+	ops map[string]*opStats
+}
+
+func newRecorder(cfg RecorderConfig) *recorder {
+	cfg = cfg.withDefaults()
+	return &recorder{
+		cfg:      cfg,
+		live:     make(map[uint64]*traceBuf, cfg.MaxLive),
+		retIdx:   make(map[uint64]*traceBuf, cfg.MaxTraces),
+		tomb:     make(map[uint64]struct{}, tombSize),
+		tombRing: make([]uint64, tombSize),
+		ops:      map[string]*opStats{},
+	}
+}
+
+// EnableRecorder switches the tracer to tail-sampling mode under cfg and
+// enables recording. In this mode Record buffers spans per trace and the
+// retention decision happens at trace completion (the root span — Parent
+// 0 — closing); Spans and WriteChromeTrace then serve the retained set
+// plus whatever is still live.
+func (t *Tracer) EnableRecorder(cfg RecorderConfig) {
+	t.mu.Lock()
+	t.rec = newRecorder(cfg)
+	t.mu.Unlock()
+	t.tail.Store(true)
+	t.enabled.Store(true)
+}
+
+// DisableRecorder leaves tail-sampling mode: recording (if still enabled)
+// reverts to the retain-all ring, and the recorder's state is discarded.
+func (t *Tracer) DisableRecorder() {
+	t.tail.Store(false)
+	t.mu.Lock()
+	t.rec = nil
+	t.mu.Unlock()
+}
+
+// RecorderEnabled reports whether tail-sampling mode is active.
+func (t *Tracer) RecorderEnabled() bool { return t.tail.Load() }
+
+// MarkTrace flags a live (or already retained) trace as interesting. Safe
+// from any goroutine; a no-op when the tracer is disabled or not in
+// tail-sampling mode, so mark sites cost one atomic load each when idle.
+// Marking a trace no span has reached yet opens its buffer — a shed, for
+// example, may be the only thing a server ever records about a request.
+func (t *Tracer) MarkTrace(trace uint64, m Mark) {
+	if trace == 0 || m == 0 || !t.enabled.Load() || !t.tail.Load() {
+		return
+	}
+	t.mu.Lock()
+	if r := t.rec; r != nil {
+		if b := r.live[trace]; b != nil {
+			b.marks |= m
+		} else if rb := r.retIdx[trace]; rb != nil {
+			rb.marks |= m
+		} else if _, dead := r.tomb[trace]; !dead {
+			r.open(t, trace).marks |= m
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Flush finalizes every buffered trace immediately: completed traces skip
+// the remainder of their grace window, and rootless traces (server-side
+// buffers whose client completed elsewhere, oneways) are judged by their
+// marks alone. Call it before reading Retained at a quiescent point.
+func (t *Tracer) Flush() {
+	t.mu.Lock()
+	if r := t.rec; r != nil {
+		for _, id := range r.completed {
+			r.finalize(t, id)
+		}
+		r.completed = r.completed[:0]
+		for id := range r.live {
+			r.finalize(t, id)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Retained returns copies of the kept traces, oldest first.
+func (t *Tracer) Retained() []RetainedTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.rec
+	if r == nil {
+		return nil
+	}
+	out := make([]RetainedTrace, 0, len(r.retained))
+	for _, b := range r.retained {
+		out = append(out, RetainedTrace{
+			Trace: b.trace, Marks: b.marks,
+			Spans: append([]Span(nil), b.spans...),
+		})
+	}
+	return out
+}
+
+// RetainedCount reports the current size of the retained set.
+func (t *Tracer) RetainedCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rec == nil {
+		return 0
+	}
+	return len(t.rec.retained)
+}
+
+// RetainedTotal reports how many traces the recorder has ever retained.
+func (t *Tracer) RetainedTotal() uint64 { return t.retains.Load() }
+
+// RecycledTotal reports how many trace buffers went back to the pool —
+// boring traces plus retained-ring evictions.
+func (t *Tracer) RecycledTotal() uint64 { return t.recycles.Load() }
+
+// record buffers one span under its trace; the caller holds t.mu.
+func (r *recorder) record(t *Tracer, sp Span) {
+	b := r.lastBuf
+	if b == nil || b.trace != sp.Trace {
+		b = r.live[sp.Trace]
+		if b == nil {
+			if rb := r.retIdx[sp.Trace]; rb != nil {
+				// A straggler of an already-retained trace (a server span that
+				// lost the race with finalization) still joins its timeline.
+				if len(rb.spans) < r.cfg.SpansPerTrace {
+					rb.spans = append(rb.spans, sp)
+				} else {
+					t.drops.Inc()
+				}
+				return
+			}
+			if _, dead := r.tomb[sp.Trace]; dead {
+				t.drops.Inc() // late span of a recycled trace: no resurrection
+				return
+			}
+			b = r.open(t, sp.Trace)
+		}
+		r.lastBuf = b
+	}
+	if len(b.spans) < r.cfg.SpansPerTrace {
+		b.spans = append(b.spans, sp)
+	} else {
+		t.drops.Inc()
+	}
+	if sp.Parent == 0 {
+		// The root span closing completes the trace. A group invocation
+		// pins one trace across member attempts, so a re-issued attempt may
+		// close a second root under the same ID: the latest one's duration
+		// is the one judged.
+		b.rootDur = sp.End - sp.Start
+		b.rootOp = sp.Op
+		if !b.rootDone {
+			b.rootDone = true
+			r.completed = append(r.completed, b.trace)
+		}
+		for len(r.completed) > r.cfg.Grace {
+			id := r.completed[0]
+			copy(r.completed, r.completed[1:])
+			r.completed = r.completed[:len(r.completed)-1]
+			r.finalize(t, id)
+		}
+	}
+}
+
+// open starts buffering a new live trace, evicting the oldest live one
+// when the live bound is hit.
+func (r *recorder) open(t *Tracer, id uint64) *traceBuf {
+	if len(r.live) >= r.cfg.MaxLive {
+		var oldest *traceBuf
+		for _, b := range r.live {
+			if oldest == nil || b.seq < oldest.seq {
+				oldest = b
+			}
+		}
+		if oldest != nil {
+			r.finalize(t, oldest.trace)
+		}
+	}
+	var b *traceBuf
+	if n := len(r.free); n > 0 {
+		b = r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+	} else {
+		b = &traceBuf{spans: make([]Span, 0, r.cfg.SpansPerTrace)}
+	}
+	b.trace = id
+	b.seq = r.seq
+	r.seq++
+	r.live[id] = b
+	return b
+}
+
+// finalize decides a live trace's fate: retained when marked or slow,
+// recycled otherwise. Idempotent per trace — the grace queue and Flush may
+// both name the same ID.
+func (r *recorder) finalize(t *Tracer, id uint64) {
+	b := r.live[id]
+	if b == nil {
+		return
+	}
+	delete(r.live, id)
+	if b.rootDone && r.slow(b.rootOp, b.rootDur) {
+		b.marks |= RetainSlow
+	}
+	if b.marks != 0 {
+		r.retain(t, b)
+	} else {
+		r.recycle(t, b)
+	}
+}
+
+// slow judges one root duration against the operation's moving threshold
+// and feeds the estimator (non-slow samples only; see opStats).
+func (r *recorder) slow(op string, durNS int64) bool {
+	if r.cfg.FixedSlowNS > 0 {
+		return durNS > r.cfg.FixedSlowNS
+	}
+	s := r.ops[op]
+	if s == nil {
+		if len(r.ops) < maxSlowOps {
+			r.ops[op] = &opStats{mean: float64(durNS)}
+		}
+		return false // first observation defines the baseline
+	}
+	thr := s.mean * r.cfg.SlowFactor
+	if f := float64(r.cfg.SlowFloorNS); thr < f {
+		thr = f
+	}
+	if float64(durNS) > thr {
+		return true
+	}
+	s.mean += 0.1 * (float64(durNS) - s.mean)
+	return false
+}
+
+func (r *recorder) retain(t *Tracer, b *traceBuf) {
+	r.retained = append(r.retained, b)
+	r.retIdx[b.trace] = b
+	t.retains.Inc()
+	for len(r.retained) > r.cfg.MaxTraces {
+		old := r.retained[0]
+		copy(r.retained, r.retained[1:])
+		r.retained[len(r.retained)-1] = nil
+		r.retained = r.retained[:len(r.retained)-1]
+		delete(r.retIdx, old.trace)
+		r.recycle(t, old)
+	}
+}
+
+func (r *recorder) recycle(t *Tracer, b *traceBuf) {
+	// Tombstone the ID so late spans are dropped rather than reopening the
+	// trace; the ring bounds the set, oldest forgotten first.
+	if prev := r.tombRing[r.tombHead]; prev != 0 {
+		delete(r.tomb, prev)
+	}
+	r.tombRing[r.tombHead] = b.trace
+	r.tomb[b.trace] = struct{}{}
+	r.tombHead = (r.tombHead + 1) % len(r.tombRing)
+
+	b.trace, b.seq = 0, 0
+	b.spans = b.spans[:0]
+	b.marks, b.rootDone, b.rootDur, b.rootOp = 0, false, 0, ""
+	if len(r.free) < r.cfg.MaxLive {
+		r.free = append(r.free, b)
+	}
+	t.recycles.Inc()
+}
+
+// reset clears all recorder state but keeps the buffer pool.
+func (r *recorder) reset() {
+	for id, b := range r.live {
+		delete(r.live, id)
+		b.trace, b.seq = 0, 0
+		b.spans = b.spans[:0]
+		b.marks, b.rootDone, b.rootDur, b.rootOp = 0, false, 0, ""
+		if len(r.free) < r.cfg.MaxLive {
+			r.free = append(r.free, b)
+		}
+	}
+	for _, b := range r.retained {
+		b.trace, b.seq = 0, 0
+		b.spans = b.spans[:0]
+		b.marks, b.rootDone, b.rootDur, b.rootOp = 0, false, 0, ""
+		if len(r.free) < r.cfg.MaxLive {
+			r.free = append(r.free, b)
+		}
+	}
+	r.retained = r.retained[:0]
+	r.completed = r.completed[:0]
+	for id := range r.retIdx {
+		delete(r.retIdx, id)
+	}
+	for id := range r.tomb {
+		delete(r.tomb, id)
+	}
+	for i := range r.tombRing {
+		r.tombRing[i] = 0
+	}
+	r.tombHead = 0
+	r.ops = map[string]*opStats{}
+	r.seq = 0
+	r.lastBuf = nil
+}
+
+// tailSpans flattens retained traces then live buffers (creation order)
+// into one span list; the caller holds t.mu.
+func (r *recorder) tailSpans() []Span {
+	n := 0
+	for _, b := range r.retained {
+		n += len(b.spans)
+	}
+	for _, b := range r.live {
+		n += len(b.spans)
+	}
+	out := make([]Span, 0, n)
+	for _, b := range r.retained {
+		out = append(out, b.spans...)
+	}
+	// Live buffers in creation order, for stable exposition.
+	lives := make([]*traceBuf, 0, len(r.live))
+	for _, b := range r.live {
+		lives = append(lives, b)
+	}
+	for i := 1; i < len(lives); i++ {
+		for j := i; j > 0 && lives[j-1].seq > lives[j].seq; j-- {
+			lives[j-1], lives[j] = lives[j], lives[j-1]
+		}
+	}
+	for _, b := range lives {
+		out = append(out, b.spans...)
+	}
+	return out
+}

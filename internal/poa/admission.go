@@ -3,6 +3,7 @@ package poa
 import (
 	"pardis/internal/cdr"
 	"pardis/internal/nexus"
+	"pardis/internal/obs"
 	"pardis/internal/pgiop"
 )
 
@@ -44,6 +45,10 @@ func (p *POA) overAdmission() bool {
 func (p *POA) shed(req *pgiop.Request) {
 	poaSheds.Inc()
 	p.shedCount.Add(1)
+	// A shed may be the only thing the server ever records about this
+	// request; the mark alone opens (and retains) the trace in the flight
+	// recorder. One atomic load when the recorder is off.
+	obs.DefaultTracer.MarkTrace(req.TraceID, obs.RetainShed)
 	if req.Oneway {
 		return
 	}
@@ -74,4 +79,11 @@ func (p *POA) LoadReport() (p95 float64, depth int) {
 // call from any goroutine.
 func (p *POA) ShedCount() uint64 {
 	return p.shedCount.Load()
+}
+
+// MetricsSnapshot is the raw material of a heartbeat metrics digest: the
+// single-object dispatch latency distribution, the accepted-queue depth,
+// and the shed count, all readable from any goroutine.
+func (p *POA) MetricsSnapshot() (lat obs.HistogramSnapshot, depth int, sheds uint64) {
+	return p.loadLat.Snapshot(), int(p.admitted.Load()), p.shedCount.Load()
 }

@@ -229,11 +229,12 @@ func (p *POA) serveSingle(e *entry, req *pgiop.Request, iov *[2][]byte, pooled b
 	if req.TraceID != 0 && obs.DefaultTracer.Enabled() {
 		decodeSpan = obs.NewID()
 	}
-	p.singleDispatch(e, req, iov, pooled, decodeSpan)
+	failed := p.singleDispatch(e, req, iov, pooled, decodeSpan)
 	end := obs.NowNS()
 	sec := float64(end-start) / 1e9
 	poaDispatchLatency.Observe(sec)
 	p.loadLat.Observe(sec)
+	poaSLO.Observe(req.Operation, sec, failed)
 	if decodeSpan != 0 {
 		obs.DefaultTracer.Record(obs.Span{
 			Trace: req.TraceID, ID: obs.NewID(), Parent: decodeSpan,
@@ -245,14 +246,16 @@ func (p *POA) serveSingle(e *entry, req *pgiop.Request, iov *[2][]byte, pooled b
 
 // singleDispatch is serveSingle's body; decodeSpan (0 when untraced) is the
 // span ID under which the inline-argument decode records, pre-allocated so
-// the wrapper can parent the dispatch span beneath it.
-func (p *POA) singleDispatch(e *entry, req *pgiop.Request, iov *[2][]byte, pooled bool, decodeSpan uint64) {
+// the wrapper can parent the dispatch span beneath it. The return reports
+// whether the dispatch failed (exception sent or undeliverable result) —
+// the wrapper's SLO observation.
+func (p *POA) singleDispatch(e *entry, req *pgiop.Request, iov *[2][]byte, pooled bool, decodeSpan uint64) bool {
 	op, ok := e.iface.Op(req.Operation)
 	if !ok {
 		if !req.Oneway {
 			p.sendException(req.ReplyAddr, req.ReqID, fmt.Sprintf("no operation %s on %s", req.Operation, e.iface.Name))
 		}
-		return
+		return true
 	}
 	var decStart int64
 	if decodeSpan != 0 {
@@ -270,7 +273,7 @@ func (p *POA) singleDispatch(e *entry, req *pgiop.Request, iov *[2][]byte, poole
 		if !req.Oneway {
 			p.sendException(req.ReplyAddr, req.ReqID, err.Error())
 		}
-		return
+		return true
 	}
 	var (
 		ret  any
@@ -291,11 +294,11 @@ func (p *POA) singleDispatch(e *entry, req *pgiop.Request, iov *[2][]byte, poole
 		p.ctx = saved
 	}
 	if req.Oneway {
-		return
+		return serr != nil
 	}
 	if serr != nil {
 		p.sendException(req.ReplyAddr, req.ReqID, serr.Error())
-		return
+		return true
 	}
 	// The reply body lives in a pooled encoder until the vectored send
 	// below returns; the transport does not retain it.
@@ -304,7 +307,7 @@ func (p *POA) singleDispatch(e *entry, req *pgiop.Request, iov *[2][]byte, poole
 	body, _, err := p.encodeResults(benc, op, ret, outs, nil, nil, req)
 	if err != nil {
 		p.sendException(req.ReplyAddr, req.ReqID, err.Error())
-		return
+		return true
 	}
 	reply := &pgiop.Reply{ReqID: req.ReqID, Status: pgiop.StatusOK, Body: body}
 	hdr := cdr.GetEncoder(128)
@@ -313,6 +316,7 @@ func (p *POA) singleDispatch(e *entry, req *pgiop.Request, iov *[2][]byte, poole
 	_ = p.r.SendV(nexus.Addr(req.ReplyAddr), iov[:]...)
 	iov[0], iov[1] = nil, nil
 	hdr.Release()
+	return false
 }
 
 // decodeInline unmarshals the non-distributed in/inout arguments of a
@@ -351,9 +355,12 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo, parentSpan 
 	if traced {
 		dispSpan = obs.NewID()
 	}
+	failed := false
 	defer func() {
 		end := obs.NowNS()
-		poaDispatchLatency.Observe(float64(end-start) / 1e9)
+		sec := float64(end-start) / 1e9
+		poaDispatchLatency.Observe(sec)
+		poaSLO.Observe(req.Operation, sec, failed)
 		if traced {
 			obs.DefaultTracer.Record(obs.Span{
 				Trace: req.TraceID, ID: dispSpan, Parent: parentSpan,
@@ -365,6 +372,7 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo, parentSpan 
 	rank, size := p.th.Rank(), p.th.Size()
 	e := p.objects[req.ObjectKey]
 	fail := func(msg string) {
+		failed = true
 		if rank == 0 && !req.Oneway {
 			for _, c := range clients {
 				p.sendException(c.Addr, c.ReqID, msg)
@@ -434,6 +442,7 @@ func (p *POA) dispatchSPMD(req *pgiop.Request, clients []clientInfo, parentSpan 
 			})
 		}
 		if aerr != nil {
+			failed = true
 			p.faultAbort("collect-agree", aerr)
 			return
 		}

@@ -29,7 +29,16 @@ var (
 	// SetAdmission) — each one answered with StatusOverloaded and a retry
 	// hint rather than queued.
 	poaSheds = obs.Default.MustCounter("poa_shed_total")
+	// poaSLO accounts each operation's latency/error budget as seen at the
+	// adapter: a dispatch is good iff the servant produced a deliverable
+	// result within the per-op latency target (sheds never reach dispatch,
+	// so they show up in the client-side orb_slo instead).
+	poaSLO = obs.Default.MustSLOSet("poa_slo", obs.SLOConfig{})
 )
+
+// DispatchSLOs exposes the server-side SLO set so deployments can set
+// per-operation objectives (obs.SLOSet.Define).
+func DispatchSLOs() *obs.SLOSet { return poaSLO }
 
 // ServeDebug starts the opt-in introspection endpoint (Prometheus text at
 // /metrics, expvar-style JSON at /debug/vars, Chrome trace JSON at

@@ -1,0 +1,274 @@
+package registry_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pardis/internal/core"
+	"pardis/internal/nexus"
+	"pardis/internal/poa"
+	"pardis/internal/registry"
+	"pardis/internal/rts"
+)
+
+func TestDigestRoundTrip(t *testing.T) {
+	d := registry.Digest{
+		Dispatches: 12345, Sheds: 67, Depth: 4,
+		P50: 0.0015, P95: 0.0421, P99: 0.1337,
+	}
+	got, ok := registry.ParseDigest(d.Encode())
+	if !ok {
+		t.Fatalf("ParseDigest(%q) not ok", d.Encode())
+	}
+	if got.Dispatches != d.Dispatches || got.Sheds != d.Sheds || got.Depth != d.Depth {
+		t.Fatalf("counters round-trip: got %+v, want %+v", got, d)
+	}
+	// Quantiles travel as integer nanoseconds: round-trip within 1ns.
+	for _, q := range [][2]float64{{got.P50, d.P50}, {got.P95, d.P95}, {got.P99, d.P99}} {
+		if math.Abs(q[0]-q[1]) > 1e-9 {
+			t.Fatalf("quantile round-trip: got %+v, want %+v", got, d)
+		}
+	}
+}
+
+// TestDigestForwardCompat: unknown keys and future versions parse (readers
+// gate on the version they understand and ignore the rest); garbage does not.
+func TestDigestForwardCompat(t *testing.T) {
+	d, ok := registry.ParseDigest("2;n=7;hotness=9000;p95ns=5000000;future_field=x")
+	if !ok {
+		t.Fatal("future-versioned digest with unknown keys rejected")
+	}
+	if d.Dispatches != 7 || d.P95 != 0.005 {
+		t.Fatalf("known keys mis-parsed: %+v", d)
+	}
+	for _, bad := range []string{"", "nope;n=1", ";n=1", "0;n=1"} {
+		if _, ok := registry.ParseDigest(bad); ok {
+			t.Errorf("ParseDigest(%q) ok, want rejection", bad)
+		}
+	}
+}
+
+// reportV2 pushes one digest heartbeat through the servant interface.
+func reportV2(t *testing.T, repo *registry.Repository, name, id string, d registry.Digest) {
+	t.Helper()
+	res, _, err := repo.Invoke(nil, "report_load_v2", []any{name, id, d.P95, int32(d.Depth), d.Encode()})
+	if err != nil || res.(int32) != 1 {
+		t.Fatalf("report_load_v2 %s/%s: res=%v err=%v", name, id, res, err)
+	}
+}
+
+// TestClusterAggregationAcrossJoinAndExpiry walks a group through the
+// member lifecycle on an injected clock and checks the rollups track it:
+// v2 reporters aggregate, a v1 reporter counts as a member but not a
+// reporter, expired members leave the rollup, and a rejoin comes back.
+func TestClusterAggregationAcrossJoinAndExpiry(t *testing.T) {
+	now := 0.0
+	repo := registry.NewRepository()
+	repo.SetClock(func() float64 { return now })
+	repo.SetMemberTTL(2)
+
+	reg := func(id string) {
+		if _, _, err := repo.Invoke(nil, "register_member", []any{"svc", id, memberIOR(id, "").String()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg("m0")
+	reg("m1")
+	reg("m2")
+	reportV2(t, repo, "svc", "m0", registry.Digest{Dispatches: 100, Sheds: 5, Depth: 2, P50: 0.001, P95: 0.010, P99: 0.020})
+	reportV2(t, repo, "svc", "m1", registry.Digest{Dispatches: 50, Depth: 1, P95: 0.020, P99: 0.050})
+	// m2 is a v1 reporter: load only, no digest.
+	if _, _, err := repo.Invoke(nil, "report_load", []any{"svc", "m2", 0.03, int32(3)}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := repo.ClusterSnapshot()
+	if len(snap) != 1 || snap[0].Name != "svc" {
+		t.Fatalf("snapshot = %+v, want one group svc", snap)
+	}
+	r := snap[0].Rollup
+	if r.Members != 3 || r.Reporting != 2 {
+		t.Fatalf("members/reporting = %d/%d, want 3/2", r.Members, r.Reporting)
+	}
+	if r.Dispatches != 150 || r.Sheds != 5 || r.Depth != 3 {
+		t.Fatalf("sums = n:%d shed:%d depth:%d, want 150/5/3", r.Dispatches, r.Sheds, r.Depth)
+	}
+	if math.Abs(r.MeanP95-0.015) > 1e-9 || math.Abs(r.WorstP99-0.050) > 1e-9 {
+		t.Fatalf("quantile rollup = mean p95 %g, worst p99 %g; want 0.015/0.050", r.MeanP95, r.WorstP99)
+	}
+	// The v1 reporter appears as a member with nil Metrics.
+	for _, m := range snap[0].Members {
+		if m.ID == "m2" && m.Metrics != nil {
+			t.Fatalf("v1 reporter m2 has Metrics %+v, want nil", m.Metrics)
+		}
+		if m.ID == "m0" && (m.Metrics == nil || m.Metrics.Dispatches != 100) {
+			t.Fatalf("v2 reporter m0 metrics = %+v", m.Metrics)
+		}
+	}
+
+	// m0 and m2 go silent; m1 keeps beating past the TTL. The sweep drops
+	// the silent two and the rollup follows.
+	now = 1.5
+	reportV2(t, repo, "svc", "m1", registry.Digest{Dispatches: 70, Depth: 1, P95: 0.020, P99: 0.050})
+	now = 2.5
+	reportV2(t, repo, "svc", "m1", registry.Digest{Dispatches: 80, Depth: 1, P95: 0.020, P99: 0.050})
+	repo.SweepExpired()
+	r = repo.ClusterSnapshot()[0].Rollup
+	if r.Members != 1 || r.Reporting != 1 || r.Dispatches != 80 {
+		t.Fatalf("after expiry: members %d reporting %d n %d, want 1/1/80", r.Members, r.Reporting, r.Dispatches)
+	}
+
+	// The expired member re-registers and reports again: back in the rollup.
+	reg("m0")
+	reportV2(t, repo, "svc", "m0", registry.Digest{Dispatches: 110, Sheds: 6, Depth: 1, P95: 0.012, P99: 0.021})
+	r = repo.ClusterSnapshot()[0].Rollup
+	if r.Members != 2 || r.Reporting != 2 || r.Dispatches != 190 {
+		t.Fatalf("after rejoin: members %d reporting %d n %d, want 2/2/190", r.Members, r.Reporting, r.Dispatches)
+	}
+}
+
+func TestWriteFederation(t *testing.T) {
+	repo := registry.NewRepository()
+	if _, _, err := repo.Invoke(nil, "register_member", []any{"svc", "m0", memberIOR("m0", "").String()}); err != nil {
+		t.Fatal(err)
+	}
+	reportV2(t, repo, "svc", "m0", registry.Digest{Dispatches: 42, Sheds: 1, Depth: 2, P95: 0.010, P99: 0.030})
+
+	var buf bytes.Buffer
+	if err := repo.WriteFederation(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE pardis_group_members gauge",
+		`pardis_group_members{group="svc"} 1`,
+		`pardis_group_dispatches_total{group="svc"} 42`,
+		`pardis_group_sheds_total{group="svc"} 1`,
+		`pardis_group_p99_worst_seconds{group="svc"} 0.03`,
+		`pardis_member_depth{group="svc",member="m0"} 2`,
+		`pardis_member_dispatches_total{group="svc",member="m0"} 42`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("federation page missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// oldRepository simulates a pre-federation repository: every operation of
+// the real one except report_load_v2, which it answers with the unknown-
+// operation exception the version gate keys on.
+type oldRepository struct {
+	*registry.Repository
+}
+
+func (o oldRepository) Invoke(ctx *poa.Context, op string, in []any) (any, []any, error) {
+	if op == "report_load_v2" {
+		return nil, nil, fmt.Errorf("repository: no operation %s", op)
+	}
+	return o.Repository.Invoke(ctx, op, in)
+}
+
+// startServantRepo is startRepoWith for an arbitrary repository servant.
+func startServantRepo(t *testing.T, fab *nexus.Inproc, servant poa.Servant) (string, func()) {
+	t.Helper()
+	g := rts.NewChanGroup("repohost", 1)
+	addrCh := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := g.Thread(0)
+		r := core.NewRouter(fab.NewEndpoint("repo"))
+		p := poa.New(th, r, nil)
+		p.PollInterval = 20e-6
+		if _, err := p.RegisterSingle(registry.RepositoryKey, registry.Iface(), servant); err != nil {
+			t.Error(err)
+			return
+		}
+		addrCh <- string(r.Addr())
+		p.ImplIsReady()
+	}()
+	addr := <-addrCh
+	stop := func() {
+		orb := core.NewORB(core.NewRouter(fab.NewEndpoint("stopper")), nil, nil)
+		b, _ := orb.Bind(registry.BootstrapIOR(addr), registry.Iface())
+		b.Shutdown("test done")
+		wg.Wait()
+	}
+	return addr, stop
+}
+
+// waitFor polls cond for up to two seconds of wall time — heartbeat loops
+// tick on real wall-clock periods.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestHeartbeatDigestDelivery: the digest heartbeat lands its payload in
+// the repository's cluster snapshot.
+func TestHeartbeatDigestDelivery(t *testing.T) {
+	repo := registry.NewRepository()
+	fab := nexus.NewInproc()
+	addr, stop := startRepoWith(t, fab, repo)
+	defer stop()
+	orb := core.NewORB(core.NewRouter(fab.NewEndpoint("hb")), nil, nil)
+	c, err := registry.Open(orb, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hb := registry.StartHeartbeatDigest(c, "svc", "m0", memberIOR("m0", ""), 0.005, func() registry.Digest {
+		return registry.Digest{Dispatches: 9, Depth: 1, P95: 0.002, P99: 0.004}
+	})
+	defer hb.Stop()
+
+	waitFor(t, "digest to land", func() bool {
+		snap := repo.ClusterSnapshot()
+		return len(snap) == 1 && snap[0].Rollup.Reporting == 1 &&
+			snap[0].Rollup.Dispatches == 9
+	})
+}
+
+// TestHeartbeatDigestFallback: against a pre-federation repository the
+// heartbeat downgrades to plain report_load after one refused v2 attempt —
+// load still flows, just digest-less.
+func TestHeartbeatDigestFallback(t *testing.T) {
+	repo := registry.NewRepository()
+	fab := nexus.NewInproc()
+	addr, stop := startServantRepo(t, fab, oldRepository{repo})
+	defer stop()
+	orb := core.NewORB(core.NewRouter(fab.NewEndpoint("hb")), nil, nil)
+	c, err := registry.Open(orb, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hb := registry.StartHeartbeatDigest(c, "svc", "m0", memberIOR("m0", ""), 0.005, func() registry.Digest {
+		return registry.Digest{Dispatches: 9, Depth: 3, P95: 0.002}
+	})
+	defer hb.Stop()
+
+	// The load report arrives via the fallback path...
+	waitFor(t, "fallback load report", func() bool {
+		gs := repo.GroupsSnapshot()
+		return len(gs) == 1 && len(gs[0].Members) == 1 && gs[0].Members[0].Depth == 3
+	})
+	// ...and no digest ever lands.
+	snap := repo.ClusterSnapshot()
+	if snap[0].Rollup.Reporting != 0 {
+		t.Fatalf("old repository recorded a digest: %+v", snap[0])
+	}
+}

@@ -21,11 +21,12 @@ const DefaultMemberTTL = 10.0
 
 // member is one replica's registration and latest load report.
 type member struct {
-	id    string
-	ior   string
-	p95   float64
-	depth int
-	at    float64 // repository-clock stamp of the last report
+	id     string
+	ior    string
+	p95    float64
+	depth  int
+	at     float64 // repository-clock stamp of the last report
+	digest string  // raw metrics digest of the last report_load_v2 ("" = v1 reporter)
 }
 
 // group is one name's replica set.
@@ -123,7 +124,7 @@ func (r *Repository) dropGroupLocked(name string) {
 // reportLoadLocked records one heartbeat. It returns false when the member
 // is unknown — expired or never registered — telling the replica to
 // re-register rather than report into the void.
-func (r *Repository) reportLoadLocked(name, id string, p95 float64, depth int) bool {
+func (r *Repository) reportLoadLocked(name, id string, p95 float64, depth int, digest string) bool {
 	r.expireLocked(name)
 	g := r.groups[name]
 	if g == nil {
@@ -134,6 +135,9 @@ func (r *Repository) reportLoadLocked(name, id string, p95 float64, depth int) b
 			m.p95 = p95
 			m.depth = depth
 			m.at = r.nowLocked()
+			if digest != "" {
+				m.digest = digest
+			}
 			groupLoadReports.Inc()
 			return true
 		}

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"strings"
 	"time"
 
 	"pardis/internal/core"
@@ -47,6 +48,57 @@ func StartHeartbeat(c *Client, name, memberID string, ior core.IOR, period float
 			}
 			p95, depth := load()
 			known, err := c.ReportLoad(name, memberID, p95, depth)
+			if err == nil && !known {
+				registered = false
+			}
+		}
+	}()
+	return h
+}
+
+// StartHeartbeatDigest is StartHeartbeat carrying the metrics-federation
+// digest: each beat snapshots snap() and reports through report_load_v2
+// (the digest's P95/Depth double as the load signal). A repository that
+// predates federation answers the unknown operation with an exception; the
+// loop then falls back to plain report_load for its lifetime — the
+// mixed-version deployment story. Pair with AdapterDigest for the usual
+// one-POA replica.
+func StartHeartbeatDigest(c *Client, name, memberID string, ior core.IOR, period float64, snap func() Digest) *Heartbeat {
+	c.SetDeadline(period)
+	h := &Heartbeat{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		registered := false
+		if err := c.RegisterMember(name, memberID, ior); err == nil {
+			registered = true
+		}
+		digestOK := true
+		tick := time.NewTicker(time.Duration(period * float64(time.Second)))
+		defer tick.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+			}
+			if !registered {
+				if err := c.RegisterMember(name, memberID, ior); err != nil {
+					continue
+				}
+				registered = true
+			}
+			d := snap()
+			var known bool
+			var err error
+			if digestOK {
+				known, err = c.ReportLoadDigest(name, memberID, d.P95, d.Depth, d.Encode())
+				if err != nil && strings.Contains(err.Error(), "no operation") {
+					digestOK = false
+					known, err = c.ReportLoad(name, memberID, d.P95, d.Depth)
+				}
+			} else {
+				known, err = c.ReportLoad(name, memberID, d.P95, d.Depth)
+			}
 			if err == nil && !known {
 				registered = false
 			}

@@ -46,12 +46,15 @@ func TestTracingOverheadGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark pair takes seconds; skipped with -short")
 	}
-	// Alternate off/on runs and take the minimum of each: the round trip
-	// is microseconds, so scheduler and GC noise between two single
-	// benchmark invocations swamps the quantity under test. Interleaving
-	// cancels heap-growth drift across runs; the per-state minimum is the
-	// standard micro-benchmark de-noiser.
-	var off, on testing.BenchmarkResult
+	// Alternate off/ring/recorder runs and take the minimum of each: the
+	// round trip is microseconds, so scheduler and GC noise between two
+	// single benchmark invocations swamps the quantity under test.
+	// Interleaving cancels heap-growth drift across runs; the per-state
+	// minimum is the standard micro-benchmark de-noiser. The flight
+	// recorder is held to the same bound as the ring: its boring path
+	// (every benchmark invocation is boring) recycles pooled buffers, so
+	// recording must stay amortized-allocation-free.
+	var off, on, rec testing.BenchmarkResult
 	for i := 0; i < 3; i++ {
 		obs.DefaultTracer.Reset()
 		o := measureRoundTrip()
@@ -59,21 +62,31 @@ func TestTracingOverheadGate(t *testing.T) {
 		obs.DefaultTracer.SetEnabled(true)
 		n := measureRoundTrip()
 		obs.DefaultTracer.SetEnabled(false)
+		obs.DefaultTracer.EnableRecorder(obs.RecorderConfig{})
+		r := measureRoundTrip()
+		obs.DefaultTracer.DisableRecorder()
+		obs.DefaultTracer.SetEnabled(false)
 		if i == 0 || o.NsPerOp() < off.NsPerOp() {
 			off = o
 		}
 		if i == 0 || n.NsPerOp() < on.NsPerOp() {
 			on = n
 		}
+		if i == 0 || r.NsPerOp() < rec.NsPerOp() {
+			rec = r
+		}
 	}
 	obs.DefaultTracer.Reset()
 
-	offAllocs, onAllocs := off.AllocsPerOp(), on.AllocsPerOp()
-	t.Logf("tracing off: %d ns/op, %d allocs/op; tracing on: %d ns/op, %d allocs/op",
-		off.NsPerOp(), offAllocs, on.NsPerOp(), onAllocs)
+	offAllocs, onAllocs, recAllocs := off.AllocsPerOp(), on.AllocsPerOp(), rec.AllocsPerOp()
+	t.Logf("tracing off: %d ns/op, %d allocs/op; ring: %d ns/op, %d allocs/op; recorder: %d ns/op, %d allocs/op",
+		off.NsPerOp(), offAllocs, on.NsPerOp(), onAllocs, rec.NsPerOp(), recAllocs)
 	// +0.5 absorbs integer rounding of the amortized ring-growth allocations.
 	if float64(onAllocs) > float64(offAllocs)*1.05+0.5 {
 		t.Errorf("tracing costs allocations: %d -> %d allocs/op (> 5%%)", offAllocs, onAllocs)
+	}
+	if float64(recAllocs) > float64(offAllocs)*1.05+0.5 {
+		t.Errorf("flight recorder costs allocations: %d -> %d allocs/op (> 5%%)", offAllocs, recAllocs)
 	}
 	if os.Getenv("PARDIS_OVERHEAD_GATE") == "1" {
 		// 5% relative, with a 3µs absolute floor: the multiplexed
@@ -86,6 +99,9 @@ func TestTracingOverheadGate(t *testing.T) {
 		limit := float64(off.NsPerOp())*1.05 + 3000
 		if float64(on.NsPerOp()) > limit {
 			t.Errorf("tracing latency overhead: %d -> %d ns/op (> 5%% + 3µs)", off.NsPerOp(), on.NsPerOp())
+		}
+		if float64(rec.NsPerOp()) > limit {
+			t.Errorf("flight recorder latency overhead: %d -> %d ns/op (> 5%% + 3µs)", off.NsPerOp(), rec.NsPerOp())
 		}
 	}
 }
@@ -146,6 +162,11 @@ func TestMetricNameHygiene(t *testing.T) {
 		"group_resolves_total",
 		"group_load_reports_total",
 		"group_expired_total",
+		"trace_spans_dropped_total",
+		"trace_retained_total",
+		"trace_recycled_total",
+		"orb_slo",
+		"poa_slo",
 	} {
 		if !seen[want] {
 			t.Errorf("registry is missing %q", want)
